@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// splc's CLI is exercised end to end by compiling and running it with
+// `go run` against a real program file. These tests are skipped in
+// -short mode (they shell out to the Go tool).
+
+const testProgram = `
+@threading(model=manual)
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 25; }
+    stream<int64 i> E = Filter(N) { param filter: i % 5 == 0; }
+    () as Out = FileSink(E) { param file: "OUTFILE"; }
+}
+`
+
+func writeProgram(t *testing.T, dir string) (src, out string) {
+	t.Helper()
+	out = filepath.Join(dir, "result.txt")
+	src = filepath.Join(dir, "prog.spl")
+	prog := strings.ReplaceAll(testProgram, "OUTFILE", out)
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return src, out
+}
+
+func runSplc(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "streams/cmd/splc"}, args...)...)
+	cmd.Dir = repoRoot(t)
+	b, err := cmd.CombinedOutput()
+	return string(b), err
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd)) // cmd/splc → repo root
+}
+
+func TestSplcDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	src, _ := writeProgram(t, t.TempDir())
+	out, err := runSplc(t, "-dump", src)
+	if err != nil {
+		t.Fatalf("splc -dump: %v\n%s", err, out)
+	}
+	for _, want := range []string{"3 operators", "threading: manual", "Main/N"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSplcRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	src, outFile := writeProgram(t, t.TempDir())
+	out, err := runSplc(t, src)
+	if err != nil {
+		t.Fatalf("splc run: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(strings.TrimSpace(string(data)))
+	if len(lines) != 5 { // 0,5,10,15,20
+		t.Fatalf("sink file has %d lines, want 5: %q", len(lines), data)
+	}
+	if !strings.Contains(out, "wrote 5 tuples") {
+		t.Fatalf("stats output missing count:\n%s", out)
+	}
+}
+
+func TestSplcBadProgram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.spl")
+	if err := os.WriteFile(src, []byte("composite Main { graph bogus }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runSplc(t, src)
+	if err == nil {
+		t.Fatalf("bad program accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "expected") {
+		t.Fatalf("error output unhelpful:\n%s", out)
+	}
+}
+
+func TestSplcDot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	src, _ := writeProgram(t, t.TempDir())
+	out, err := runSplc(t, "-dot", src)
+	if err != nil {
+		t.Fatalf("splc -dot: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "digraph stream") || !strings.Contains(out, "->") {
+		t.Fatalf("dot output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+// Command streamsim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	streamsim -list
+//	streamsim -fig 9-pipeline            # all panels of one figure
+//	streamsim -panel fig10-xeon-cost1000 # one panel
+//	streamsim -all                       # every panel
+//	streamsim -panel fig11-xeon-w1-d1000-cost1 -runs 3   # traces
+//	streamsim -native -w 2 -d 8 -cost 100 -threads 2     # real runtime
+//	streamsim -verbose                   # adds §5.1 context-switch estimates
+//
+// Static panels print the four series of Figures 9 and 10 (manual,
+// dedicated, dynamic static sweep, dynamic elastic); Figure 11 panels
+// print throughput/threads traces. Results come from the calibrated
+// machine model (see internal/sim); -native runs the actual runtime on
+// this host instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streams/internal/fig"
+	"streams/internal/pe"
+	"streams/internal/sim"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list all panel IDs and exit")
+		figure  = flag.String("fig", "", "print all panels of one figure: 9-pipeline, 9-dataparallel, 10, 11")
+		panel   = flag.String("panel", "", "print one panel by ID")
+		all     = flag.Bool("all", false, "print every panel")
+		runs    = flag.Int("runs", 5, "elastic runs per panel (the paper repeats 5 times)")
+		every   = flag.Int("every", 5, "print every Nth trace point for figure 11 panels")
+		verbose = flag.Bool("verbose", false, "include context-switch estimates (§5.1)")
+
+		native  = flag.Bool("native", false, "run the real runtime on this host instead of the model")
+		width   = flag.Int("w", 2, "native: data-parallel width")
+		depth   = flag.Int("d", 8, "native: pipeline depth")
+		cost    = flag.Int("cost", 100, "native: flops per tuple")
+		model   = flag.String("model", "dynamic", "native: manual, dedicated or dynamic")
+		threads = flag.Int("threads", 2, "native: dynamic thread count")
+		dur     = flag.Duration("dur", 2*time.Second, "native: measurement duration")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, p := range fig.AllPanels() {
+			fmt.Printf("%-40s %s\n", p.ID, p.String())
+		}
+	case *native:
+		m, err := parseModel(*model)
+		if err != nil {
+			fatal(err)
+		}
+		w := sim.Workload{Width: *width, Depth: *depth, Cost: *cost}
+		fmt.Printf("native run on this host: %s, model %s, threads %d\n", w, m, *threads)
+		tput, err := fig.RunNative(w, fig.NativeConfig{Model: m, Threads: *threads, Duration: *dur})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sink throughput: %.4g tuples/s\n", tput)
+	case *panel != "":
+		p, ok := fig.FindPanel(*panel)
+		if !ok {
+			fatal(fmt.Errorf("unknown panel %q (use -list)", *panel))
+		}
+		printPanel(p, *runs, *every, *verbose)
+	case *figure != "":
+		printed := false
+		for _, p := range fig.AllPanels() {
+			if p.Figure == *figure {
+				printPanel(p, *runs, *every, *verbose)
+				printed = true
+			}
+		}
+		if !printed {
+			fatal(fmt.Errorf("unknown figure %q (9-pipeline, 9-dataparallel, 10, 11)", *figure))
+		}
+	case *all:
+		for _, p := range fig.AllPanels() {
+			printPanel(p, *runs, *every, *verbose)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printPanel(p fig.Panel, runs, every int, verbose bool) {
+	if p.Figure == "11" {
+		mo := sim.Model{M: p.Machine, W: p.Work}
+		for seed := 1; seed <= runs; seed++ {
+			trace := sim.RunElastic(mo, sim.ElasticConfig{Seed: int64(seed)})
+			fmt.Printf("run %d/%d:\n%s\n", seed, runs, fig.TraceTable(p, trace, every))
+		}
+		return
+	}
+	r := fig.RunStatic(p, runs)
+	fmt.Println(r.Table())
+	if verbose {
+		mo := sim.Model{M: p.Machine, W: p.Work}
+		bestK, _ := r.BestStatic()
+		fmt.Printf("  ctx switches/s: dedicated %.3g, dynamic(k=%d) %.3g\n\n",
+			mo.CtxSwitchesPerSecond(sim.Dedicated, 0),
+			bestK, mo.CtxSwitchesPerSecond(sim.Dynamic, bestK))
+	}
+}
+
+func parseModel(s string) (pe.Model, error) {
+	switch strings.ToLower(s) {
+	case "manual":
+		return pe.Manual, nil
+	case "dedicated":
+		return pe.Dedicated, nil
+	case "dynamic":
+		return pe.Dynamic, nil
+	default:
+		return 0, fmt.Errorf("unknown threading model %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamsim:", err)
+	os.Exit(1)
+}

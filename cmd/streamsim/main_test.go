@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runStreamsim(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", append([]string{"run", "streams/cmd/streamsim"}, args...)...)
+	cmd.Dir = filepath.Dir(filepath.Dir(wd))
+	b, err := cmd.CombinedOutput()
+	return string(b), err
+}
+
+func TestStreamsimList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	out, err := runStreamsim(t, "-list")
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"fig9-pipeline-xeon-cost1",
+		"fig9-dataparallel-power8-cost100000",
+		"fig10-xeon-cost1000",
+		"fig11-power8-w1000-d1-cost1000000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamsimPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	out, err := runStreamsim(t, "-panel", "fig10-xeon-cost1000", "-runs", "2")
+	if err != nil {
+		t.Fatalf("-panel: %v\n%s", err, out)
+	}
+	for _, want := range []string{"manual", "dedicated", "dynamic static", "dynamic elastic", "settles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("panel output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamsimTracePanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	out, err := runStreamsim(t, "-panel", "fig11-xeon-w1-d1000-cost1", "-runs", "1", "-every", "20")
+	if err != nil {
+		t.Fatalf("trace panel: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "run 1/1") {
+		t.Fatalf("trace output malformed:\n%s", out)
+	}
+}
+
+func TestStreamsimNative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	out, err := runStreamsim(t, "-native", "-w", "2", "-d", "3", "-cost", "10",
+		"-threads", "2", "-dur", "300ms")
+	if err != nil {
+		t.Fatalf("-native: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "sink throughput") {
+		t.Fatalf("native output missing throughput:\n%s", out)
+	}
+}
+
+func TestStreamsimUnknownPanel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	out, err := runStreamsim(t, "-panel", "no-such-panel")
+	if err == nil {
+		t.Fatalf("unknown panel accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown panel") {
+		t.Fatalf("error message unhelpful:\n%s", out)
+	}
+}

@@ -1,0 +1,77 @@
+// Elastictrace produces Figure 11-style elasticity traces twice over:
+// first live, by running the real runtime on this host with a fast
+// adaptation period and printing throughput and thread level per period;
+// then simulated, by replaying the same controller against the paper's
+// 176-core Xeon model for the full 1400-second experiment.
+//
+//	go run ./examples/elastictrace
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"streams"
+	"streams/internal/fig"
+	"streams/internal/sim"
+)
+
+func main() {
+	liveTrace()
+	simulatedTrace()
+}
+
+// liveTrace runs an unbounded pipeline under the elastic dynamic model
+// on the actual host and prints each adaptation sample.
+func liveTrace() {
+	fmt.Printf("live elastic run on this host (%d logical CPUs), 250ms periods:\n", runtime.NumCPU())
+	fmt.Printf("  %8s %14s %8s\n", "elapsed", "tuples/s (PE)", "threads")
+
+	top := streams.NewTopology()
+	src := top.Add(&streams.Generator{}, 0, 1)
+	prev := src
+	for i := 0; i < 8; i++ {
+		w := top.Add(&streams.Worker{Cost: 200}, 1, 1)
+		top.Connect(prev, 0, w, 0)
+		prev = w
+	}
+	snk := top.Add(&streams.Sink{}, 1, 0)
+	top.Connect(prev, 0, snk, 0)
+
+	done := make(chan struct{})
+	samples := 0
+	job, err := streams.Run(top, streams.RunConfig{
+		Model:       streams.ModelDynamic,
+		Elastic:     true,
+		Threads:     1,
+		MaxThreads:  max(runtime.NumCPU(), 4),
+		AdaptPeriod: 250 * time.Millisecond,
+		Trace: func(s streams.Sample) {
+			fmt.Printf("  %8s %14.4g %8d\n", s.Elapsed.Round(time.Millisecond), s.Throughput, s.Level)
+			samples++
+			if samples == 16 {
+				close(done)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	job.Stop()
+	fmt.Println()
+}
+
+// simulatedTrace replays the controller against the Xeon machine model:
+// the top-left run of the paper's Figure 11.
+func simulatedTrace() {
+	panel, _ := fig.FindPanel("fig11-xeon-w1-d1000-cost1")
+	fmt.Println("simulated 1400s run of the paper's Figure 11 top-left panel:")
+	mo := sim.Model{M: panel.Machine, W: panel.Work}
+	trace := sim.RunElastic(mo, sim.ElasticConfig{Seed: 7})
+	fmt.Print(fig.TraceTable(panel, trace, 7))
+	lo, hi := sim.SettledLevels(trace, 0.25)
+	fmt.Printf("settled between %d and %d threads (paper: 72–132)\n", lo, hi)
+}

@@ -1,0 +1,3 @@
+module streams
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package cpuutil implements the elasticity controller's CPU-usage gate:
+// before increasing the thread level, the PE checks that total system CPU
+// usage is acceptable so multiple greedy PEs do not oversubscribe a host
+// (§4.2.3). IBM Streams reads /proc/stat and refuses to grow past 80%
+// of system capacity; we do the same, behind an interface so the machine
+// simulator and the tests can substitute their own readings.
+package cpuutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// UsageFunc reports total system CPU usage in [0, 1]. Implementations
+// must be safe for concurrent use.
+type UsageFunc func() (float64, error)
+
+// DefaultThreshold is the usage fraction above which the thread level
+// must not grow, matching the product's 80% rule.
+const DefaultThreshold = 0.80
+
+// Gate answers isCPUUsageAcceptable() questions against a UsageFunc.
+type Gate struct {
+	usage     UsageFunc
+	threshold float64
+}
+
+// NewGate builds a gate from a usage source and threshold. A nil usage
+// source selects the /proc/stat reader; a non-positive threshold selects
+// DefaultThreshold.
+func NewGate(usage UsageFunc, threshold float64) *Gate {
+	if usage == nil {
+		usage = ProcStatUsage()
+	}
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Gate{usage: usage, threshold: threshold}
+}
+
+// Acceptable reports whether CPU usage permits adding threads. Errors
+// reading usage fail open (allow growth): a PE that cannot observe the
+// system behaves like pre-elastic Streams rather than refusing to scale.
+func (g *Gate) Acceptable() bool {
+	u, err := g.usage()
+	if err != nil {
+		return true
+	}
+	return u < g.threshold
+}
+
+// ProcStatUsage returns a UsageFunc that computes total CPU usage from
+// consecutive /proc/stat aggregate lines. The first call has no baseline
+// and reports 0.
+func ProcStatUsage() UsageFunc {
+	var mu sync.Mutex
+	var prevBusy, prevTotal uint64
+	return func() (float64, error) {
+		busy, total, err := readProcStat("/proc/stat")
+		if err != nil {
+			return 0, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		db, dt := busy-prevBusy, total-prevTotal
+		first := prevTotal == 0
+		prevBusy, prevTotal = busy, total
+		if first || dt == 0 {
+			return 0, nil
+		}
+		return float64(db) / float64(dt), nil
+	}
+}
+
+// readProcStat parses the aggregate "cpu " line of a /proc/stat-format
+// file into busy and total jiffy counts.
+func readProcStat(path string) (busy, total uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ParseStatLine(string(data))
+}
+
+// ParseStatLine extracts busy and total jiffies from the first "cpu "
+// line of /proc/stat content. Busy excludes idle and iowait.
+func ParseStatLine(content string) (busy, total uint64, err error) {
+	for _, line := range strings.Split(content, "\n") {
+		if !strings.HasPrefix(line, "cpu ") {
+			continue
+		}
+		fields := strings.Fields(line)[1:]
+		if len(fields) < 4 {
+			return 0, 0, fmt.Errorf("cpuutil: malformed cpu line %q", line)
+		}
+		vals := make([]uint64, len(fields))
+		for i, f := range fields {
+			v, perr := strconv.ParseUint(f, 10, 64)
+			if perr != nil {
+				return 0, 0, fmt.Errorf("cpuutil: bad field %q in %q", f, line)
+			}
+			vals[i] = v
+		}
+		for i, v := range vals {
+			total += v
+			// Fields: user nice system idle iowait irq softirq steal ...
+			if i != 3 && i != 4 {
+				busy += v
+			}
+		}
+		return busy, total, nil
+	}
+	return 0, 0, fmt.Errorf("cpuutil: no aggregate cpu line found")
+}
+
+// Fixed returns a UsageFunc that always reports u; tests and the machine
+// simulator use it.
+func Fixed(u float64) UsageFunc {
+	return func() (float64, error) { return u, nil }
+}

@@ -1,0 +1,85 @@
+package cpuutil
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseStatLine(t *testing.T) {
+	content := "cpu  100 0 50 800 50 0 0 0 0 0\ncpu0 1 2 3 4\n"
+	busy, total, err := ParseStatLine(content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1000 {
+		t.Fatalf("total = %d, want 1000", total)
+	}
+	if busy != 150 { // everything except idle(800) and iowait(50)
+		t.Fatalf("busy = %d, want 150", busy)
+	}
+}
+
+func TestParseStatLineErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"cpu0 1 2 3 4\n",       // no aggregate line
+		"cpu  1 2\n",           // too few fields
+		"cpu  1 2 three 4 5\n", // non-numeric
+	}
+	for _, c := range cases {
+		if _, _, err := ParseStatLine(c); err == nil {
+			t.Errorf("ParseStatLine(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestGateThreshold(t *testing.T) {
+	g := NewGate(Fixed(0.5), 0.8)
+	if !g.Acceptable() {
+		t.Fatal("usage 0.5 below threshold 0.8 should be acceptable")
+	}
+	g = NewGate(Fixed(0.9), 0.8)
+	if g.Acceptable() {
+		t.Fatal("usage 0.9 above threshold 0.8 should not be acceptable")
+	}
+	g = NewGate(Fixed(0.8), 0.8)
+	if g.Acceptable() {
+		t.Fatal("usage exactly at threshold should not be acceptable")
+	}
+}
+
+func TestGateFailsOpen(t *testing.T) {
+	g := NewGate(func() (float64, error) { return 0, errors.New("boom") }, 0.8)
+	if !g.Acceptable() {
+		t.Fatal("errors should fail open")
+	}
+}
+
+func TestGateDefaults(t *testing.T) {
+	// Nil usage selects /proc/stat; on Linux hosts this must not error
+	// through Acceptable (and fails open elsewhere).
+	g := NewGate(nil, 0)
+	_ = g.Acceptable()
+	if g.threshold != DefaultThreshold {
+		t.Fatalf("threshold = %g, want %g", g.threshold, DefaultThreshold)
+	}
+}
+
+func TestProcStatUsageDelta(t *testing.T) {
+	// First reading establishes the baseline and reports zero.
+	u := ProcStatUsage()
+	v, err := u()
+	if err != nil {
+		t.Skipf("no /proc/stat on this platform: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("first reading = %g, want 0 (baseline)", v)
+	}
+	v, err = u()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0 || v > 1 {
+		t.Fatalf("usage %g out of [0,1]", v)
+	}
+}

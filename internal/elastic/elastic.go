@@ -1,0 +1,313 @@
+// Package elastic implements the paper's elasticity algorithm (§4.2):
+// periodically observe PE-wide throughput, maintain a trusted performance
+// record per thread level, and move the thread level toward the point
+// that maximizes throughput.
+//
+// The central idea is trust. A ThreadRecord is trusted once we have
+// observed throughput at its level since the last workload change;
+// detecting a workload change (changeInLoad) wipes all trust, restarting
+// exploration. The level-change rules combine trends against the levels
+// bracketing the current one:
+//
+//  1. upward trend from below and nothing trusted above → increase
+//  2. the level above was observed to be better → increase
+//  3. at level 1 with nothing trusted above → increase (kick-off)
+//  4. nothing trusted below → decrease
+//  5. no upward trend from below to here → decrease
+//  6. otherwise → stay
+//
+// Increases additionally require the CPU-usage gate to pass and the level
+// to remain within [MinLevel, MaxLevel].
+package elastic
+
+import "fmt"
+
+// Sens is the default sensitivity threshold: trends and workload changes
+// react to relative differences of more than 5%, the product's setting.
+const Sens = 0.05
+
+// record is the paper's ThreadRecord.
+type record struct {
+	lastTime   uint64
+	firstThput float64
+	lastThput  float64
+	trusted    bool
+}
+
+// Config parametrizes a Controller.
+type Config struct {
+	// MinLevel is the smallest level the controller will select; the PE
+	// passes 1 + max input ports per operator (deadlock avoidance,
+	// §4.2.3). Values below 1 become 1.
+	MinLevel int
+	// MaxLevel is the largest level; the PE passes the number of logical
+	// processors available to it (§4.2.3). Required.
+	MaxLevel int
+	// Sens is the relative-difference threshold; 0 selects Sens (5%).
+	Sens float64
+	// CPUAcceptable gates increases on total system usage; nil means
+	// always acceptable.
+	CPUAcceptable func() bool
+	// Geometric selects geometric bracket growth: while exploring
+	// unknown territory the step above the current level doubles,
+	// ramping to high levels in O(log n) periods as the product's quick
+	// ramp-up in Fig. 11 does. When false the bracket is always ±1.
+	Geometric bool
+	// RememberHistory keeps performance records on workload change
+	// instead of wiping them (the paper's §5.4 future-work alternative:
+	// "A better alternative is designing a mechanism for remembering
+	// some history"). Records decay to untrusted only when contradicted.
+	RememberHistory bool
+}
+
+// Controller runs the elasticity algorithm. It is not safe for
+// concurrent use; the PE calls Update from a single adaptation loop.
+type Controller struct {
+	cfg  Config
+	recs []record
+	time uint64
+
+	level      int
+	levelBelow int
+	levelAbove int
+
+	// deferred is set when an intended suspension did not take effect
+	// during the last period; the controller holds the level until
+	// actions stick (§4.2.3).
+	deferred bool
+}
+
+// New returns a controller starting at the minimum level.
+func New(cfg Config) (*Controller, error) {
+	if cfg.MaxLevel < 1 {
+		return nil, fmt.Errorf("elastic: MaxLevel %d must be at least 1", cfg.MaxLevel)
+	}
+	if cfg.MinLevel < 1 {
+		cfg.MinLevel = 1
+	}
+	if cfg.MinLevel > cfg.MaxLevel {
+		return nil, fmt.Errorf("elastic: MinLevel %d exceeds MaxLevel %d", cfg.MinLevel, cfg.MaxLevel)
+	}
+	if cfg.Sens == 0 {
+		cfg.Sens = Sens
+	}
+	if cfg.Sens < 0 || cfg.Sens >= 1 {
+		return nil, fmt.Errorf("elastic: Sens %g outside [0, 1)", cfg.Sens)
+	}
+	c := &Controller{
+		cfg:        cfg,
+		recs:       make([]record, cfg.MaxLevel+1), // recs[0] unused
+		level:      cfg.MinLevel,
+		levelBelow: cfg.MinLevel - 1,
+	}
+	c.levelAbove = c.bracketAbove(cfg.MinLevel, 1)
+	return c, nil
+}
+
+// Level returns the current thread level.
+func (c *Controller) Level() int { return c.level }
+
+// Trusted reports whether the record for level l is currently trusted
+// (diagnostics and tests).
+func (c *Controller) Trusted(l int) bool {
+	return l >= 1 && l < len(c.recs) && c.recs[l].trusted
+}
+
+// ActionsDidNotStick tells the controller that a thread-level action from
+// the previous period did not take effect (for example, a thread marked
+// for suspension was stuck in operator code). The controller makes no
+// level change on the next Update.
+func (c *Controller) ActionsDidNotStick() { c.deferred = true }
+
+// bracketAbove computes the next level above l given the previous gap.
+func (c *Controller) bracketAbove(l, gap int) int {
+	if c.cfg.Geometric {
+		if gap < 1 {
+			gap = 1
+		}
+		a := l + 2*gap
+		if a > c.cfg.MaxLevel {
+			a = c.cfg.MaxLevel
+		}
+		if a <= l { // already at max
+			a = l
+		}
+		return a
+	}
+	if l+1 > c.cfg.MaxLevel {
+		return l
+	}
+	return l + 1
+}
+
+// Update is the paper's updateThreadLevel (Figure 8): record the latest
+// PE-wide throughput observation and return the thread level to use for
+// the next period.
+func (c *Controller) Update(thput float64) int {
+	if c.deferred {
+		// Hold everything until the runtime confirms prior actions
+		// happened; still refresh the current level's record.
+		c.deferred = false
+		c.observe(thput)
+		return c.level
+	}
+	if c.changeInLoad(thput) {
+		if c.cfg.RememberHistory && c.recs[c.level].lastThput > 0 {
+			// Remember-history mode: instead of discarding everything,
+			// rescale every trusted record by the observed change at the
+			// current level. The performance curve's *shape* usually
+			// survives a load change even when its magnitude does not,
+			// so trends stay comparable and the controller neither
+			// re-explores from scratch nor oscillates on noisy
+			// measurements (§5.4's proposed fix).
+			ratio := thput / c.recs[c.level].lastThput
+			for i := range c.recs {
+				if c.recs[i].trusted {
+					c.recs[i].lastThput *= ratio
+					c.recs[i].firstThput *= ratio
+				}
+			}
+		} else {
+			for i := range c.recs {
+				c.recs[i] = record{}
+			}
+		}
+	}
+	c.observe(thput)
+
+	increase := (c.trendBelow(thput) && !c.trustAbove()) ||
+		c.trendAbove(thput) ||
+		(c.level == c.cfg.MinLevel && !c.trustAbove())
+	switch {
+	case increase && c.cpuOK() && c.level < c.cfg.MaxLevel:
+		c.increaseLevel()
+	case increase:
+		// Wanted to grow but the gate or the ceiling stops us: hold.
+	case !c.trustBelow() || !c.trendBelow(thput):
+		c.decreaseLevel()
+	}
+	return c.level
+}
+
+// observe records thput for the current level.
+func (c *Controller) observe(thput float64) {
+	r := &c.recs[c.level]
+	c.time++
+	r.lastTime = c.time
+	r.lastThput = thput
+	if !r.trusted {
+		r.firstThput = thput
+	}
+	r.trusted = true
+}
+
+// changeInLoad decides whether the newest observation at the current
+// level differs enough from the last trusted one to mean the workload
+// changed (the paper cites Gedik et al.'s Algorithm 3). A difference of
+// more than Sens relative to the recorded throughput counts as a change.
+func (c *Controller) changeInLoad(thput float64) bool {
+	r := c.recs[c.level]
+	if !r.trusted {
+		return false
+	}
+	diff := thput - r.lastThput
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff > c.cfg.Sens*r.lastThput
+}
+
+// trendBelow reports whether moving from the level below to the current
+// level improved throughput by more than Sens.
+func (c *Controller) trendBelow(thput float64) bool {
+	if c.level == c.cfg.MinLevel {
+		return false
+	}
+	r := c.recs[c.levelBelow]
+	if !r.trusted {
+		return false
+	}
+	return thput > r.lastThput && thput-r.lastThput > c.cfg.Sens*r.lastThput
+}
+
+// trendAbove reports whether the recorded throughput at the level above
+// beats the current observation by more than Sens.
+func (c *Controller) trendAbove(thput float64) bool {
+	if c.levelAbove <= c.level || c.levelAbove >= len(c.recs) {
+		return false
+	}
+	r := c.recs[c.levelAbove]
+	if !r.trusted {
+		return false
+	}
+	return r.lastThput > thput && r.lastThput-thput > c.cfg.Sens*thput
+}
+
+// trustBelow reports whether the level below has a trusted record.
+func (c *Controller) trustBelow() bool {
+	if c.level == c.cfg.MinLevel {
+		return false
+	}
+	return c.recs[c.levelBelow].trusted
+}
+
+// trustAbove reports whether the level above has a trusted record.
+func (c *Controller) trustAbove() bool {
+	if c.level >= c.cfg.MaxLevel || c.levelAbove <= c.level {
+		return false
+	}
+	return c.recs[c.levelAbove].trusted
+}
+
+// cpuOK consults the CPU-usage gate.
+func (c *Controller) cpuOK() bool {
+	return c.cfg.CPUAcceptable == nil || c.cfg.CPUAcceptable()
+}
+
+// increaseLevel moves the bracket up: the current level becomes the level
+// below, the level above becomes current, and a new level above is chosen
+// (doubling the gap under geometric growth). The bracket invariant
+// levelBelow < level (and levelAbove > level except at MaxLevel) is
+// restored if prior clamping degenerated it.
+func (c *Controller) increaseLevel() {
+	if c.levelAbove <= c.level {
+		c.levelAbove = c.level + 1
+		if c.levelAbove > c.cfg.MaxLevel {
+			return // already at the ceiling
+		}
+	}
+	gap := c.levelAbove - c.level
+	c.levelBelow = c.level
+	c.level = c.levelAbove
+	c.levelAbove = c.bracketAbove(c.level, gap)
+}
+
+// decreaseLevel moves the bracket down: the current level becomes the
+// level above and the level below becomes current. Under geometric
+// growth the gap below shrinks by half (never below one), bisecting
+// toward fine-grained settling.
+func (c *Controller) decreaseLevel() {
+	if c.level <= c.cfg.MinLevel {
+		return
+	}
+	gap := c.level - c.levelBelow
+	c.levelAbove = c.level
+	if c.levelBelow >= c.level { // degenerate bracket; step down by one
+		c.levelBelow = c.level - 1
+	}
+	c.level = c.levelBelow
+	if c.cfg.Geometric {
+		gap /= 2
+	} else {
+		gap = 1
+	}
+	if gap < 1 {
+		gap = 1
+	}
+	c.levelBelow = c.level - gap
+	if c.level == c.cfg.MinLevel {
+		c.levelBelow = c.cfg.MinLevel - 1 // sentinel: nothing below
+	} else if c.levelBelow < c.cfg.MinLevel {
+		c.levelBelow = c.cfg.MinLevel
+	}
+}

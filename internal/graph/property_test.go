@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomLayeredDAGProperties builds random layered DAGs and checks
+// structural invariants: Build accepts them, TopoOrder is a valid
+// topological order covering every node, every port's producer count
+// matches the edge list, and Stats is consistent.
+func TestRandomLayeredDAGProperties(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			b := NewBuilder()
+			src := b.AddNode(testSrc{testOp{"src"}}, 0, 1)
+			prev := []int{src}
+			edges := 0
+			layers := 1 + rng.Intn(5)
+			for l := 0; l < layers; l++ {
+				width := 1 + rng.Intn(4)
+				cur := make([]int, width)
+				fed := make([]bool, width)
+				for i := range cur {
+					cur[i] = b.AddNode(testOp{fmt.Sprintf("n%d_%d", l, i)}, 1, 1)
+				}
+				for _, up := range prev {
+					d := rng.Intn(width)
+					b.Connect(up, 0, cur[d], 0)
+					fed[d] = true
+					edges++
+				}
+				for i, ok := range fed {
+					if !ok {
+						b.Connect(prev[rng.Intn(len(prev))], 0, cur[i], 0)
+						edges++
+					}
+				}
+				prev = cur
+			}
+			for _, up := range prev {
+				snk := b.AddNode(testOp{"snk"}, 1, 0)
+				b.Connect(up, 0, snk, 0)
+				edges++
+			}
+			g, err := b.Build()
+			if err != nil {
+				t.Fatalf("Build rejected a valid DAG: %v", err)
+			}
+
+			st := g.Stats()
+			if st.Streams != edges {
+				t.Fatalf("Stats.Streams = %d, want %d", st.Streams, edges)
+			}
+			if st.Sources != 1 || st.Sinks != len(prev) {
+				t.Fatalf("Stats = %+v", st)
+			}
+
+			order := g.TopoOrder()
+			if len(order) != len(g.Nodes) {
+				t.Fatalf("TopoOrder covers %d of %d nodes", len(order), len(g.Nodes))
+			}
+			pos := make(map[int]int, len(order))
+			for i, n := range order {
+				if _, dup := pos[n]; dup {
+					t.Fatalf("TopoOrder repeats node %d", n)
+				}
+				pos[n] = i
+			}
+			producers := make(map[int]int)
+			for _, n := range g.Nodes {
+				for _, dests := range n.Outs {
+					for _, pid := range dests {
+						p := g.Ports[pid]
+						if pos[n.ID] >= pos[p.Node.ID] {
+							t.Fatalf("edge %d→%d violates topological order", n.ID, p.Node.ID)
+						}
+						producers[pid]++
+					}
+				}
+			}
+			for _, p := range g.Ports {
+				if p.Producers != producers[p.ID] {
+					t.Fatalf("port %d producer count %d, recomputed %d", p.ID, p.Producers, producers[p.ID])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package lfq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// MPMC is a bounded, lock-free, multi-producer/multi-consumer FIFO queue
+// (Vyukov's bounded MPMC algorithm). The scheduler uses it for the global
+// freePorts list: any scheduler thread may push or pop operator input
+// ports concurrently.
+//
+// Push and Pop are lock-free: a failed compare-and-swap on the ticket
+// means another thread made progress. Following the paper's
+// abandon-on-contention principle, both operations report failure rather
+// than retry when they observe a slot still in transit, so callers can
+// distinguish "try again / do something else" from blocking. Use the
+// return value; a false from Pop can mean empty or contended, exactly as
+// Boost.Lockfree's interface behaves in the paper (§4.1.1).
+type MPMC[T any] struct {
+	_     cacheLinePad
+	head  atomic.Uint64 // pop ticket
+	_     cacheLinePad
+	tail  atomic.Uint64 // push ticket
+	_     cacheLinePad
+	mask  uint64
+	slots []mpmcSlot[T]
+}
+
+type mpmcSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+	_   [104]byte // pad the slot toward a cache line to limit neighbor bouncing
+}
+
+// NewMPMC returns an empty queue with capacity for exactly cap elements.
+// cap must be a power of two and at least 1.
+func NewMPMC[T any](capacity int) *MPMC[T] {
+	if capacity < 1 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("lfq: MPMC capacity %d is not a positive power of two", capacity))
+	}
+	q := &MPMC[T]{
+		mask:  uint64(capacity - 1),
+		slots: make([]mpmcSlot[T], capacity),
+	}
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap returns the fixed capacity of the queue.
+func (q *MPMC[T]) Cap() int { return len(q.slots) }
+
+// Len returns an instantaneous estimate of the number of queued elements,
+// for monitoring only.
+func (q *MPMC[T]) Len() int {
+	t := q.tail.Load()
+	h := q.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}
+
+// Push appends v and reports success. False means the queue was full or
+// the push lost a race; per the scheduler's contention principle the
+// caller decides whether to retry.
+func (q *MPMC[T]) Push(v T) bool {
+	for {
+		t := q.tail.Load()
+		slot := &q.slots[t&q.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == t: // slot free for this ticket
+			if q.tail.CompareAndSwap(t, t+1) {
+				slot.val = v
+				slot.seq.Store(t + 1)
+				return true
+			}
+			// Lost the ticket race; another producer advanced. This is
+			// pure contention, not fullness — take one more look.
+		case seq < t: // slot still holds an unconsumed element: full
+			return false
+		default:
+			// seq > t: tail moved under us between loads; reload.
+		}
+	}
+}
+
+// Pop removes the head element into *v and reports success. False means
+// the queue was empty or a consumer raced us to the element.
+func (q *MPMC[T]) Pop(v *T) bool {
+	for {
+		h := q.head.Load()
+		slot := &q.slots[h&q.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == h+1: // slot holds an element for this ticket
+			if q.head.CompareAndSwap(h, h+1) {
+				*v = slot.val
+				var zero T
+				slot.val = zero
+				slot.seq.Store(h + q.mask + 1)
+				return true
+			}
+		case seq <= h: // producer has not finished (or queue empty)
+			return false
+		default:
+			// seq > h+1: head moved under us; reload.
+		}
+	}
+}

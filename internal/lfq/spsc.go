@@ -1,0 +1,107 @@
+// Package lfq provides the lock-free queues underneath the dynamic
+// scheduler: a bounded single-producer/single-consumer ring buffer used
+// for operator input-port queues, a bounded multi-producer/multi-consumer
+// queue used for the global free list of operator input ports, and the
+// Enforcer wrapper that adds the producer/consumer try-locks from the
+// paper's Figure 3.
+//
+// All queues are fixed size. The paper's runtime uses fixed-size queues
+// to bound memory growth and induce back-pressure (§4.1.5); we follow the
+// same design. Elements are stored by value, mirroring IBM Streams'
+// stack-allocated tuples that are copied into queues.
+package lfq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot atomic fields so that the producer and
+// consumer indices of a queue do not share a cache line. 128 bytes covers
+// the spatial prefetcher pairing on modern x86 as well as Power8's
+// 128-byte lines.
+type cacheLinePad [128]byte
+
+// SPSC is a bounded, lock-free, single-producer/single-consumer FIFO ring
+// buffer. With exactly one producing goroutine and one consuming
+// goroutine at any instant, Push and Pop are wait-free and need no
+// compare-and-swap: the producer owns the tail index and the consumer
+// owns the head index, each published with release stores and observed
+// with acquire loads.
+//
+// The scheduler guarantees the single-producer/single-consumer property
+// externally with the Enforcer try-locks; the queue itself does not check
+// it.
+type SPSC[T any] struct {
+	_        cacheLinePad
+	head     atomic.Uint64 // next slot to pop; owned by the consumer
+	_        cacheLinePad
+	tail     atomic.Uint64 // next slot to push; owned by the producer
+	_        cacheLinePad
+	headSnap uint64 // producer's cached view of head
+	_        cacheLinePad
+	tailSnap uint64 // consumer's cached view of tail
+	_        cacheLinePad
+	mask     uint64
+	buf      []T
+}
+
+// NewSPSC returns an empty queue with capacity for exactly cap elements.
+// cap must be a power of two and at least 1.
+func NewSPSC[T any](capacity int) *SPSC[T] {
+	if capacity < 1 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("lfq: SPSC capacity %d is not a positive power of two", capacity))
+	}
+	return &SPSC[T]{
+		mask: uint64(capacity - 1),
+		buf:  make([]T, capacity),
+	}
+}
+
+// Cap returns the fixed capacity of the queue.
+func (q *SPSC[T]) Cap() int { return len(q.buf) }
+
+// Len returns a linearizable-at-some-instant count of queued elements.
+// It is intended for monitoring; concurrent pushes and pops may change
+// the true count before the caller uses the result.
+func (q *SPSC[T]) Len() int {
+	t := q.tail.Load()
+	h := q.head.Load()
+	if t < h { // torn read across the two loads; clamp
+		return 0
+	}
+	return int(t - h)
+}
+
+// Push appends v and reports whether there was room. It must be called
+// by at most one goroutine at a time (the producer).
+func (q *SPSC[T]) Push(v T) bool {
+	t := q.tail.Load()
+	if t-q.headSnap > q.mask { // looks full; refresh the consumer index
+		q.headSnap = q.head.Load()
+		if t-q.headSnap > q.mask {
+			return false
+		}
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Pop removes the head element into *v and reports whether the queue was
+// non-empty. It must be called by at most one goroutine at a time (the
+// consumer).
+func (q *SPSC[T]) Pop(v *T) bool {
+	h := q.head.Load()
+	if h == q.tailSnap { // looks empty; refresh the producer index
+		q.tailSnap = q.tail.Load()
+		if h == q.tailSnap {
+			return false
+		}
+	}
+	*v = q.buf[h&q.mask]
+	var zero T
+	q.buf[h&q.mask] = zero // release references for the garbage collector
+	q.head.Store(h + 1)
+	return true
+}

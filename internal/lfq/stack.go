@@ -1,0 +1,100 @@
+package lfq
+
+import "sync/atomic"
+
+// Stack is a lock-free LIFO (Treiber stack). The scheduler's free list
+// is FIFO (push-to-back approximates least-recently-used scheduling,
+// §4.1.5); Stack exists for the ablation that swaps the free list to
+// most-recently-used order. Nodes are pooled per stack to avoid
+// allocating on push: capacity is fixed at construction like the other
+// queues. ABA is avoided by tagging the head pointer with a version
+// counter packed into a 64-bit word (index 32 bits, tag 32 bits).
+type Stack[T any] struct {
+	_     cacheLinePad
+	head  atomic.Uint64 // packed: high 32 bits tag, low 32 bits index+1 (0 = empty)
+	_     cacheLinePad
+	free  atomic.Uint64 // packed free-node list, same encoding
+	_     cacheLinePad
+	nodes []stackNode[T]
+}
+
+type stackNode[T any] struct {
+	// next holds the index+1 of the next node (0 = end). It is atomic
+	// because a stalled pop may read it on a node that has since been
+	// recycled; the tagged-pointer CAS rejects the stale result.
+	next atomic.Uint32
+	val  T
+}
+
+const stackIdxMask = 0xffffffff
+
+// NewStack returns an empty stack that can hold capacity elements.
+func NewStack[T any](capacity int) *Stack[T] {
+	if capacity < 1 {
+		panic("lfq: Stack capacity must be positive")
+	}
+	s := &Stack[T]{nodes: make([]stackNode[T], capacity)}
+	// Thread all nodes onto the free list.
+	for i := 0; i < capacity-1; i++ {
+		s.nodes[i].next.Store(uint32(i + 2))
+	}
+	s.free.Store(1) // index+1 of nodes[0], tag 0
+	return s
+}
+
+// Cap returns the fixed capacity.
+func (s *Stack[T]) Cap() int { return len(s.nodes) }
+
+// popList removes the top node index from the packed list at addr,
+// returning (index+1, true) on success.
+func (s *Stack[T]) popList(addr *atomic.Uint64) (uint32, bool) {
+	for {
+		old := addr.Load()
+		idx1 := uint32(old & stackIdxMask)
+		if idx1 == 0 {
+			return 0, false
+		}
+		next := s.nodes[idx1-1].next.Load()
+		tag := (old >> 32) + 1
+		if addr.CompareAndSwap(old, tag<<32|uint64(next)) {
+			return idx1, true
+		}
+	}
+}
+
+// pushList adds node index idx1 to the packed list at addr.
+func (s *Stack[T]) pushList(addr *atomic.Uint64, idx1 uint32) {
+	for {
+		old := addr.Load()
+		s.nodes[idx1-1].next.Store(uint32(old & stackIdxMask))
+		tag := (old >> 32) + 1
+		if addr.CompareAndSwap(old, tag<<32|uint64(idx1)) {
+			return
+		}
+	}
+}
+
+// Push adds v to the top of the stack; false means the stack is full.
+func (s *Stack[T]) Push(v T) bool {
+	idx1, ok := s.popList(&s.free)
+	if !ok {
+		return false
+	}
+	s.nodes[idx1-1].val = v
+	s.pushList(&s.head, idx1)
+	return true
+}
+
+// Pop removes the most recently pushed element into *v; false means the
+// stack was empty.
+func (s *Stack[T]) Pop(v *T) bool {
+	idx1, ok := s.popList(&s.head)
+	if !ok {
+		return false
+	}
+	*v = s.nodes[idx1-1].val
+	var zero T
+	s.nodes[idx1-1].val = zero
+	s.pushList(&s.free, idx1)
+	return true
+}

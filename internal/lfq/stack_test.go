@@ -1,0 +1,137 @@
+package lfq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackLIFO(t *testing.T) {
+	s := NewStack[int](4)
+	var v int
+	if s.Pop(&v) {
+		t.Fatal("Pop on empty stack returned true")
+	}
+	for i := 0; i < 4; i++ {
+		if !s.Push(i) {
+			t.Fatalf("Push %d failed", i)
+		}
+	}
+	if s.Push(9) {
+		t.Fatal("Push on full stack returned true")
+	}
+	for i := 3; i >= 0; i-- {
+		if !s.Pop(&v) || v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+	if s.Pop(&v) {
+		t.Fatal("Pop after drain returned true")
+	}
+}
+
+func TestStackCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewStack(0) did not panic")
+		}
+	}()
+	NewStack[int](0)
+}
+
+func TestStackModelProperty(t *testing.T) {
+	model := func(script []byte) bool {
+		s := NewStack[uint16](8)
+		var ref []uint16
+		var next uint16
+		for _, op := range script {
+			if op%2 == 0 {
+				got := s.Push(next)
+				want := len(ref) < 8
+				if got != want {
+					return false
+				}
+				if got {
+					ref = append(ref, next)
+				}
+				next++
+			} else {
+				var v uint16
+				got := s.Pop(&v)
+				want := len(ref) > 0
+				if got != want {
+					return false
+				}
+				if got {
+					if v != ref[len(ref)-1] {
+						return false
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(model, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackConcurrentNoLossNoDup hammers the stack concurrently and
+// verifies exactly-once delivery (and exercises the ABA-tagged reuse
+// path under -race).
+func TestStackConcurrentNoLossNoDup(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 5000
+	)
+	s := NewStack[int](64)
+	seen := make([]atomic.Int32, producers*perProd)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var v int
+			for popped.Load() < producers*perProd {
+				if s.Pop(&v) {
+					seen[v].Add(1)
+					popped.Add(1)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for !s.Push(p*perProd + i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("element %d popped %d times", i, n)
+		}
+	}
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	s := NewStack[int](1024)
+	var v int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(i)
+		s.Pop(&v)
+	}
+}

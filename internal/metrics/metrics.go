@@ -1,0 +1,82 @@
+// Package metrics provides the measurement plumbing for the runtime:
+// sharded tuple counters that do not reintroduce the global-data
+// contention the scheduler works to avoid, periodic throughput sampling,
+// and the small statistics helpers the experiment harness uses for its
+// mean/stddev error bars.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// shardStride spaces counter shards so each lives on its own cache line
+// (16 × 8 bytes = 128 bytes, covering Power8-style lines too).
+const shardStride = 16
+
+// Counter is a monotonically increasing tuple counter sharded across a
+// fixed number of slots. Each executing thread increments its own shard
+// (by thread ID), so the hot path is a single uncontended atomic add;
+// readers sum the shards. This mirrors the paper's principle of keeping
+// threads off shared cache lines (§4.1.2).
+type Counter struct {
+	shards []atomic.Uint64
+}
+
+// NewCounter returns a counter with the given number of shards; callers
+// pass the maximum number of executing threads. A non-positive value is
+// treated as 1.
+func NewCounter(shards int) *Counter {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Counter{shards: make([]atomic.Uint64, shards*shardStride)}
+}
+
+// Add increments shard tid by n. tid values beyond the shard count wrap,
+// preserving correctness (only spreading degrades).
+func (c *Counter) Add(tid int, n uint64) {
+	i := (tid % (len(c.shards) / shardStride)) * shardStride
+	c.shards[i].Add(n)
+}
+
+// Total sums all shards. The result is a lower bound of the true count at
+// return time, exactly like reading any concurrently updated metric.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for i := 0; i < len(c.shards); i += shardStride {
+		t += c.shards[i].Load()
+	}
+	return t
+}
+
+// Welford accumulates streaming mean and standard deviation (Welford's
+// algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the sample standard deviation (0 with fewer than two
+// observations).
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}

@@ -1,0 +1,89 @@
+package ops
+
+import (
+	"fmt"
+
+	"streams/internal/graph"
+)
+
+// The evaluation graphs from §5 of the paper. Each experiment fixes the
+// total number of worker operators (1,000 in the paper) and arranges
+// them as width parallel chains of the given depth:
+//
+//	pure pipeline      width=1,    depth=1000
+//	pure data parallel width=1000, depth=1
+//	mixed              width=10,   depth=100
+//
+// Every graph is Src → [Split →] width×(W_1 → … → W_depth) → Snk, where
+// Src generates tuples at maximum rate and every worker costs the same
+// fixed number of floating-point operations per tuple.
+
+// Topology describes one of the paper's synthetic workload graphs.
+type Topology struct {
+	// Width is the number of parallel worker chains.
+	Width int
+	// Depth is the number of workers in each chain.
+	Depth int
+	// Cost is the floating-point operations per tuple per worker.
+	Cost int
+	// Limit optionally bounds the source (0 = unbounded).
+	Limit uint64
+}
+
+// Workers returns the total number of worker operators.
+func (t Topology) Workers() int { return t.Width * t.Depth }
+
+// String implements fmt.Stringer in the paper's panel-title style.
+func (t Topology) String() string {
+	return fmt.Sprintf("w %d, d %d, cost %d", t.Width, t.Depth, t.Cost)
+}
+
+// Build materializes the topology, returning the graph and its sink for
+// throughput readout.
+func (t Topology) Build() (*graph.Graph, *Sink, error) {
+	if t.Width < 1 || t.Depth < 1 {
+		return nil, nil, fmt.Errorf("ops: width %d and depth %d must be positive", t.Width, t.Depth)
+	}
+	b := graph.NewBuilder()
+	src := b.AddNode(&Generator{Limit: t.Limit}, 0, 1)
+	snk := &Sink{}
+	sn := b.AddNode(snk, 1, 0)
+
+	// A width-1 topology needs no splitter; otherwise a round-robin
+	// splitter stands in for the @parallel split the SPL runtime inserts.
+	heads := make([]struct{ node, port int }, t.Width)
+	if t.Width == 1 {
+		heads[0] = struct{ node, port int }{src, 0}
+	} else {
+		split := b.AddNode(&RoundRobinSplit{Width: t.Width}, 1, t.Width)
+		b.Connect(src, 0, split, 0)
+		for w := 0; w < t.Width; w++ {
+			heads[w] = struct{ node, port int }{split, w}
+		}
+	}
+	for w := 0; w < t.Width; w++ {
+		prev, prevPort := heads[w].node, heads[w].port
+		for d := 0; d < t.Depth; d++ {
+			n := b.AddNode(&Worker{OpName: fmt.Sprintf("W%d,%d", w+1, d+1), Cost: t.Cost}, 1, 1)
+			b.Connect(prev, prevPort, n, 0)
+			prev, prevPort = n, 0
+		}
+		b.Connect(prev, prevPort, sn, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, snk, nil
+}
+
+// Pipeline returns the pure pipeline topology (w=1).
+func Pipeline(depth, cost int) Topology { return Topology{Width: 1, Depth: depth, Cost: cost} }
+
+// DataParallel returns the pure data-parallel topology (d=1).
+func DataParallel(width, cost int) Topology { return Topology{Width: width, Depth: 1, Cost: cost} }
+
+// Mixed returns the combined topology of §5.3.
+func Mixed(width, depth, cost int) Topology {
+	return Topology{Width: width, Depth: depth, Cost: cost}
+}

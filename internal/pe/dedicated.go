@@ -1,0 +1,175 @@
+package pe
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/lfq"
+	"streams/internal/metrics"
+	"streams/internal/tuple"
+)
+
+// dedicatedRunner implements the dedicated threading model: a threaded
+// port between every pair of operators, i.e. one thread and one queue per
+// operator input port (§2.2). In the common case each queue has a single
+// producer and its single dedicated consumer, so the handoff is the
+// synchronization-free SPSC fast path; the producer lock only matters for
+// fan-in ports. Producers block (with back-off) when a queue fills —
+// dedicated threads never execute other operators' work, which is
+// exactly why the model over-subscribes the machine when operators
+// outnumber cores.
+type dedicatedRunner struct {
+	g      *graph.Graph
+	queues []*lfq.Enforcer[tuple.Tuple]
+	drain  *drainState
+	exec   *metrics.Counter
+	sink   *metrics.Counter
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+const dedicatedBackoffMax = 10 * time.Millisecond
+
+func newDedicatedRunner(g *graph.Graph, queueCap int) *dedicatedRunner {
+	if queueCap == 0 {
+		queueCap = 64
+	}
+	r := &dedicatedRunner{
+		g:      g,
+		queues: make([]*lfq.Enforcer[tuple.Tuple], len(g.Ports)),
+		drain:  newDrainState(g),
+		exec:   metrics.NewCounter(len(g.Ports) + len(g.SourceNodes)),
+		sink:   metrics.NewCounter(len(g.Ports) + len(g.SourceNodes)),
+	}
+	for i := range r.queues {
+		r.queues[i] = lfq.NewEnforcer[tuple.Tuple](queueCap)
+	}
+	return r
+}
+
+func (r *dedicatedRunner) start() error {
+	for _, p := range r.g.Ports {
+		r.wg.Add(1)
+		go func(p *graph.InPort) {
+			defer r.wg.Done()
+			r.portLoop(p)
+		}(p)
+	}
+	return nil
+}
+
+// portLoop is one dedicated thread: consume the port's queue forever,
+// backing off exponentially while it is empty, until the port closes or
+// the PE shuts down.
+func (r *dedicatedRunner) portLoop(p *graph.InPort) {
+	q := r.queues[p.ID].Queue() // sole consumer: no consumer lock needed
+	delay := time.Microsecond
+	var t tuple.Tuple
+	for {
+		if q.Pop(&t) {
+			delay = time.Microsecond
+			if r.deliver(p, t) {
+				return // port closed by its final punctuation
+			}
+			continue
+		}
+		if r.stop.Load() {
+			return
+		}
+		time.Sleep(delay)
+		if delay < dedicatedBackoffMax {
+			delay *= 10
+		}
+	}
+}
+
+// deliver processes one tuple at port p on p's dedicated thread,
+// reporting whether the port just closed.
+func (r *dedicatedRunner) deliver(p *graph.InPort, t tuple.Tuple) bool {
+	ec := &dedicatedCtx{r: r, node: p.Node, tid: p.ID}
+	switch t.Kind {
+	case tuple.Data:
+		p.Node.Op.Process(ec, t, p.Index)
+		r.exec.Add(p.ID, 1)
+		if p.Node.NumOut == 0 {
+			r.sink.Add(p.ID, 1)
+		}
+	case tuple.WindowMark:
+		if ph, ok := p.Node.Op.(graph.Puncts); ok {
+			ph.OnPunct(ec, tuple.WindowMark, p.Index)
+		}
+		for out := 0; out < p.Node.NumOut; out++ {
+			ec.Submit(tuple.Window(), out)
+		}
+	case tuple.FinalMark:
+		if ph, ok := p.Node.Op.(graph.Puncts); ok {
+			ph.OnPunct(ec, tuple.FinalMark, p.Index)
+		}
+		portClosed, nodeClosed := r.drain.onFinal(p)
+		if nodeClosed {
+			finishNode(p.Node, ec)
+		}
+		return portClosed
+	}
+	return false
+}
+
+// dedicatedCtx routes submissions with blocking pushes.
+type dedicatedCtx struct {
+	r    *dedicatedRunner
+	node *graph.Node
+	tid  int
+}
+
+// Submit implements graph.Submitter.
+func (c *dedicatedCtx) Submit(t tuple.Tuple, outPort int) {
+	for _, pid := range c.node.Outs[outPort] {
+		t2 := t
+		t2.Port = int32(pid)
+		c.r.blockingPush(pid, t2)
+	}
+}
+
+// blockingPush retries until the destination queue accepts the tuple:
+// the dedicated model's back-pressure. It yields between attempts so the
+// (usually oversubscribed) consumer threads can drain.
+func (c *dedicatedRunner) blockingPush(pid int, t tuple.Tuple) {
+	q := c.queues[pid]
+	spins := 0
+	for !q.Push(t) {
+		if c.stop.Load() {
+			return
+		}
+		if spins++; spins > 4 {
+			time.Sleep(10 * time.Microsecond)
+			spins = 0
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (r *dedicatedRunner) sourceSubmitter(i int) graph.Submitter {
+	return &dedicatedCtx{r: r, node: r.g.SourceNodes[i], tid: len(r.g.Ports) + i}
+}
+
+func (r *dedicatedRunner) sourceDone(i int) {
+	n := r.g.SourceNodes[i]
+	ec := &dedicatedCtx{r: r, node: n, tid: len(r.g.Ports) + i}
+	for port := 0; port < n.NumOut; port++ {
+		ec.Submit(tuple.Final(), port)
+	}
+}
+
+func (r *dedicatedRunner) executed() uint64      { return r.exec.Total() }
+func (r *dedicatedRunner) sinkDelivered() uint64 { return r.sink.Total() }
+func (r *dedicatedRunner) done() <-chan struct{} { return r.drain.doneCh }
+
+func (r *dedicatedRunner) shutdown() {
+	r.stop.Store(true)
+	r.wg.Wait()
+}

@@ -1,0 +1,67 @@
+package pe
+
+import (
+	"sync/atomic"
+
+	"streams/internal/graph"
+	"streams/internal/sched"
+	"streams/internal/tuple"
+)
+
+// drainState tracks final-punctuation progress for the manual and
+// dedicated runners (the dynamic runner has its own copy inside the
+// scheduler): how many finals each port still expects, how many open
+// input ports each node retains, and how many ports remain open PE-wide.
+type drainState struct {
+	remainingProducers []atomic.Int32
+	nodeOpenIns        []atomic.Int32
+	portClosed         []atomic.Bool
+	openPorts          atomic.Int32
+	doneCh             chan struct{}
+}
+
+func newDrainState(g *graph.Graph) *drainState {
+	d := &drainState{
+		remainingProducers: make([]atomic.Int32, len(g.Ports)),
+		nodeOpenIns:        make([]atomic.Int32, len(g.Nodes)),
+		portClosed:         make([]atomic.Bool, len(g.Ports)),
+		doneCh:             make(chan struct{}),
+	}
+	for _, p := range g.Ports {
+		d.remainingProducers[p.ID].Store(int32(p.Producers))
+	}
+	for _, n := range g.Nodes {
+		d.nodeOpenIns[n.ID].Store(int32(n.NumIn))
+	}
+	d.openPorts.Store(int32(len(g.Ports)))
+	if len(g.Ports) == 0 {
+		close(d.doneCh)
+	}
+	return d
+}
+
+// onFinal accounts one final punctuation arriving at port p. It reports
+// (portNowClosed, nodeNowClosed); when the node closes the caller must
+// flush any Finalizer and forward final punctuation downstream.
+func (d *drainState) onFinal(p *graph.InPort) (portClosed, nodeClosed bool) {
+	if d.remainingProducers[p.ID].Add(-1) > 0 {
+		return false, false
+	}
+	d.portClosed[p.ID].Store(true)
+	nodeClosed = d.nodeOpenIns[p.Node.ID].Add(-1) == 0
+	if d.openPorts.Add(-1) == 0 {
+		close(d.doneCh)
+	}
+	return true, nodeClosed
+}
+
+// finishNode runs the node's Finalizer (if any) and forwards final
+// punctuation on every output port via out.
+func finishNode(n *graph.Node, out graph.Submitter) {
+	if f, ok := n.Op.(sched.Finalizer); ok {
+		f.Finish(out)
+	}
+	for port := 0; port < n.NumOut; port++ {
+		out.Submit(tuple.Final(), port)
+	}
+}

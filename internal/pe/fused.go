@@ -1,0 +1,92 @@
+package pe
+
+import (
+	"streams/internal/graph"
+	"streams/internal/metrics"
+	"streams/internal/tuple"
+)
+
+// fusedRunner implements the manual threading model: no scheduler
+// threads, no queues, no tuple copies into buffers. Each source thread
+// executes its whole downstream subgraph by direct (recursive) function
+// calls — submission is synchronous, so by the time Submit returns, every
+// downstream operator has fully processed the tuple. This gives the
+// lowest latency of the three models and exactly one thread per source
+// (§2.2).
+type fusedRunner struct {
+	g     *graph.Graph
+	drain *drainState
+	exec  *metrics.Counter
+	sink  *metrics.Counter
+}
+
+func newFusedRunner(g *graph.Graph) *fusedRunner {
+	return &fusedRunner{
+		g:     g,
+		drain: newDrainState(g),
+		exec:  metrics.NewCounter(len(g.SourceNodes)),
+		sink:  metrics.NewCounter(len(g.SourceNodes)),
+	}
+}
+
+func (f *fusedRunner) start() error { return nil }
+
+// fusedCtx is the call-through submitter for one executing node.
+type fusedCtx struct {
+	r    *fusedRunner
+	node *graph.Node
+	tid  int
+}
+
+// Submit implements graph.Submitter by synchronously executing every
+// subscribed downstream port.
+func (c *fusedCtx) Submit(t tuple.Tuple, outPort int) {
+	for _, pid := range c.node.Outs[outPort] {
+		p := c.r.g.Ports[pid]
+		c.r.deliver(p, t, c.tid)
+	}
+}
+
+// deliver processes one tuple at port p in the calling thread.
+func (f *fusedRunner) deliver(p *graph.InPort, t tuple.Tuple, tid int) {
+	ec := &fusedCtx{r: f, node: p.Node, tid: tid}
+	switch t.Kind {
+	case tuple.Data:
+		p.Node.Op.Process(ec, t, p.Index)
+		f.exec.Add(tid, 1)
+		if p.Node.NumOut == 0 {
+			f.sink.Add(tid, 1)
+		}
+	case tuple.WindowMark:
+		if ph, ok := p.Node.Op.(graph.Puncts); ok {
+			ph.OnPunct(ec, tuple.WindowMark, p.Index)
+		}
+		for out := 0; out < p.Node.NumOut; out++ {
+			ec.Submit(tuple.Window(), out)
+		}
+	case tuple.FinalMark:
+		if ph, ok := p.Node.Op.(graph.Puncts); ok {
+			ph.OnPunct(ec, tuple.FinalMark, p.Index)
+		}
+		if _, nodeClosed := f.drain.onFinal(p); nodeClosed {
+			finishNode(p.Node, ec)
+		}
+	}
+}
+
+func (f *fusedRunner) sourceSubmitter(i int) graph.Submitter {
+	return &fusedCtx{r: f, node: f.g.SourceNodes[i], tid: i}
+}
+
+func (f *fusedRunner) sourceDone(i int) {
+	n := f.g.SourceNodes[i]
+	ec := &fusedCtx{r: f, node: n, tid: i}
+	for port := 0; port < n.NumOut; port++ {
+		ec.Submit(tuple.Final(), port)
+	}
+}
+
+func (f *fusedRunner) executed() uint64      { return f.exec.Total() }
+func (f *fusedRunner) sinkDelivered() uint64 { return f.sink.Total() }
+func (f *fusedRunner) done() <-chan struct{} { return f.drain.doneCh }
+func (f *fusedRunner) shutdown()             {}

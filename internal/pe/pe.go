@@ -1,0 +1,349 @@
+// Package pe implements the processing element: the unit that loads a
+// stream graph and executes it under one of the paper's three threading
+// models (§2.2).
+//
+//   - Manual: a single logical thread of control; every source thread
+//     executes its entire downstream subgraph by direct function calls,
+//     with no queues and no tuple copies.
+//   - Dedicated: every operator input port gets its own dedicated thread
+//     and queue, so threads scale linearly with operators.
+//   - Dynamic: the paper's contribution — a pool of scheduler threads,
+//     any of which can execute any operator, optionally grown and shrunk
+//     at runtime by the elasticity controller.
+//
+// A PE owns the source operator threads (which it cannot schedule, only
+// ask to stop), the scheduler threads, and the adaptation loop.
+package pe
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streams/internal/cpuutil"
+	"streams/internal/elastic"
+	"streams/internal/graph"
+	"streams/internal/sched"
+)
+
+// Model selects a threading model.
+type Model int
+
+const (
+	// Dynamic uses the scalable operator scheduler. It is the zero value
+	// because it is the Streams 4.2 default for automatically fused PEs.
+	Dynamic Model = iota
+	// Manual is the pre-4.2 default: no scheduler threads.
+	Manual
+	// Dedicated gives each operator input port its own thread.
+	Dedicated
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case Manual:
+		return "manual"
+	case Dedicated:
+		return "dedicated"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Sample is one adaptation-period observation, delivered to the Trace
+// callback: the Fig. 11 series.
+type Sample struct {
+	// Elapsed is time since Start.
+	Elapsed time.Duration
+	// Throughput is tuples processed per second across all operators
+	// during the period.
+	Throughput float64
+	// Level is the thread level chosen for the next period.
+	Level int
+}
+
+// Config parametrizes a PE.
+type Config struct {
+	// Model selects the threading model. Default Dynamic.
+	Model Model
+	// Threads is the Dynamic model's initial (or static) thread level.
+	// Default 1.
+	Threads int
+	// Elastic enables runtime thread adaptation (Dynamic only).
+	Elastic bool
+	// AdaptPeriod is the elasticity measurement period. Default 10s,
+	// the product's setting; tests and benchmarks use much less.
+	AdaptPeriod time.Duration
+	// MaxThreads caps the dynamic thread level. Default: the number of
+	// logical CPUs, the paper's oversubscription guard (§4.2.3).
+	MaxThreads int
+	// CPUUsage supplies the elasticity CPU gate; nil selects /proc/stat.
+	CPUUsage cpuutil.UsageFunc
+	// Sched tunes the dynamic scheduler.
+	Sched sched.Config
+	// Geometric selects geometric elastic level growth. Default true.
+	GeometricOff bool
+	// RememberHistory keeps elastic records across workload changes.
+	RememberHistory bool
+	// Sens overrides the elastic sensitivity (default 5%).
+	Sens float64
+	// Trace, if set, observes every adaptation period.
+	Trace func(Sample)
+	// QueueCap tunes the dedicated model's per-port queues. Default 64.
+	QueueCap int
+}
+
+// PE is a processing element executing one graph. Create with New, run
+// with Start, then either Wait for bounded sources to drain or Stop to
+// end an unbounded run.
+type PE struct {
+	g   *graph.Graph
+	cfg Config
+
+	runner runner
+
+	stopSources chan struct{}
+	sourcesWG   sync.WaitGroup
+	adaptWG     sync.WaitGroup
+	adaptStop   chan struct{}
+	started     atomic.Bool
+	stopped     atomic.Bool
+
+	level atomic.Int64
+}
+
+// runner abstracts the three threading models.
+type runner interface {
+	// start launches execution threads and returns the submitters the
+	// source threads will use, indexed like g.SourceNodes.
+	start() error
+	// sourceSubmitter returns the submitter for source i.
+	sourceSubmitter(i int) graph.Submitter
+	// sourceDone signals source i finished (final punctuation).
+	sourceDone(i int)
+	// executed returns tuples processed across all operators.
+	executed() uint64
+	// sinkDelivered returns tuples delivered to sinks.
+	sinkDelivered() uint64
+	// done is closed when the graph has drained.
+	done() <-chan struct{}
+	// shutdown stops all execution threads.
+	shutdown()
+}
+
+// New validates the configuration and builds a PE.
+func New(g *graph.Graph, cfg Config) (*PE, error) {
+	if cfg.Threads == 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Threads < 0 {
+		return nil, fmt.Errorf("pe: negative thread count %d", cfg.Threads)
+	}
+	if cfg.AdaptPeriod == 0 {
+		cfg.AdaptPeriod = 10 * time.Second
+	}
+	if cfg.MaxThreads == 0 {
+		cfg.MaxThreads = runtime.NumCPU()
+	}
+	if cfg.Elastic && cfg.Model != Dynamic {
+		return nil, fmt.Errorf("pe: elasticity requires the dynamic model, got %v", cfg.Model)
+	}
+	pe := &PE{
+		g:           g,
+		cfg:         cfg,
+		stopSources: make(chan struct{}),
+		adaptStop:   make(chan struct{}),
+	}
+	switch cfg.Model {
+	case Manual:
+		pe.runner = newFusedRunner(g)
+	case Dedicated:
+		pe.runner = newDedicatedRunner(g, cfg.QueueCap)
+	case Dynamic:
+		sc := cfg.Sched
+		if sc.MaxThreads == 0 {
+			sc.MaxThreads = max(cfg.MaxThreads, cfg.Threads)
+		}
+		pe.runner = newDynamicRunner(g, sc, cfg.Threads)
+	default:
+		return nil, fmt.Errorf("pe: unknown threading model %v", cfg.Model)
+	}
+	pe.level.Store(int64(pe.initialLevel()))
+	return pe, nil
+}
+
+func (pe *PE) initialLevel() int {
+	switch pe.cfg.Model {
+	case Manual:
+		return 0 // no scheduler threads; sources only
+	case Dedicated:
+		return len(pe.g.Ports)
+	default:
+		return pe.cfg.Threads
+	}
+}
+
+// Start launches the execution threads, the source operator threads and,
+// when configured, the adaptation loop.
+func (pe *PE) Start() error {
+	if pe.started.Swap(true) {
+		return fmt.Errorf("pe: already started")
+	}
+	if err := pe.runner.start(); err != nil {
+		return err
+	}
+	for i, n := range pe.g.SourceNodes {
+		pe.sourcesWG.Add(1)
+		go func(i int, n *graph.Node) {
+			defer pe.sourcesWG.Done()
+			n.Op.(graph.Source).Run(pe.runner.sourceSubmitter(i), pe.stopSources)
+			pe.runner.sourceDone(i)
+		}(i, n)
+	}
+	if pe.cfg.Elastic {
+		pe.adaptWG.Add(1)
+		go pe.adaptLoop()
+	}
+	return nil
+}
+
+// adaptLoop is the elasticity driver: every AdaptPeriod it measures the
+// PE-wide throughput, verifies that last period's thread actions took
+// effect, and applies the controller's decision.
+func (pe *PE) adaptLoop() {
+	defer pe.adaptWG.Done()
+	dyn := pe.runner.(*dynamicRunner)
+	ctl, err := elastic.New(elastic.Config{
+		MinLevel:        dyn.s.MinLevel(),
+		MaxLevel:        dyn.s.MaxLevel(),
+		Sens:            pe.cfg.Sens,
+		CPUAcceptable:   cpuutil.NewGate(pe.cfg.CPUUsage, 0).Acceptable,
+		Geometric:       !pe.cfg.GeometricOff,
+		RememberHistory: pe.cfg.RememberHistory,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("pe: elastic config invalid: %v", err)) // unreachable: inputs validated in New
+	}
+	// Move to the controller's starting level immediately.
+	pe.applyLevel(dyn, ctl.Level())
+
+	start := time.Now()
+	lastCount := pe.runner.executed()
+	lastAt := start
+	ticker := time.NewTicker(pe.cfg.AdaptPeriod)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-pe.adaptStop:
+			return
+		case <-pe.runner.done():
+			return
+		case now := <-ticker.C:
+			count := pe.runner.executed()
+			dt := now.Sub(lastAt).Seconds()
+			if dt <= 0 {
+				continue
+			}
+			thput := float64(count-lastCount) / dt
+			lastCount, lastAt = count, now
+			if !dyn.s.SuspensionsEffective() {
+				ctl.ActionsDidNotStick()
+			}
+			level := ctl.Update(thput)
+			pe.applyLevel(dyn, level)
+			if pe.cfg.Trace != nil {
+				pe.cfg.Trace(Sample{Elapsed: now.Sub(start), Throughput: thput, Level: level})
+			}
+		}
+	}
+}
+
+func (pe *PE) applyLevel(dyn *dynamicRunner, level int) {
+	got := dyn.s.SetLevel(level)
+	pe.level.Store(int64(got))
+}
+
+// Level returns the current thread level (0 under the manual model).
+func (pe *PE) Level() int { return int(pe.level.Load()) }
+
+// Executed returns tuples processed across all operators since Start.
+func (pe *PE) Executed() uint64 { return pe.runner.executed() }
+
+// OperatorCounts returns per-operator execution counts keyed by operator
+// name (dynamic model only; nil otherwise).
+func (pe *PE) OperatorCounts() map[string]uint64 {
+	if d, ok := pe.runner.(*dynamicRunner); ok {
+		return d.s.OperatorCounts()
+	}
+	return nil
+}
+
+// SinkDelivered returns tuples delivered to sink operators since Start.
+func (pe *PE) SinkDelivered() uint64 { return pe.runner.sinkDelivered() }
+
+// Done is closed once every input port has processed its final
+// punctuation (bounded sources only).
+func (pe *PE) Done() <-chan struct{} { return pe.runner.done() }
+
+// Wait blocks until the graph drains, then releases all threads. Use
+// with bounded sources.
+func (pe *PE) Wait() {
+	<-pe.runner.done()
+	pe.finish()
+}
+
+// Stop asks sources to stop, waits for the graph to drain, and releases
+// all threads. Safe to call once, after Start.
+func (pe *PE) Stop() {
+	if pe.stopped.Swap(true) {
+		return
+	}
+	close(pe.stopSources)
+	pe.sourcesWG.Wait()
+	<-pe.runner.done()
+	pe.finish()
+}
+
+func (pe *PE) finish() {
+	if pe.cfg.Elastic {
+		select {
+		case <-pe.adaptStop:
+		default:
+			close(pe.adaptStop)
+		}
+		pe.adaptWG.Wait()
+	}
+	pe.runner.shutdown()
+	pe.sourcesWG.Wait()
+}
+
+// dynamicRunner adapts sched.Scheduler to the runner interface.
+type dynamicRunner struct {
+	s       *sched.Scheduler
+	g       *graph.Graph
+	initial int
+}
+
+func newDynamicRunner(g *graph.Graph, cfg sched.Config, threads int) *dynamicRunner {
+	return &dynamicRunner{s: sched.New(g, cfg), g: g, initial: threads}
+}
+
+func (d *dynamicRunner) start() error {
+	d.s.Start(d.initial)
+	return nil
+}
+
+func (d *dynamicRunner) sourceSubmitter(i int) graph.Submitter {
+	return d.s.SourceSubmitter(d.g.SourceNodes[i], i)
+}
+
+func (d *dynamicRunner) sourceDone(i int)      { d.s.SourceDone(d.g.SourceNodes[i], i) }
+func (d *dynamicRunner) executed() uint64      { return d.s.Executed() }
+func (d *dynamicRunner) sinkDelivered() uint64 { return d.s.SinkDelivered() }
+func (d *dynamicRunner) done() <-chan struct{} { return d.s.Done() }
+func (d *dynamicRunner) shutdown()             { d.s.Shutdown() }

@@ -1,0 +1,347 @@
+// Package region implements a simplified consistent-region protocol, the
+// companion feature of the paper's runtime (§6 recounts how running the
+// consistent-region tests under the dynamic threading model became a
+// stress test that exposed latent races — legal interleavings the old
+// runtime never produced). The protocol here establishes periodic
+// consistent cuts: sources inject numbered markers in-band, every
+// operator in the region checkpoints its state when it has seen the
+// marker on all producers of all of its input ports, markers propagate
+// downstream, and a cut completes when every sink has seen it.
+//
+// Markers travel as ordinary data tuples carrying a magic payload, so
+// the protocol needs nothing from the scheduler beyond the ordering
+// guarantee the paper's runtime already provides — per-stream FIFO. That
+// also means cuts flow unmodified through every threading model and
+// across inter-PE TCP boundaries (internal/xport serializes payload
+// words).
+//
+// Alignment is per input port: an operator completes a cut on a port
+// once markers from all of the port's producers have arrived. Tuples
+// from early producers that arrive after their marker but before the
+// port completes are processed into the *next* cut's state (unaligned
+// checkpointing); single-producer ports — every port in the paper's
+// evaluation graphs — are exactly aligned.
+package region
+
+import (
+	"fmt"
+	"sync"
+
+	"streams/internal/graph"
+	"streams/internal/tuple"
+)
+
+// Marker magic: two payload words that mark a data tuple as a cut
+// marker. Words[0] carries the cut ID.
+const (
+	magic1 = 0xC0517EC7_0A11A11E // "collects all in line"
+	magic2 = 0x5AFEBA12_D0_C0DE5
+)
+
+// IsMarker reports whether t is a cut marker and returns its cut ID.
+func IsMarker(t tuple.Tuple) (uint64, bool) {
+	if t.Kind == tuple.Data && t.Words[1] == magic1 && t.Words[2] == magic2 {
+		return t.Words[0], true
+	}
+	return 0, false
+}
+
+// markerTuple builds the marker for cut id.
+func markerTuple(id uint64) tuple.Tuple {
+	var t tuple.Tuple
+	t.Words[0] = id
+	t.Words[1] = magic1
+	t.Words[2] = magic2
+	return t
+}
+
+// Checkpointer is implemented by operators with state worth saving.
+// Checkpoint is called with the operator quiesced for the cut (all
+// input ports aligned); Restore must reinstate the snapshot.
+type Checkpointer interface {
+	Checkpoint() []byte
+	Restore(snapshot []byte) error
+}
+
+// Region coordinates cuts across a set of wrapped operators.
+type Region struct {
+	mu          sync.Mutex
+	nextCut     uint64
+	members     []*member
+	sources     []*sourceWrapper
+	sinkCount   int
+	sinksSeen   map[uint64]int
+	completed   uint64 // highest cut completed at every sink
+	checkpoints map[uint64]map[string][]byte
+	onComplete  func(cut uint64)
+}
+
+// New returns an empty region. Wrap the graph's operators with Wrap and
+// WrapSource while building the topology, then call Attach on the built
+// graph.
+func New() *Region {
+	return &Region{
+		sinksSeen:   map[uint64]int{},
+		checkpoints: map[uint64]map[string][]byte{},
+	}
+}
+
+// OnComplete registers a callback invoked (on the thread that completes
+// the cut) whenever a cut becomes consistent at every sink.
+func (r *Region) OnComplete(fn func(cut uint64)) { r.onComplete = fn }
+
+// Wrap returns op wrapped for cut processing. name keys the operator's
+// checkpoints and must be unique within the region.
+func (r *Region) Wrap(name string, op graph.Operator) graph.Operator {
+	m := &member{region: r, name: name, inner: op, cuts: map[uint64]*cutState{}}
+	r.members = append(r.members, m)
+	return m
+}
+
+// WrapSource returns src wrapped so that TriggerCut causes a marker to
+// be injected into the source's output stream at the next submission.
+func (r *Region) WrapSource(src graph.Source) graph.Source {
+	w := &sourceWrapper{inner: src}
+	r.sources = append(r.sources, w)
+	return w
+}
+
+// Attach resolves the wrapped operators' port structure from the built
+// graph. Call once, after graph.Builder.Build and before running.
+func (r *Region) Attach(g *graph.Graph) error {
+	byOp := map[graph.Operator]*graph.Node{}
+	for _, n := range g.Nodes {
+		byOp[n.Op] = n
+	}
+	for _, m := range r.members {
+		n, ok := byOp[graph.Operator(m)]
+		if !ok {
+			return fmt.Errorf("region: wrapped operator %q not found in the graph", m.name)
+		}
+		m.producers = make([]int, n.NumIn)
+		for i, pid := range n.InPorts {
+			m.producers[i] = g.Ports[pid].Producers
+		}
+		m.numOut = n.NumOut
+		if n.NumOut == 0 {
+			r.sinkCount++
+		}
+	}
+	if r.sinkCount == 0 {
+		return fmt.Errorf("region: no wrapped sink operators; cuts could never complete")
+	}
+	return nil
+}
+
+// TriggerCut starts a new cut and returns its ID. Every wrapped source
+// injects the marker before its next tuple.
+func (r *Region) TriggerCut() uint64 {
+	r.mu.Lock()
+	r.nextCut++
+	id := r.nextCut
+	r.mu.Unlock()
+	for _, s := range r.sources {
+		s.inject(id)
+	}
+	return id
+}
+
+// LastCompleted returns the highest cut ID that completed at every sink.
+func (r *Region) LastCompleted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completed
+}
+
+// Checkpoints returns the per-operator snapshots of a completed cut.
+func (r *Region) Checkpoints(cut uint64) map[string][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string][]byte{}
+	for k, v := range r.checkpoints[cut] {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreLatest reinstates every Checkpointer member from the most
+// recently completed cut, returning its ID (0 when no cut completed).
+func (r *Region) RestoreLatest() (uint64, error) {
+	r.mu.Lock()
+	cut := r.completed
+	snaps := r.checkpoints[cut]
+	r.mu.Unlock()
+	if cut == 0 {
+		return 0, nil
+	}
+	for _, m := range r.members {
+		cp, ok := m.inner.(Checkpointer)
+		if !ok {
+			continue
+		}
+		snap, have := snaps[m.name]
+		if !have {
+			return cut, fmt.Errorf("region: cut %d has no snapshot for %q", cut, m.name)
+		}
+		if err := cp.Restore(snap); err != nil {
+			return cut, fmt.Errorf("region: restoring %q: %w", m.name, err)
+		}
+	}
+	return cut, nil
+}
+
+// saveCheckpoint records a member's snapshot for a cut.
+func (r *Region) saveCheckpoint(cut uint64, name string, snap []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.checkpoints[cut] == nil {
+		r.checkpoints[cut] = map[string][]byte{}
+	}
+	r.checkpoints[cut][name] = snap
+}
+
+// sinkCompleted accounts a sink finishing a cut.
+func (r *Region) sinkCompleted(cut uint64) {
+	r.mu.Lock()
+	r.sinksSeen[cut]++
+	done := r.sinksSeen[cut] == r.sinkCount
+	if done {
+		delete(r.sinksSeen, cut)
+		if cut > r.completed {
+			r.completed = cut
+		}
+	}
+	fn := r.onComplete
+	r.mu.Unlock()
+	if done && fn != nil {
+		fn(cut)
+	}
+}
+
+// member wraps one operator.
+type member struct {
+	region    *Region
+	name      string
+	inner     graph.Operator
+	producers []int // per input port, filled by Attach
+	numOut    int
+
+	mu   sync.Mutex
+	cuts map[uint64]*cutState
+}
+
+type cutState struct {
+	perPort []int // markers seen per input port
+	done    bool
+}
+
+// Name implements graph.Operator.
+func (m *member) Name() string { return m.inner.Name() }
+
+// Process implements graph.Operator.
+func (m *member) Process(out graph.Submitter, t tuple.Tuple, inPort int) {
+	cut, isMarker := IsMarker(t)
+	if !isMarker {
+		m.inner.Process(out, t, inPort)
+		return
+	}
+	if m.markPort(cut, inPort) {
+		if cp, ok := m.inner.(Checkpointer); ok {
+			m.region.saveCheckpoint(cut, m.name, cp.Checkpoint())
+		}
+		if m.numOut == 0 {
+			m.region.sinkCompleted(cut)
+			return
+		}
+		for port := 0; port < m.numOut; port++ {
+			out.Submit(markerTuple(cut), port)
+		}
+	}
+}
+
+// OnPunct implements graph.Puncts, delegating observation to the inner
+// operator (markers are data tuples, so punctuation passes through
+// untouched).
+func (m *member) OnPunct(out graph.Submitter, k tuple.Kind, inPort int) {
+	if ph, ok := m.inner.(graph.Puncts); ok {
+		ph.OnPunct(out, k, inPort)
+	}
+}
+
+// markPort records a marker arrival and reports whether the cut just
+// completed across all input ports.
+func (m *member) markPort(cut uint64, inPort int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cs := m.cuts[cut]
+	if cs == nil {
+		cs = &cutState{perPort: make([]int, len(m.producers))}
+		m.cuts[cut] = cs
+	}
+	if cs.done {
+		return false
+	}
+	cs.perPort[inPort]++
+	for p, seen := range cs.perPort {
+		if seen < m.producers[p] {
+			return false
+		}
+	}
+	cs.done = true
+	delete(m.cuts, cut) // completed cuts need no further state
+	return true
+}
+
+// sourceWrapper injects pending markers into a source's submissions.
+type sourceWrapper struct {
+	inner graph.Source
+
+	mu      sync.Mutex
+	pending []uint64
+}
+
+func (s *sourceWrapper) inject(cut uint64) {
+	s.mu.Lock()
+	s.pending = append(s.pending, cut)
+	s.mu.Unlock()
+}
+
+// Name implements graph.Operator.
+func (s *sourceWrapper) Name() string { return s.inner.Name() }
+
+// Process implements graph.Operator; sources receive no input.
+func (s *sourceWrapper) Process(out graph.Submitter, t tuple.Tuple, inPort int) {
+	s.inner.Process(out, t, inPort)
+}
+
+// Run implements graph.Source, wrapping the submitter so pending markers
+// are flushed before each tuple; any still-pending markers are flushed
+// when the source finishes, so a cut triggered near the end still
+// completes.
+func (s *sourceWrapper) Run(out graph.Submitter, stop <-chan struct{}) {
+	w := &injectingSubmitter{src: s, out: out}
+	s.inner.Run(w, stop)
+	w.flush()
+}
+
+type injectingSubmitter struct {
+	src *sourceWrapper
+	out graph.Submitter
+}
+
+// Submit implements graph.Submitter.
+func (w *injectingSubmitter) Submit(t tuple.Tuple, outPort int) {
+	w.flush()
+	w.out.Submit(t, outPort)
+}
+
+func (w *injectingSubmitter) flush() {
+	w.src.mu.Lock()
+	pending := w.src.pending
+	w.src.pending = nil
+	w.src.mu.Unlock()
+	for _, cut := range pending {
+		// Markers go to every output port of the source.
+		w.out.Submit(markerTuple(cut), 0)
+	}
+}

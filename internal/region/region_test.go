@@ -1,0 +1,287 @@
+package region
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streams/internal/fuse"
+	"streams/internal/graph"
+	"streams/internal/pe"
+	"streams/internal/tuple"
+)
+
+// cutSource emits `perCut` tuples, triggers a cut, and repeats `cuts`
+// times — so cut c's marker sits exactly after tuple perCut·c in the
+// stream, making checkpoint values exactly predictable.
+type cutSource struct {
+	r      *Region
+	perCut int
+	cuts   int
+}
+
+func (s *cutSource) Name() string                              { return "cutSrc" }
+func (s *cutSource) Process(graph.Submitter, tuple.Tuple, int) {}
+func (s *cutSource) Run(out graph.Submitter, stop <-chan struct{}) {
+	n := uint64(0)
+	for c := 0; c < s.cuts; c++ {
+		for i := 0; i < s.perCut; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out.Submit(tuple.NewData(n), 0)
+			n++
+		}
+		s.r.TriggerCut()
+	}
+	// One trailing tuple flushes the final cut's marker.
+	out.Submit(tuple.NewData(n), 0)
+}
+
+// counter is a stateful, checkpointable operator: it counts data tuples
+// and forwards them.
+type counter struct {
+	n atomic.Uint64
+}
+
+func (c *counter) Name() string { return "counter" }
+func (c *counter) Process(out graph.Submitter, t tuple.Tuple, _ int) {
+	c.n.Add(1)
+	out.Submit(t, 0)
+}
+func (c *counter) Checkpoint() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], c.n.Load())
+	return b[:]
+}
+func (c *counter) Restore(snap []byte) error {
+	c.n.Store(binary.BigEndian.Uint64(snap))
+	return nil
+}
+
+// terminal is a checkpointable sink counting deliveries.
+type terminal struct {
+	counter
+}
+
+func (t *terminal) Process(_ graph.Submitter, _ tuple.Tuple, _ int) { t.n.Add(1) }
+
+// buildRegionGraph wires cutSource → counter×depth → terminal, all
+// wrapped.
+func buildRegionGraph(t *testing.T, r *Region, perCut, cuts, depth int) (*graph.Graph, []*counter, *terminal) {
+	t.Helper()
+	b := graph.NewBuilder()
+	src := b.AddNode(r.WrapSource(&cutSource{r: r, perCut: perCut, cuts: cuts}), 0, 1)
+	prev := src
+	var counters []*counter
+	for i := 0; i < depth; i++ {
+		c := &counter{}
+		counters = append(counters, c)
+		n := b.AddNode(r.Wrap(names[i], c), 1, 1)
+		b.Connect(prev, 0, n, 0)
+		prev = n
+	}
+	term := &terminal{}
+	sn := b.AddNode(r.Wrap("sink", term), 1, 0)
+	b.Connect(prev, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(g); err != nil {
+		t.Fatal(err)
+	}
+	return g, counters, term
+}
+
+var names = []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}
+
+// TestCutsAreExactlyConsistent is the §6 stress test: under the dynamic
+// threading model with several threads, every checkpoint of every
+// operator at cut c must record exactly perCut·c tuples — the cut is a
+// consistent snapshot across the whole pipeline.
+func TestCutsAreExactlyConsistent(t *testing.T) {
+	const perCut, cuts, depth = 500, 8, 4
+	for _, model := range []pe.Model{pe.Manual, pe.Dedicated, pe.Dynamic} {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			r := New()
+			g, _, term := buildRegionGraph(t, r, perCut, cuts, depth)
+			p, err := pe.New(g, pe.Config{Model: model, Threads: 3, MaxThreads: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Start(); err != nil {
+				t.Fatal(err)
+			}
+			p.Wait()
+			if got := r.LastCompleted(); got != cuts {
+				t.Fatalf("%v: %d cuts completed, want %d", model, got, cuts)
+			}
+			if term.n.Load() != perCut*cuts+1 {
+				t.Fatalf("%v: sink saw %d tuples", model, term.n.Load())
+			}
+			for c := uint64(1); c <= cuts; c++ {
+				snaps := r.Checkpoints(c)
+				want := uint64(perCut) * c
+				for i := 0; i < depth; i++ {
+					snap, ok := snaps[names[i]]
+					if !ok {
+						t.Fatalf("%v: cut %d missing snapshot for %s", model, c, names[i])
+					}
+					if got := binary.BigEndian.Uint64(snap); got != want {
+						t.Fatalf("%v: cut %d snapshot of %s = %d, want %d (inconsistent cut)",
+							model, c, names[i], got, want)
+					}
+				}
+				if got := binary.BigEndian.Uint64(snaps["sink"]); got != want {
+					t.Fatalf("%v: cut %d sink snapshot %d, want %d", model, c, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreLatest rewinds operators to the last consistent cut.
+func TestRestoreLatest(t *testing.T) {
+	const perCut, cuts = 300, 3
+	r := New()
+	g, counters, _ := buildRegionGraph(t, r, perCut, cuts, 2)
+	p, err := pe.New(g, pe.Config{Model: pe.Dynamic, Threads: 2, MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	// Post-run the counters include the trailing tuple past the last cut.
+	if counters[0].n.Load() != perCut*cuts+1 {
+		t.Fatalf("counter at %d", counters[0].n.Load())
+	}
+	cut, err := r.RestoreLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != cuts {
+		t.Fatalf("restored cut %d, want %d", cut, cuts)
+	}
+	for i, c := range counters {
+		if got := c.n.Load(); got != perCut*cuts {
+			t.Fatalf("counter %d restored to %d, want %d", i, got, perCut*cuts)
+		}
+	}
+}
+
+// TestOnCompleteOrdering: cuts complete monotonically.
+func TestOnCompleteOrdering(t *testing.T) {
+	r := New()
+	var mu sync.Mutex
+	var order []uint64
+	r.OnComplete(func(cut uint64) {
+		mu.Lock()
+		order = append(order, cut)
+		mu.Unlock()
+	})
+	g, _, _ := buildRegionGraph(t, r, 100, 5, 3)
+	p, err := pe.New(g, pe.Config{Model: pe.Dynamic, Threads: 3, MaxThreads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("completed %d cuts: %v", len(order), order)
+	}
+	for i, c := range order {
+		if c != uint64(i+1) {
+			t.Fatalf("cuts completed out of order: %v", order)
+		}
+	}
+}
+
+// TestCutsAcrossDistributedDeployment runs the protocol through a fused
+// two-PE deployment: markers are plain data tuples, so they cross the
+// TCP boundary and cuts stay consistent end to end.
+func TestCutsAcrossDistributedDeployment(t *testing.T) {
+	const perCut, cuts, depth = 400, 4, 4
+	r := New()
+	g, _, _ := buildRegionGraph(t, r, perCut, cuts, depth)
+	d, err := fuse.Plan(g, 2, pe.Config{Model: pe.Dynamic, Threads: 2, MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { d.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed region run did not drain")
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LastCompleted(); got != cuts {
+		t.Fatalf("%d cuts completed across PEs, want %d", got, cuts)
+	}
+	for c := uint64(1); c <= cuts; c++ {
+		snaps := r.Checkpoints(c)
+		want := uint64(perCut) * c
+		for i := 0; i < depth; i++ {
+			if got := binary.BigEndian.Uint64(snaps[names[i]]); got != want {
+				t.Fatalf("cut %d snapshot of %s = %d, want %d", c, names[i], got, want)
+			}
+		}
+	}
+}
+
+// TestAttachValidation rejects regions with no sinks or unattached
+// members.
+func TestAttachValidation(t *testing.T) {
+	r := New()
+	b := graph.NewBuilder()
+	src := b.AddNode(r.WrapSource(&cutSource{r: r, perCut: 1, cuts: 1}), 0, 1)
+	c := &counter{}
+	n := b.AddNode(r.Wrap("c", c), 1, 1)
+	plain := b.AddNode(&terminal{}, 1, 0) // unwrapped sink
+	b.Connect(src, 0, n, 0)
+	b.Connect(n, 0, plain, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(g); err == nil {
+		t.Fatal("region without wrapped sinks accepted")
+	}
+
+	r2 := New()
+	r2.Wrap("ghost", &counter{})
+	g2, _, _ := buildRegionGraph(t, New(), 1, 1, 1)
+	if err := r2.Attach(g2); err == nil {
+		t.Fatal("unattached member accepted")
+	}
+}
+
+func TestIsMarker(t *testing.T) {
+	m := markerTuple(7)
+	if id, ok := IsMarker(m); !ok || id != 7 {
+		t.Fatalf("IsMarker(marker) = %d, %v", id, ok)
+	}
+	if _, ok := IsMarker(tuple.NewData(7)); ok {
+		t.Fatal("plain tuple recognized as marker")
+	}
+	if _, ok := IsMarker(tuple.Final()); ok {
+		t.Fatal("punctuation recognized as marker")
+	}
+}

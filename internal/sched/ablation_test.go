@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAblationsPreserveCorrectness runs the same pipeline under every
+// ablation configuration: reversing a design decision may cost
+// performance but must never lose tuples or break stream order.
+func TestAblationsPreserveCorrectness(t *testing.T) {
+	const n = 8000
+	cases := map[string]Config{
+		"retry-on-contention": {MaxThreads: 4, QueueCap: 8, RetryOnContention: true},
+		"block-on-full-queue": {MaxThreads: 4, QueueCap: 4, BlockOnFullQueue: true},
+		"shared-stop-flags":   {MaxThreads: 4, QueueCap: 8, SharedStopFlags: true},
+		"free-list-lifo":      {MaxThreads: 4, QueueCap: 8, FreeListLIFO: true},
+		"all-reversed": {
+			MaxThreads: 4, QueueCap: 8,
+			RetryOnContention: true, BlockOnFullQueue: true,
+			SharedStopFlags: true, FreeListLIFO: true,
+		},
+	}
+	for name, cfg := range cases {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			var mu sync.Mutex
+			var seen []uint64
+			snk := newOrderSink(&mu, &seen)
+			g := pipelineGraph(t, 25, n, snk)
+			runGraph(t, g, cfg, 3)
+			if len(seen) != n {
+				t.Fatalf("saw %d tuples, want %d", len(seen), n)
+			}
+			for i, v := range seen {
+				if v != uint64(i) {
+					t.Fatalf("position %d: tuple %d out of order", i, v)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streams/internal/graph"
+	"streams/internal/ops"
+	"streams/internal/tuple"
+)
+
+// TestRandomDAGDeliveryProperty generates random layered DAGs and checks
+// a global conservation property of the scheduler: with a source of n
+// tuples, every sink must receive exactly n × (number of source→sink
+// paths) tuples (submissions fan out to every subscriber), and the
+// executed total must equal n × Σ over nodes of path counts.
+func TestRandomDAGDeliveryProperty(t *testing.T) {
+	const n = 1500
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			b := graph.NewBuilder()
+			src := b.AddNode(&ops.Generator{Limit: n}, 0, 1)
+
+			layers := 2 + rng.Intn(4)
+			prevLayer := []int{src}
+			paths := map[int]uint64{src: 1}
+			var sinks []*ops.Sink
+			var sinkPaths []uint64
+
+			for l := 0; l < layers; l++ {
+				width := 1 + rng.Intn(3)
+				cur := make([]int, width)
+				for i := range cur {
+					cur[i] = b.AddNode(&ops.Custom{
+						OpName: fmt.Sprintf("n%d_%d", l, i),
+						Fn: func(out graph.Submitter, tp tuple.Tuple, _ int) {
+							out.Submit(tp, 0)
+						},
+					}, 1, 1)
+				}
+				// Every upstream node feeds ≥1 downstream node; every
+				// downstream node has ≥1 producer.
+				for _, up := range prevLayer {
+					dst := cur[rng.Intn(width)]
+					b.Connect(up, 0, dst, 0)
+					paths[dst] += paths[up]
+				}
+				for _, down := range cur {
+					if paths[down] == 0 {
+						up := prevLayer[rng.Intn(len(prevLayer))]
+						b.Connect(up, 0, down, 0)
+						paths[down] += paths[up]
+					}
+					// Extra random fan-out edges.
+					if rng.Intn(3) == 0 {
+						up := prevLayer[rng.Intn(len(prevLayer))]
+						b.Connect(up, 0, down, 0)
+						paths[down] += paths[up]
+					}
+				}
+				prevLayer = cur
+			}
+			// Terminal layer: one sink per dangling node.
+			for _, up := range prevLayer {
+				s := &ops.Sink{}
+				id := b.AddNode(s, 1, 0)
+				b.Connect(up, 0, id, 0)
+				sinks = append(sinks, s)
+				sinkPaths = append(sinkPaths, paths[up])
+			}
+			g, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantExecuted uint64
+			for id, p := range paths {
+				if id == src {
+					continue // the source is not executed
+				}
+				wantExecuted += p
+			}
+			for _, p := range sinkPaths {
+				wantExecuted += p
+			}
+
+			s := runGraph(t, g, Config{MaxThreads: 3, QueueCap: 8}, 2)
+			for i, snk := range sinks {
+				want := uint64(n) * sinkPaths[i]
+				if got := snk.Count(); got != want {
+					t.Fatalf("sink %d received %d tuples, want %d (%d paths)",
+						i, got, want, sinkPaths[i])
+				}
+			}
+			if got, want := s.Executed(), uint64(n)*wantExecuted; got != want {
+				t.Fatalf("executed %d operator invocations, want %d", got, want)
+			}
+		})
+	}
+}

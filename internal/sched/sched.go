@@ -1,0 +1,689 @@
+// Package sched implements the paper's primary contribution: the
+// scalable, mostly lock-free dynamic operator scheduler from IBM Streams
+// 4.2 (§4.1).
+//
+// The design in one paragraph: every operator input port owns a bounded
+// single-producer/single-consumer lock-free tuple queue, guarded by
+// producer and consumer try-locks (lfq.Enforcer). A PE-global lock-free
+// free list (freePorts) holds the ports that may have work. Scheduler
+// threads pop a port from the free list, try-lock its consumer side, pop
+// one tuple, and — having paid the cost of touching global data — drain
+// the rest of the queue before returning the port to the back of the
+// list, which approximates least-recently-used scheduling. Threads that
+// fail to push into a full downstream queue never block and never go
+// back to the global list: they alternate between retrying the push and
+// draining a bounded amount of the blocking queue themselves
+// (reSchedule). Every stop condition a thread polls is thread-local, so
+// the hot loop touches no shared cache lines.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/lfq"
+	"streams/internal/metrics"
+	"streams/internal/tuple"
+)
+
+// Config parametrizes a Scheduler. The zero value selects the defaults
+// the product uses where the paper reports them.
+type Config struct {
+	// QueueCap is the per-input-port queue capacity; it must be a power
+	// of two. Default 64.
+	QueueCap int
+	// ReschedLimit bounds how many tuples a pushing thread drains from a
+	// full queue before retrying its push. Default QueueCap/4, the
+	// product's setting (§4.1.4).
+	ReschedLimit int
+	// DelayThreshold caps the exponential back-off when no work is
+	// found. Default 10ms, the product's setting (§4.1.3).
+	DelayThreshold time.Duration
+	// MaxThreads is the size of the scheduler thread table, the largest
+	// thread level elasticity may reach. Default runtime.NumCPU().
+	MaxThreads int
+	// SourceThreads is the number of non-scheduler threads that will
+	// submit tuples (source operator threads); it sizes the metric
+	// shards. Default: the graph's source count.
+	SourceThreads int
+
+	// The remaining options reverse individual design decisions from the
+	// paper so the benchmark suite can measure what each one buys
+	// (DESIGN.md lists the ablations). All default to the paper's
+	// choices (false).
+
+	// RetryOnContention retries contended free-list operations instead
+	// of abandoning the search (§4.1.3 argues abandoning is better).
+	RetryOnContention bool
+	// BlockOnFullQueue makes producers wait for queue space instead of
+	// draining the blocking queue themselves; a bounded escape hatch
+	// falls back to reSchedule so the ablation cannot deadlock the PE
+	// (§4.1.4 explains why self-help is the design).
+	BlockOnFullQueue bool
+	// SharedStopFlags polls one shared set of stop flags from every
+	// thread instead of per-thread copies (§4.1.2 argues the shared
+	// cache line limits scalability).
+	SharedStopFlags bool
+	// FreeListLIFO replaces the FIFO free list (approximately LRU
+	// scheduling, §4.1.5) with a most-recently-used stack.
+	FreeListLIFO bool
+}
+
+func (c Config) withDefaults(g *graph.Graph) Config {
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.QueueCap < 1 || c.QueueCap&(c.QueueCap-1) != 0 {
+		panic(fmt.Sprintf("sched: QueueCap %d is not a positive power of two", c.QueueCap))
+	}
+	if c.ReschedLimit == 0 {
+		c.ReschedLimit = c.QueueCap / 4
+	}
+	if c.ReschedLimit < 1 {
+		c.ReschedLimit = 1
+	}
+	if c.DelayThreshold == 0 {
+		c.DelayThreshold = 10 * time.Millisecond
+	}
+	if c.MaxThreads == 0 {
+		c.MaxThreads = runtime.NumCPU()
+	}
+	if c.SourceThreads == 0 {
+		c.SourceThreads = len(g.SourceNodes)
+	}
+	return c
+}
+
+// freeList abstracts the global free list so the FreeListLIFO ablation
+// can substitute a stack for the FIFO queue.
+type freeList interface {
+	Push(v int32) bool
+	Pop(v *int32) bool
+}
+
+// Scheduler executes a stream graph with a dynamically sized pool of
+// threads, any of which can execute any operator input port.
+type Scheduler struct {
+	g   *graph.Graph
+	cfg Config
+
+	// queues is the paper's queuesTable: written once at initialization,
+	// read-only afterwards, indexed by global input-port ID.
+	queues []*lfq.Enforcer[tuple.Tuple]
+	// freePorts is the global free list of input-port IDs: FIFO by
+	// default (approximately LRU scheduling), a LIFO stack under the
+	// FreeListLIFO ablation.
+	freePorts freeList
+
+	// seqs[node][outPort] stamps stream sequence numbers for the
+	// ordering tests. When several threads execute one multi-input-port
+	// operator concurrently the stamp order is advisory; for single-
+	// input-port operators it is exact.
+	seqs [][]atomic.Uint64
+
+	// Final-punctuation accounting.
+	remainingProducers []atomic.Int32 // per port: finals still expected
+	nodeOpenIns        []atomic.Int32 // per node: input ports still open
+	portClosed         []atomic.Bool  // per port: final processed
+	openPorts          atomic.Int32   // ports not yet closed
+	sourcesLeft        atomic.Int32   // source nodes still running
+
+	// Global fall-back stop flags for threads the scheduler does not
+	// control (operator/source threads executing reSchedule).
+	shutdownGlobal    atomic.Bool
+	portsClosedGlobal atomic.Bool
+
+	threads []*Thread
+	started []bool // whether threads[i]'s goroutine exists
+	level   int    // current number of unsuspended threads
+	levelMu sync.Mutex
+	wg      sync.WaitGroup
+
+	// Metrics. executed counts every tuple processed by every operator —
+	// the PE-wide throughput the elasticity algorithm consumes (§5.4
+	// notes Fig. 11 reports exactly this). perNode tracks per-operator
+	// execution counts, the product's per-operator metrics.
+	executed    *metrics.Counter
+	sinkDeliver *metrics.Counter // tuples that reached sink operators
+	reschedules *metrics.Counter
+	findFails   *metrics.Counter
+	perNode     []atomic.Uint64
+
+	done chan struct{} // closed when portsClosed goes global
+}
+
+// New builds a scheduler for the graph. Call Start (or SetLevel) to
+// launch threads, and use SourceSubmitter/SourceDone to connect source
+// operator threads.
+func New(g *graph.Graph, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults(g)
+	nPorts := len(g.Ports)
+	listCap := 1
+	for listCap < nPorts+1 {
+		listCap *= 2
+	}
+	var fl freeList
+	if cfg.FreeListLIFO {
+		fl = lfq.NewStack[int32](listCap)
+	} else {
+		fl = lfq.NewMPMC[int32](listCap)
+	}
+	s := &Scheduler{
+		g:                  g,
+		cfg:                cfg,
+		queues:             make([]*lfq.Enforcer[tuple.Tuple], nPorts),
+		freePorts:          fl,
+		seqs:               make([][]atomic.Uint64, len(g.Nodes)),
+		remainingProducers: make([]atomic.Int32, nPorts),
+		nodeOpenIns:        make([]atomic.Int32, len(g.Nodes)),
+		portClosed:         make([]atomic.Bool, nPorts),
+		threads:            make([]*Thread, cfg.MaxThreads),
+		started:            make([]bool, cfg.MaxThreads),
+		executed:           metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
+		sinkDeliver:        metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
+		reschedules:        metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
+		findFails:          metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
+		perNode:            make([]atomic.Uint64, len(g.Nodes)),
+		done:               make(chan struct{}),
+	}
+	for i := range s.threads {
+		s.threads[i] = newThread(i)
+	}
+	for _, p := range g.Ports {
+		s.queues[p.ID] = lfq.NewEnforcer[tuple.Tuple](cfg.QueueCap)
+		s.remainingProducers[p.ID].Store(int32(p.Producers))
+		if !s.freePorts.Push(int32(p.ID)) {
+			panic("sched: free list sized too small") // unreachable: listCap > nPorts
+		}
+	}
+	for _, n := range g.Nodes {
+		s.seqs[n.ID] = make([]atomic.Uint64, n.NumOut)
+		s.nodeOpenIns[n.ID].Store(int32(n.NumIn))
+	}
+	s.openPorts.Store(int32(nPorts))
+	s.sourcesLeft.Store(int32(len(g.SourceNodes)))
+	if nPorts == 0 {
+		s.beginPortsClosed()
+	}
+	return s
+}
+
+// MinLevel returns the smallest safe thread level for the graph: one
+// more than the maximum number of input ports on any operator, the
+// paper's deadlock-avoidance rule (§4.2.3).
+func (s *Scheduler) MinLevel() int { return s.g.MaxInPorts() + 1 }
+
+// MaxLevel returns the configured thread-table size.
+func (s *Scheduler) MaxLevel() int { return s.cfg.MaxThreads }
+
+// Done is closed when every input port has processed its final
+// punctuation.
+func (s *Scheduler) Done() <-chan struct{} { return s.done }
+
+// Executed returns the total number of tuples processed across all
+// operators.
+func (s *Scheduler) Executed() uint64 { return s.executed.Total() }
+
+// SinkDelivered returns the number of tuples delivered to operators with
+// no output ports (the end-to-end application throughput of §5.1–5.3).
+func (s *Scheduler) SinkDelivered() uint64 { return s.sinkDeliver.Total() }
+
+// Reschedules returns how many times a full-queue push fell into the
+// reSchedule self-help path.
+func (s *Scheduler) Reschedules() uint64 { return s.reschedules.Total() }
+
+// FindFailures returns how many findWorkNonBlocking calls found nothing.
+func (s *Scheduler) FindFailures() uint64 { return s.findFails.Total() }
+
+// OperatorCounts returns per-operator execution counts keyed by operator
+// name (the product's per-operator metrics). Nodes sharing a name (for
+// example @parallel replicas given distinct names avoid this) have their
+// counts summed.
+func (s *Scheduler) OperatorCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(s.g.Nodes))
+	for _, n := range s.g.Nodes {
+		out[n.Op.Name()] += s.perNode[n.ID].Load()
+	}
+	return out
+}
+
+// ctx carries the execution context of one thread while it runs operator
+// code: which node is executing (for routing), which metric shard to
+// charge, and which thread-local stop flags to consult. Non-scheduler
+// threads (source operator threads) have thr == nil and fall back to the
+// global flags, the paper's isFinished()/isSuspended() indirection
+// (§4.1.4).
+type ctx struct {
+	s    *Scheduler
+	node *graph.Node
+	tid  int
+	thr  *Thread
+}
+
+// Submit implements graph.Submitter.
+func (c *ctx) Submit(t tuple.Tuple, outPort int) {
+	node := c.node
+	if outPort < 0 || outPort >= node.NumOut {
+		panic(fmt.Sprintf("sched: operator %s submitted to nonexistent output port %d", node.Op.Name(), outPort))
+	}
+	seq := c.s.seqs[node.ID][outPort].Add(1) - 1
+	for _, pid := range node.Outs[outPort] {
+		t2 := t
+		t2.Port = int32(pid)
+		t2.Seq = seq
+		c.s.push(t2, c)
+	}
+}
+
+func (c *ctx) finished() bool {
+	if c.thr != nil {
+		return c.thr.stopRequested()
+	}
+	return c.s.shutdownGlobal.Load() || c.s.portsClosedGlobal.Load()
+}
+
+func (c *ctx) suspendedNow() bool {
+	if c.thr != nil {
+		return c.thr.suspended.Load()
+	}
+	return false
+}
+
+// push is the paper's Figure 6 entry point: try the enforcer push, and if
+// it fails (full queue or producer-lock contention — we do not
+// distinguish), fall into reSchedule.
+func (s *Scheduler) push(t tuple.Tuple, c *ctx) {
+	q := s.queues[t.Port]
+	if q.Push(t) {
+		return
+	}
+	if s.cfg.BlockOnFullQueue {
+		// Ablation: wait for space like a plain bounded-queue runtime
+		// would. Bounded, so a full cycle of blocked producers still
+		// falls through to the self-help path instead of deadlocking.
+		for spins := 0; spins < 4096; spins++ {
+			runtime.Gosched()
+			if q.Push(t) {
+				return
+			}
+			if c.finished() {
+				return
+			}
+		}
+	}
+	s.reSchedule(q, t, c)
+}
+
+// reSchedule repeatedly alternates between pushing the stuck tuple and
+// draining a bounded amount of the blocking queue on the pusher's own
+// time. Executing the blocking operator here is why input-port queues
+// carry a consumer lock at all: the port cannot be taken from the free
+// list without a destructive walk, but the lock grants exclusive consume
+// access without touching global data (§4.1.4).
+func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *ctx) {
+	s.reschedules.Add(c.tid, 1)
+	spins := 0
+	for !q.Push(t) && !c.finished() {
+		if q.ConsTryLock() {
+			var rt tuple.Tuple
+			processed := 0
+			for q.Queue().Pop(&rt) {
+				s.execute(rt, c.tid, c.thr)
+				processed++
+				if processed > s.cfg.ReschedLimit || c.finished() || c.suspendedNow() {
+					break
+				}
+			}
+			q.ConsUnlock()
+			spins = 0
+		} else if spins++; spins > 8 {
+			// Another thread is clearing the queue for us; let it run.
+			// (The product busy-waits here; on a host with fewer cores
+			// than threads that inverts into livelock, so we yield.)
+			runtime.Gosched()
+			spins = 0
+		}
+	}
+}
+
+// execute processes one tuple on its destination port's operator,
+// handling punctuation inline. The caller must hold the port's consumer
+// lock.
+func (s *Scheduler) execute(t tuple.Tuple, tid int, thr *Thread) {
+	p := s.g.Ports[t.Port]
+	ec := ctx{s: s, node: p.Node, tid: tid, thr: thr}
+	if thr != nil {
+		// execute nests when operators drain downstream queues through
+		// reSchedule; restore rather than clear so the outermost frame
+		// keeps the thread marked active.
+		was := thr.active.Swap(true)
+		defer thr.active.Store(was)
+	}
+	switch t.Kind {
+	case tuple.Data:
+		p.Node.Op.Process(&ec, t, p.Index)
+		s.executed.Add(tid, 1)
+		s.perNode[p.Node.ID].Add(1)
+		if p.Node.NumOut == 0 {
+			s.sinkDeliver.Add(tid, 1)
+		}
+	case tuple.WindowMark:
+		if ph, ok := p.Node.Op.(graph.Puncts); ok {
+			ph.OnPunct(&ec, tuple.WindowMark, p.Index)
+		}
+		forwardPunct(&ec, tuple.Window())
+	case tuple.FinalMark:
+		s.handleFinal(p, &ec)
+	}
+}
+
+// forwardPunct submits a punctuation on every output port of the
+// executing node.
+func forwardPunct(c *ctx, t tuple.Tuple) {
+	for out := 0; out < c.node.NumOut; out++ {
+		c.Submit(t, out)
+	}
+}
+
+// Finalizer is implemented by operators that flush state when all their
+// input streams have closed (before the runtime forwards the final
+// punctuation downstream).
+type Finalizer interface {
+	Finish(out graph.Submitter)
+}
+
+// handleFinal accounts one final punctuation on port p and closes the
+// port, the node, and eventually the PE as the counts drain.
+func (s *Scheduler) handleFinal(p *graph.InPort, ec *ctx) {
+	if ph, ok := p.Node.Op.(graph.Puncts); ok {
+		ph.OnPunct(ec, tuple.FinalMark, p.Index)
+	}
+	if s.remainingProducers[p.ID].Add(-1) > 0 {
+		return // more streams still feed this port
+	}
+	s.portClosed[p.ID].Store(true)
+	if s.nodeOpenIns[p.Node.ID].Add(-1) == 0 {
+		if f, ok := p.Node.Op.(Finalizer); ok {
+			f.Finish(ec)
+		}
+		forwardPunct(ec, tuple.Final())
+	}
+	if s.openPorts.Add(-1) == 0 {
+		s.beginPortsClosed()
+	}
+}
+
+// beginPortsClosed flips the PE into the drained state: all input ports
+// have seen their final punctuations. It updates every thread's local
+// flag — the walk the paper accepts at shutdown so the hot loop never
+// reads shared state (§4.1.2).
+func (s *Scheduler) beginPortsClosed() {
+	if s.portsClosedGlobal.Swap(true) {
+		return
+	}
+	for _, t := range s.threads {
+		t.portsClosed.Store(true)
+		t.interrupt()
+	}
+	close(s.done)
+}
+
+// SourceSubmitter returns the Submitter a source operator thread uses to
+// inject tuples. srcIndex identifies the source thread (0-based) for
+// metric sharding.
+func (s *Scheduler) SourceSubmitter(node *graph.Node, srcIndex int) graph.Submitter {
+	return &ctx{s: s, node: node, tid: s.cfg.MaxThreads + srcIndex, thr: nil}
+}
+
+// SourceDone tells the scheduler a source operator has finished: the
+// scheduler emits final punctuation on all the source's output ports and,
+// when the last source finishes on a graph whose sources have no output
+// ports at all, closes the PE.
+func (s *Scheduler) SourceDone(node *graph.Node, srcIndex int) {
+	ec := &ctx{s: s, node: node, tid: s.cfg.MaxThreads + srcIndex, thr: nil}
+	forwardPunct(ec, tuple.Final())
+	s.sourcesLeft.Add(-1)
+}
+
+// Start launches the scheduler at thread level n (clamped to
+// [1, MaxThreads]).
+func (s *Scheduler) Start(n int) {
+	s.SetLevel(n)
+}
+
+// SetLevel adjusts the number of unsuspended scheduler threads to n,
+// creating thread goroutines on first use and suspending or resuming
+// existing ones otherwise. It returns the level actually in effect.
+func (s *Scheduler) SetLevel(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cfg.MaxThreads {
+		n = s.cfg.MaxThreads
+	}
+	s.levelMu.Lock()
+	defer s.levelMu.Unlock()
+	if s.shutdownGlobal.Load() || s.portsClosedGlobal.Load() {
+		return s.level
+	}
+	for i := 0; i < n; i++ {
+		t := s.threads[i]
+		if !s.started[i] {
+			s.started[i] = true
+			s.wg.Add(1)
+			go func(t *Thread) {
+				defer s.wg.Done()
+				s.schedule(t)
+			}(t)
+		} else if t.suspended.Load() {
+			t.setSuspended(false)
+		}
+	}
+	for i := n; i < s.cfg.MaxThreads; i++ {
+		if s.started[i] && !s.threads[i].suspended.Load() {
+			s.threads[i].setSuspended(true)
+		}
+	}
+	s.level = n
+	return n
+}
+
+// Level returns the current thread level.
+func (s *Scheduler) Level() int {
+	s.levelMu.Lock()
+	defer s.levelMu.Unlock()
+	return s.level
+}
+
+// SuspensionsEffective reports whether every thread asked to suspend has
+// actually parked. The elastic controller defers decisions when an
+// intended suspension has not happened (§4.2.3).
+func (s *Scheduler) SuspensionsEffective() bool {
+	s.levelMu.Lock()
+	defer s.levelMu.Unlock()
+	for i, t := range s.threads {
+		if s.started[i] && t.suspended.Load() && !t.parked.Load() && !t.stopRequested() {
+			return false
+		}
+	}
+	return true
+}
+
+// Shutdown stops all scheduler threads and waits for them to exit. The
+// caller must already have stopped source threads.
+func (s *Scheduler) Shutdown() {
+	s.shutdownGlobal.Store(true)
+	s.levelMu.Lock()
+	for _, t := range s.threads {
+		t.shutdown.Store(true)
+		t.interrupt()
+	}
+	s.levelMu.Unlock()
+	s.wg.Wait()
+}
+
+// Wait blocks until the graph drains (all ports closed) and then stops
+// the scheduler threads.
+func (s *Scheduler) Wait() {
+	<-s.done
+	s.wg.Wait()
+}
+
+// schedule is the paper's Figure 4 main scheduling loop.
+func (s *Scheduler) schedule(thr *Thread) {
+	var t tuple.Tuple
+	for s.findWorkBlocking(&t, thr) {
+		s.execute(t, thr.id, thr)
+		q := s.queues[t.Port]
+		port := t.Port
+		for q.Queue().Pop(&t) {
+			s.execute(t, thr.id, thr)
+			if thr.suspended.Load() || s.stopRequested(thr) {
+				break
+			}
+		}
+		q.ConsUnlock()
+		if !s.portClosed[port].Load() {
+			for !s.freePorts.Push(port) {
+				runtime.Gosched() // transient contention; capacity cannot be exceeded
+			}
+		}
+	}
+}
+
+// stopRequested consults the thread's local stop flags, or — under the
+// SharedStopFlags ablation — the scheduler-global ones, making every
+// loop iteration touch shared cache lines.
+func (s *Scheduler) stopRequested(thr *Thread) bool {
+	if s.cfg.SharedStopFlags {
+		return s.shutdownGlobal.Load() || s.portsClosedGlobal.Load()
+	}
+	return thr.stopRequested()
+}
+
+// findWorkBlocking is the paper's Figure 5 outer loop: look for work,
+// back off exponentially while none exists, honor suspension, and return
+// false only when the PE is stopping.
+func (s *Scheduler) findWorkBlocking(t *tuple.Tuple, thr *Thread) bool {
+	delay := time.Microsecond
+	for !s.stopRequested(thr) {
+		thr.suspendIfAsked()
+		if s.stopRequested(thr) {
+			return false
+		}
+		if s.findWorkNonBlocking(t, thr) {
+			return true
+		}
+		s.findFails.Add(thr.id, 1)
+		block(delay)
+		if delay < s.cfg.DelayThreshold {
+			delay *= 10
+		}
+	}
+	return false
+}
+
+// findWorkNonBlocking is the paper's Figure 5 free-list walk. It looks
+// for a port that (1) is on the free list, (2) is not taken by another
+// thread and (3) has a tuple queued. The walk does a priming read to
+// remember the first port it saw, pushes unusable ports to the back, and
+// abandons the search on any contention or on seeing the first port
+// again. On success the caller holds the port's consumer lock and *t is
+// the first tuple.
+func (s *Scheduler) findWorkNonBlocking(t *tuple.Tuple, thr *Thread) bool {
+	if s.cfg.FreeListLIFO {
+		return s.findWorkLIFO(t, thr)
+	}
+	var first int32
+	if !s.popFree(&first) {
+		return false
+	}
+	if s.tryTake(first, t) {
+		return true
+	}
+	s.requeue(first)
+	var port int32
+	for s.popFree(&port) {
+		if s.tryTake(port, t) {
+			return true
+		}
+		s.requeue(port)
+		if port == first {
+			break
+		}
+	}
+	return false
+}
+
+// findWorkLIFO is the free-list walk for the FreeListLIFO ablation. The
+// paper's walk (pop, test, push to the back, stop on seeing the first
+// port again) assumes FIFO order; on a stack the pushed-back port is
+// immediately popped again and the walk inspects only one element, which
+// starves every other port. The MRU variant therefore buffers inspected
+// ports locally and restores them after the walk — already a hint at why
+// the product chose the FIFO list.
+func (s *Scheduler) findWorkLIFO(t *tuple.Tuple, thr *Thread) bool {
+	scratch := thr.scratch[:0]
+	found := false
+	var port int32
+	for len(scratch) < len(s.queues) && s.popFree(&port) {
+		if s.tryTake(port, t) {
+			found = true
+			break
+		}
+		scratch = append(scratch, port)
+	}
+	// Restore in reverse so the original stacking order survives.
+	for i := len(scratch) - 1; i >= 0; i-- {
+		s.requeue(scratch[i])
+	}
+	thr.scratch = scratch[:0]
+	return found
+}
+
+// popFree pops the free list once, or — under the RetryOnContention
+// ablation — keeps retrying a failed pop instead of abandoning the
+// search to the back-off path.
+func (s *Scheduler) popFree(v *int32) bool {
+	if s.freePorts.Pop(v) {
+		return true
+	}
+	if !s.cfg.RetryOnContention {
+		return false
+	}
+	for i := 0; i < 64; i++ {
+		if s.freePorts.Pop(v) {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// tryTake attempts to lock port's consumer side and pop a tuple. On
+// success the consumer lock is held.
+func (s *Scheduler) tryTake(port int32, t *tuple.Tuple) bool {
+	q := s.queues[port]
+	if q.ConsTryLock() {
+		if q.Queue().Pop(t) {
+			return true
+		}
+		q.ConsUnlock()
+	}
+	return false
+}
+
+// requeue returns a port to the back of the free list unless it has
+// closed.
+func (s *Scheduler) requeue(port int32) {
+	if s.portClosed[port].Load() {
+		return
+	}
+	for !s.freePorts.Push(port) {
+		runtime.Gosched()
+	}
+}

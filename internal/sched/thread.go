@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Thread is one scheduler execution context. The paper's design gives
+// every thread its own copies of the suspended, shutdown and portsClosed
+// stop conditions so the scheduling loop never polls shared cache lines
+// (§4.1.2): whoever needs to stop the threads walks the table and updates
+// every thread's local flags.
+//
+// Threads are goroutines here rather than pthreads; a suspended thread
+// parks on a condition variable and consumes no CPU, matching the
+// product's mutex+condvar suspension.
+type Thread struct {
+	id int
+
+	// Per-thread stop conditions, written by the PE/elastic controller
+	// and read only by this thread's scheduling loop.
+	suspended   atomic.Bool
+	shutdown    atomic.Bool
+	portsClosed atomic.Bool
+
+	// active is set while the thread is inside operator code and cleared
+	// while it is looking for work; the elastic controller uses it to
+	// detect threads stuck in user code that cannot be suspended
+	// (§4.1.5, §4.2.3).
+	active atomic.Bool
+	// parked is set while the thread is waiting on its condition
+	// variable; the elastic controller checks that suspensions actually
+	// happened before trusting a measurement period.
+	parked atomic.Bool
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// scratch buffers the LIFO free-list walk (FreeListLIFO ablation).
+	scratch []int32
+}
+
+func newThread(id int) *Thread {
+	t := &Thread{id: id}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// ID returns the thread's slot index.
+func (t *Thread) ID() int { return t.id }
+
+// stopRequested reports whether the thread must leave its scheduling
+// loop.
+func (t *Thread) stopRequested() bool {
+	return t.shutdown.Load() || t.portsClosed.Load()
+}
+
+// suspendIfAsked parks the thread while its suspended flag is set. It
+// returns once resumed or once a stop condition arrives.
+func (t *Thread) suspendIfAsked() {
+	if !t.suspended.Load() {
+		return
+	}
+	t.mu.Lock()
+	t.parked.Store(true)
+	for t.suspended.Load() && !t.shutdown.Load() && !t.portsClosed.Load() {
+		t.cond.Wait()
+	}
+	t.parked.Store(false)
+	t.mu.Unlock()
+}
+
+// setSuspended asks the thread to park (true) or resume (false).
+func (t *Thread) setSuspended(v bool) {
+	t.mu.Lock()
+	t.suspended.Store(v)
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// interrupt wakes the thread if parked so it can observe newly set stop
+// flags.
+func (t *Thread) interrupt() {
+	t.mu.Lock()
+	t.mu.Unlock() //nolint:staticcheck // empty critical section pairs the flag writes with cond.Wait
+	t.cond.Broadcast()
+}
+
+// block sleeps for the current back-off delay. The paper uses a timed
+// condition-variable wait capped at DELAY_THRESHOLD; a timer-based sleep
+// is the closest Go equivalent and keeps suspended threads cheap.
+func block(delay time.Duration) {
+	time.Sleep(delay)
+}

@@ -1,0 +1,167 @@
+// Package sim models the paper's two evaluation machines — a 176-logical-
+// core Intel Xeon E7-8880 v4 system and a 184-logical-core IBM Power8
+// system — executing the evaluation stream graphs under the three
+// threading models.
+//
+// Why a model: the paper's claims are about thread-scaling behaviour on
+// large multicores, which cannot be measured on this repository's CI
+// hosts, and Go's runtime multiplexes goroutines in a way that obscures
+// explicit thread-count control. The model is an analytic cost model
+// with the effects the paper attributes its results to, each as an
+// explicit, documented term:
+//
+//   - per-tuple floating-point work (the experiments' cost parameter)
+//   - queue handoff cost per hop (all queued models)
+//   - the dynamic scheduler's extra synchronization per hop (enforcer
+//     CAS, tuple copy) and its amortized global free-list access, whose
+//     cost grows with the number of contending threads (cache-line
+//     bouncing, §4.1.2)
+//   - context-switch amortization for the dedicated model's
+//     oversubscribed threads (§5.1)
+//   - serialization at the sink's lock with contention growing in the
+//     number of converging threads (§5.2)
+//   - SMT capacity: each additional hardware thread on a core adds less
+//     than the one before, with Power8's 8-way SMT flatter than Xeon's
+//     2-way
+//
+// The same elasticity controller that drives the native runtime
+// (internal/elastic) is driven against the model to regenerate the
+// paper's Figure 11 traces; measurement noise grows with contention,
+// which is what produces the paper's oscillation pathology.
+//
+// The model reproduces shapes — who wins, by roughly what factor, where
+// crossovers and settle points fall — not absolute tuples/s.
+package sim
+
+// Machine is a calibrated machine profile.
+type Machine struct {
+	// Name labels output ("Xeon", "Power8").
+	Name string
+	// PhysCores is the number of physical cores.
+	PhysCores int
+	// SMTMarginal[i] is the marginal capacity of the (i+1)-th hardware
+	// thread sharing a core; SMTMarginal[0] is 1.
+	SMTMarginal []float64
+	// FlopNs is nanoseconds per floating-point operation on one thread.
+	FlopNs float64
+	// CallNs is the per-hop cost of a fused (manual-model) submit:
+	// direct function call, no queue, no copy.
+	CallNs float64
+	// QueueNs is the per-hop cost of a queued handoff: tuple copy in,
+	// copy out, SPSC index updates.
+	QueueNs float64
+	// DynNs is the dynamic scheduler's extra per-hop cost: producer and
+	// consumer try-locks and the occasional reSchedule.
+	DynNs float64
+	// CtxNs is one context switch.
+	CtxNs float64
+	// Batch is the average number of tuples a dedicated thread processes
+	// per scheduling quantum (amortizes CtxNs).
+	Batch float64
+	// DrainBatch is the average number of tuples a dynamic thread drains
+	// per free-list acquisition (amortizes free-list costs, §4.1.2).
+	DrainBatch float64
+	// FreeListNs is the base cost of one free-list acquisition.
+	FreeListNs float64
+	// BounceNs is the extra free-list cost per additional contending
+	// thread (global cache-line bouncing).
+	BounceNs float64
+	// SinkLockNs is the uncontended sink-lock critical section.
+	SinkLockNs float64
+	// SinkBounceNs is the extra sink-lock cost per additional thread
+	// converging on the sink.
+	SinkBounceNs float64
+	// SMTSyncPenalty inflates the dynamic scheduler's synchronization
+	// cost when threads outnumber physical cores and share them via SMT:
+	// the effective DynNs is multiplied by
+	// 1 + SMTSyncPenalty·(k-PhysCores)/PhysCores. Xeon's 2-way SMT pays
+	// heavily (atomics contend for shared core resources and lock
+	// holders get descheduled); Power8's 8-way SMT was built to hide
+	// exactly this latency and pays almost nothing.
+	SMTSyncPenalty float64
+	// SrcNs is the source's per-tuple generation cost.
+	SrcNs float64
+	// NoiseBase is the relative standard deviation of throughput
+	// measurements at low contention.
+	NoiseBase float64
+	// NoiseContended is the additional relative standard deviation when
+	// the sink lock saturates.
+	NoiseContended float64
+}
+
+// LogicalCores returns the number of hardware threads.
+func (m *Machine) LogicalCores() int { return m.PhysCores * len(m.SMTMarginal) }
+
+// eff returns the effective parallel capacity (in core-equivalents) of k
+// busy threads, filling SMT ways breadth-first across physical cores.
+func (m *Machine) eff(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > m.LogicalCores() {
+		k = m.LogicalCores()
+	}
+	full := k / m.PhysCores // SMT ways fully occupied on every core
+	rem := k % m.PhysCores  // cores with one extra way occupied
+	capacity := 0.0
+	for i := 0; i < full; i++ {
+		capacity += float64(m.PhysCores) * m.SMTMarginal[i]
+	}
+	if full < len(m.SMTMarginal) {
+		capacity += float64(rem) * m.SMTMarginal[full]
+	}
+	return capacity
+}
+
+// Xeon returns the profile of the paper's Intel testbed: 4 × E7-8880 v4
+// at 2.2 GHz, 22 cores each, 2-way SMT → 176 logical cores.
+func Xeon() *Machine {
+	return &Machine{
+		Name:           "Xeon",
+		PhysCores:      88,
+		SMTMarginal:    []float64{1, 0.40},
+		FlopNs:         0.45,
+		CallNs:         25,
+		QueueNs:        110,
+		DynNs:          100,
+		CtxNs:          5000,
+		Batch:          64,
+		DrainBatch:     32,
+		FreeListNs:     150,
+		BounceNs:       20,
+		SinkLockNs:     25,
+		SinkBounceNs:   60,
+		SMTSyncPenalty: 2.5,
+		SrcNs:          120,
+		NoiseBase:      0.01,
+		NoiseContended: 0.10,
+	}
+}
+
+// Power8 returns the profile of the paper's IBM testbed: 2 × Power8
+// 8247-22L at 3 GHz, 12 cores each with one disabled, 8-way SMT → 184
+// logical cores. Per-core throughput is higher than Xeon's but the
+// marginal value of its deep SMT is flatter, and its 128-byte cache
+// lines make cross-core handoffs costlier.
+func Power8() *Machine {
+	return &Machine{
+		Name:           "Power8",
+		PhysCores:      23,
+		SMTMarginal:    []float64{1, 0.45, 0.30, 0.25, 0.20, 0.15, 0.12, 0.10},
+		FlopNs:         0.33,
+		CallNs:         35,
+		QueueNs:        280,
+		DynNs:          220,
+		CtxNs:          6000,
+		Batch:          64,
+		DrainBatch:     32,
+		FreeListNs:     220,
+		BounceNs:       14,
+		SinkLockNs:     35,
+		SinkBounceNs:   60,
+		SMTSyncPenalty: 0.05,
+		SrcNs:          150,
+		NoiseBase:      0.01,
+		NoiseContended: 0.12,
+	}
+}

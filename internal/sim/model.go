@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThreadingModel selects the execution policy being modeled.
+type ThreadingModel int
+
+// The three threading models of §2.2.
+const (
+	// Manual: one thread executes everything by direct calls.
+	Manual ThreadingModel = iota
+	// Dedicated: one thread per operator input port.
+	Dedicated
+	// Dynamic: the paper's scheduler with an explicit thread count.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (t ThreadingModel) String() string {
+	switch t {
+	case Manual:
+		return "manual"
+	case Dedicated:
+		return "dedicated"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("ThreadingModel(%d)", int(t))
+	}
+}
+
+// Workload is one of the paper's synthetic graphs: width parallel chains
+// of depth workers, each costing Cost flops per tuple (§5).
+type Workload struct {
+	Width, Depth, Cost int
+}
+
+// String implements fmt.Stringer in the paper's panel-title format.
+func (w Workload) String() string {
+	return fmt.Sprintf("w %d, d %d, cost %d", w.Width, w.Depth, w.Cost)
+}
+
+// hops returns queue handoffs per tuple: split (if any) + depth workers +
+// sink.
+func (w Workload) hops() int {
+	h := w.Depth + 1
+	if w.Width > 1 {
+		h++
+	}
+	return h
+}
+
+// OpsPerTuple returns operator executions per end-to-end tuple — the
+// factor between sink throughput and the PE-wide throughput the
+// elasticity algorithm sees (Fig. 11 reports the latter).
+func (w Workload) OpsPerTuple() int { return w.hops() }
+
+// Model evaluates one workload on one machine.
+type Model struct {
+	M *Machine
+	W Workload
+}
+
+// dedConvergeFactor triples sink contention under the dedicated model:
+// blocked producers there spin or park on the full queue instead of
+// draining it themselves, which is precisely the work the dynamic
+// scheduler's reSchedule converts into progress (§4.1.4, §5.2).
+const dedConvergeFactor = 3.0
+
+// dedContenderCap bounds how many dedicated producer threads contend on
+// the sink at once (the scheduler only runs so many of an oversubscribed
+// thread set simultaneously).
+const dedContenderCap = 16
+
+// capacityT returns the compute-capacity throughput bound (tuples/s) for
+// k busy threads and per-tuple CPU work wns.
+func (mo Model) capacityT(k int, wns float64) float64 {
+	return mo.M.eff(k) * 1e9 / wns
+}
+
+// sinkService returns the serialized per-tuple cost at the sink for the
+// given number of converging threads and a contention multiplier.
+func (mo Model) sinkService(contenders int, factor float64) float64 {
+	m := mo.M
+	if contenders < 1 {
+		contenders = 1
+	}
+	return m.SinkLockNs + m.QueueNs + factor*m.SinkBounceNs*float64(contenders-1)
+}
+
+// freeListPerTuple returns the amortized global free-list cost per hop
+// for k dynamic threads.
+func (mo Model) freeListPerTuple(k int) float64 {
+	m := mo.M
+	return (m.FreeListNs + m.BounceNs*float64(k-1)) / m.DrainBatch
+}
+
+// dynNs returns the dynamic scheduler's per-hop synchronization cost at
+// thread level k, including the SMT sharing penalty beyond one thread
+// per physical core.
+func (mo Model) dynNs(k int) float64 {
+	m := mo.M
+	over := float64(k-m.PhysCores) / float64(m.PhysCores)
+	if over < 0 {
+		over = 0
+	}
+	return m.DynNs * (1 + m.SMTSyncPenalty*over)
+}
+
+// SinkThroughput returns the modeled end-to-end throughput in tuples/s
+// at the sink (the §5.1–5.3 metric). threads is the dynamic thread
+// level; Manual and Dedicated ignore it.
+func (mo Model) SinkThroughput(tm ThreadingModel, threads int) float64 {
+	m, w := mo.M, mo.W
+	wop := float64(w.Cost) * m.FlopNs
+	hops := float64(w.hops())
+	logical := m.LogicalCores()
+
+	switch tm {
+	case Manual:
+		// One thread, direct calls, uncontended sink.
+		per := m.SrcNs + float64(w.Depth)*wop + hops*m.CallNs + m.SinkLockNs
+		return 1e9 / per
+
+	case Dedicated:
+		perHop := m.QueueNs + m.CtxNs/m.Batch
+		wns := m.SrcNs + float64(w.Depth)*wop + hops*perHop
+		capT := mo.capacityT(logical, wns)
+		contenders := 1
+		if w.Width > 1 {
+			contenders = min(w.Width, logical, dedContenderCap)
+		}
+		sinkT := 1e9 / mo.sinkService(contenders, dedConvergeFactor)
+		srcT := 1e9 / (m.SrcNs + perHop)
+		// Per-chain ordering bound: one thread owns each stage.
+		structT := float64(w.Width) * 1e9 / (wop + perHop)
+		return min(capT, sinkT, srcT, structT)
+
+	case Dynamic:
+		k := threads
+		if k < 1 {
+			k = 1
+		}
+		perHop := m.QueueNs + mo.dynNs(k) + mo.freeListPerTuple(k)
+		contenders := 1
+		if w.Width > 1 {
+			contenders = min(k, w.Width)
+		}
+		sinkSvc := mo.sinkService(contenders, 1)
+		wns := m.SrcNs + float64(w.Depth)*wop + hops*perHop + sinkSvc
+		capT := mo.capacityT(k, wns)
+		sinkT := 1e9 / sinkSvc
+		srcT := 1e9 / (m.SrcNs + perHop)
+		structT := float64(w.Width) * 1e9 / (wop + perHop)
+		return min(capT, sinkT, srcT, structT)
+
+	default:
+		panic(fmt.Sprintf("sim: unknown threading model %d", tm))
+	}
+}
+
+// PEThroughput returns the modeled PE-wide throughput (tuples processed
+// across all operators per second) — what the elasticity controller
+// measures.
+func (mo Model) PEThroughput(tm ThreadingModel, threads int) float64 {
+	return mo.SinkThroughput(tm, threads) * float64(mo.W.OpsPerTuple())
+}
+
+// contention returns how saturated the sink serialization point is at
+// thread level k, in [0, ∞): the ratio of compute capacity to sink
+// capacity. Values near or above 1 mean threads queue on the sink and
+// measured throughput becomes noisy (§5.4's oscillation precondition).
+func (mo Model) contention(k int) float64 {
+	if mo.W.Width == 1 {
+		return 0
+	}
+	m, w := mo.M, mo.W
+	wop := float64(w.Cost) * m.FlopNs
+	perHop := m.QueueNs + mo.dynNs(k) + mo.freeListPerTuple(k)
+	sinkSvc := mo.sinkService(min(k, w.Width), 1)
+	wns := m.SrcNs + float64(w.Depth)*wop + float64(w.hops())*perHop + sinkSvc
+	capT := mo.capacityT(k, wns)
+	sinkT := 1e9 / sinkSvc
+	return capT / sinkT
+}
+
+// NoiseSD returns the relative standard deviation of a throughput
+// measurement at thread level k under the dynamic model.
+func (mo Model) NoiseSD(k int) float64 {
+	sd := mo.M.NoiseBase
+	if c := mo.contention(k); c > 0.85 {
+		sd += mo.M.NoiseContended * math.Min(1, (c-0.85)/0.3)
+	}
+	return sd
+}
+
+// BestDynamic sweeps thread levels 1..LogicalCores and returns the level
+// with the highest modeled throughput.
+func (mo Model) BestDynamic() (level int, tput float64) {
+	for k := 1; k <= mo.M.LogicalCores(); k++ {
+		if t := mo.SinkThroughput(Dynamic, k); t > tput {
+			level, tput = k, t
+		}
+	}
+	return level, tput
+}
+
+// CtxSwitchesPerSecond estimates context switches per second, the §5.1
+// observable (≈10M for dedicated vs ≈160k for dynamic on the pipeline).
+func (mo Model) CtxSwitchesPerSecond(tm ThreadingModel, threads int) float64 {
+	T := mo.SinkThroughput(tm, threads)
+	switch tm {
+	case Manual:
+		return 0
+	case Dedicated:
+		// Every thread wakes once per Batch tuples on each hop.
+		return T * float64(mo.W.hops()) / mo.M.Batch
+	case Dynamic:
+		// Threads switch only when they fail to find work; roughly once
+		// per DrainBatch·hops executions per thread pool pass.
+		return T * float64(mo.W.hops()) / (mo.M.DrainBatch * 64)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,330 @@
+package sim
+
+import (
+	"testing"
+)
+
+func machines() []*Machine { return []*Machine{Xeon(), Power8()} }
+
+func TestLogicalCores(t *testing.T) {
+	if Xeon().LogicalCores() != 176 {
+		t.Fatalf("Xeon logical cores = %d, want 176", Xeon().LogicalCores())
+	}
+	if Power8().LogicalCores() != 184 {
+		t.Fatalf("Power8 logical cores = %d, want 184", Power8().LogicalCores())
+	}
+}
+
+func TestEffMonotonicAndConcave(t *testing.T) {
+	for _, m := range machines() {
+		prev := 0.0
+		prevGain := 2.0
+		for k := 1; k <= m.LogicalCores(); k++ {
+			e := m.eff(k)
+			if e <= prev {
+				t.Fatalf("%s: eff(%d)=%g not increasing (prev %g)", m.Name, k, e, prev)
+			}
+			gain := e - prev
+			if gain > prevGain+1e-9 && k > m.PhysCores {
+				t.Fatalf("%s: marginal gain grew past the physical cores at k=%d", m.Name, k)
+			}
+			prev, prevGain = e, gain
+		}
+		if m.eff(m.LogicalCores()+50) != m.eff(m.LogicalCores()) {
+			t.Fatalf("%s: eff should saturate at the logical core count", m.Name)
+		}
+	}
+}
+
+func TestModelPositive(t *testing.T) {
+	for _, m := range machines() {
+		for _, w := range []Workload{
+			{1, 1000, 1}, {1000, 1, 1}, {10, 100, 1000}, {1, 1, 0},
+		} {
+			mo := Model{M: m, W: w}
+			for _, tm := range []ThreadingModel{Manual, Dedicated, Dynamic} {
+				if tp := mo.SinkThroughput(tm, 8); tp <= 0 {
+					t.Fatalf("%s %v %v: non-positive throughput %g", m.Name, w, tm, tp)
+				}
+			}
+		}
+	}
+}
+
+// TestFig9PipelineOrdering asserts the §5.1 result on both machines and
+// all three costs: dedicated wins, dynamic at its best is the middle
+// ground, manual is worst — and the dedicated/dynamic gap narrows as
+// per-tuple cost grows.
+func TestFig9PipelineOrdering(t *testing.T) {
+	for _, m := range machines() {
+		var prevGap float64 = -1
+		for _, cost := range []int{1, 100, 1000} {
+			mo := Model{M: m, W: Workload{Width: 1, Depth: 1000, Cost: cost}}
+			manual := mo.SinkThroughput(Manual, 1)
+			ded := mo.SinkThroughput(Dedicated, 0)
+			_, dyn := mo.BestDynamic()
+			if !(ded > dyn && dyn > manual) {
+				t.Fatalf("%s cost %d: want dedicated(%.3g) > dynamic(%.3g) > manual(%.3g)",
+					m.Name, cost, ded, dyn, manual)
+			}
+			gap := ded / dyn
+			if prevGap > 0 && gap > prevGap*1.02 {
+				t.Fatalf("%s: dedicated/dynamic gap grew with cost: %.3f → %.3f", m.Name, prevGap, gap)
+			}
+			prevGap = gap
+		}
+		// §5.1: the gap is roughly 1.4–1.6× at cost 1 and ~1.25× at cost
+		// 1000 — allow generous bands.
+		mo := Model{M: m, W: Workload{Width: 1, Depth: 1000, Cost: 1}}
+		_, dyn := mo.BestDynamic()
+		gap1 := mo.SinkThroughput(Dedicated, 0) / dyn
+		if gap1 < 1.2 || gap1 > 2.2 {
+			t.Fatalf("%s cost 1: dedicated/dynamic gap %.2f outside [1.2, 2.2]", m.Name, gap1)
+		}
+	}
+}
+
+// TestFig9DataParallelCheap asserts the §5.2 cost-1 result: no effective
+// parallelism, manual wins, dedicated collapses, and the elastic optimum
+// is a very small thread count.
+func TestFig9DataParallelCheap(t *testing.T) {
+	for _, m := range machines() {
+		mo := Model{M: m, W: Workload{Width: 1000, Depth: 1, Cost: 1}}
+		manual := mo.SinkThroughput(Manual, 1)
+		ded := mo.SinkThroughput(Dedicated, 0)
+		best, dyn := mo.BestDynamic()
+		if !(manual > dyn && dyn > ded) {
+			t.Fatalf("%s: want manual(%.3g) > dynamic(%.3g) > dedicated(%.3g)",
+				m.Name, manual, dyn, ded)
+		}
+		if best > 32 {
+			t.Fatalf("%s: best dynamic level %d; the paper finds very few threads best", m.Name, best)
+		}
+		// Degradation: many threads must be clearly worse than the peak.
+		if deg := mo.SinkThroughput(Dynamic, m.LogicalCores()); deg > 0.6*dyn {
+			t.Fatalf("%s: no degradation at max threads (%.3g vs peak %.3g)", m.Name, deg, dyn)
+		}
+	}
+}
+
+// TestFig9DataParallelCostly asserts the §5.2 high-cost result: the
+// relationships flip — dynamic at its (small) optimum beats dedicated,
+// which beats manual; on Xeon the optimum is ≈8–10 threads at cost
+// 10,000 and on Power8 ≈16–24 at cost 100,000.
+func TestFig9DataParallelCostly(t *testing.T) {
+	cases := []struct {
+		m          *Machine
+		cost       int
+		loLv, hiLv int
+	}{
+		{Xeon(), 10000, 5, 20},
+		{Power8(), 100000, 12, 32},
+	}
+	for _, tc := range cases {
+		mo := Model{M: tc.m, W: Workload{Width: 1000, Depth: 1, Cost: tc.cost}}
+		manual := mo.SinkThroughput(Manual, 1)
+		ded := mo.SinkThroughput(Dedicated, 0)
+		best, dyn := mo.BestDynamic()
+		if !(dyn > ded && ded > manual) {
+			t.Fatalf("%s cost %d: want dynamic(%.3g) > dedicated(%.3g) > manual(%.3g)",
+				tc.m.Name, tc.cost, dyn, ded, manual)
+		}
+		if best < tc.loLv || best > tc.hiLv {
+			t.Fatalf("%s cost %d: best level %d outside paper band [%d, %d]",
+				tc.m.Name, tc.cost, best, tc.loLv, tc.hiLv)
+		}
+	}
+}
+
+// TestFig10MixedOrdering asserts §5.3: under the realistic mixed graph,
+// dynamic is always best, dedicated second, manual worst — on both
+// machines at every cost.
+func TestFig10MixedOrdering(t *testing.T) {
+	for _, m := range machines() {
+		for _, cost := range []int{1, 100, 1000} {
+			mo := Model{M: m, W: Workload{Width: 10, Depth: 100, Cost: cost}}
+			manual := mo.SinkThroughput(Manual, 1)
+			ded := mo.SinkThroughput(Dedicated, 0)
+			_, dyn := mo.BestDynamic()
+			if !(dyn > ded && ded > manual) {
+				t.Fatalf("%s cost %d: want dynamic(%.3g) > dedicated(%.3g) > manual(%.3g)",
+					m.Name, cost, dyn, ded, manual)
+			}
+		}
+	}
+}
+
+// TestFig10ArchDivergence asserts §5.4's headline: the same mixed
+// application wants ~80 threads on Xeon but maxes out Power8 — the case
+// for elastic adaptation.
+func TestFig10ArchDivergence(t *testing.T) {
+	xe := Model{M: Xeon(), W: Workload{Width: 10, Depth: 100, Cost: 1000}}
+	bestX, _ := xe.BestDynamic()
+	if bestX < 50 || bestX > 120 {
+		t.Fatalf("Xeon mixed best level %d, paper settles ≈80", bestX)
+	}
+	p8 := Model{M: Power8(), W: Workload{Width: 10, Depth: 100, Cost: 1000}}
+	bestP, _ := p8.BestDynamic()
+	if bestP < 150 {
+		t.Fatalf("Power8 mixed best level %d, paper maxes out at 184", bestP)
+	}
+}
+
+// TestContextSwitchClaim asserts §5.1's measurement: the dedicated model
+// performs orders of magnitude more context switches than dynamic.
+func TestContextSwitchClaim(t *testing.T) {
+	mo := Model{M: Xeon(), W: Workload{Width: 1, Depth: 1000, Cost: 1}}
+	ded := mo.CtxSwitchesPerSecond(Dedicated, 0)
+	dyn := mo.CtxSwitchesPerSecond(Dynamic, 100)
+	if ded < 20*dyn {
+		t.Fatalf("dedicated ctx/s %.3g not ≫ dynamic %.3g", ded, dyn)
+	}
+	if mo.CtxSwitchesPerSecond(Manual, 1) != 0 {
+		t.Fatal("manual model should not context switch")
+	}
+}
+
+// TestElasticTraceRampAndSettle reproduces the Fig. 11 pipeline rows:
+// quick geometric ramp-up, then settling in a band whose throughput is
+// within a few percent of the static optimum.
+func TestElasticTraceRampAndSettle(t *testing.T) {
+	for _, m := range machines() {
+		mo := Model{M: m, W: Workload{Width: 1, Depth: 1000, Cost: 1}}
+		trace := RunElastic(mo, ElasticConfig{Seed: 1})
+		if len(trace) != 140 { // 1400s / 10s periods
+			t.Fatalf("%s: trace has %d points", m.Name, len(trace))
+		}
+		// Ramp: within the first 15 periods the level must exceed half
+		// the eventual settle point.
+		lo, hi := SettledLevels(trace, 0.25)
+		rampMax := 0
+		for _, p := range trace[:15] {
+			rampMax = max(rampMax, p.Threads)
+		}
+		if rampMax < lo/2 {
+			t.Fatalf("%s: ramp reached only %d threads by period 15 (settle band [%d, %d])",
+				m.Name, rampMax, lo, hi)
+		}
+		// Settle: the paper's Xeon runs settle between 72–132 and
+		// Power8 between 128–160; allow generous bands.
+		switch m.Name {
+		case "Xeon":
+			if lo < 25 || hi > 176 {
+				t.Fatalf("Xeon settle band [%d, %d] implausible vs paper 72–132", lo, hi)
+			}
+		case "Power8":
+			if lo < 80 || hi > 184 {
+				t.Fatalf("Power8 settle band [%d, %d] implausible vs paper 128–160", lo, hi)
+			}
+		}
+		// Settled throughput within 15% of the static best.
+		_, best := mo.BestDynamic()
+		got := SettledThroughput(trace, 0.25) / float64(mo.W.OpsPerTuple())
+		if got < 0.80*best {
+			t.Fatalf("%s: settled throughput %.3g below 80%% of best static %.3g", m.Name, got, best)
+		}
+	}
+}
+
+// TestElasticDiscoverySmallOptimum reproduces Fig. 11's data-parallel
+// Xeon row: exploration up to ~16 threads, degradation, then settling at
+// 8–10.
+func TestElasticDiscoverySmallOptimum(t *testing.T) {
+	mo := Model{M: Xeon(), W: Workload{Width: 1000, Depth: 1, Cost: 10000}}
+	trace := RunElastic(mo, ElasticConfig{Seed: 3})
+	lo, hi := SettledLevels(trace, 0.25)
+	if lo < 4 || hi > 24 {
+		t.Fatalf("settle band [%d, %d], paper settles 8–10", lo, hi)
+	}
+	explored := 0
+	for _, p := range trace {
+		explored = max(explored, p.Threads)
+	}
+	if explored <= hi {
+		t.Fatalf("no overshoot: explored max %d vs settle hi %d (paper explores past the peak)", explored, hi)
+	}
+}
+
+// TestElasticOscillationUnderNoise reproduces Fig. 11's Power8
+// data-parallel row: with very expensive tuples the measurement noise at
+// high thread counts exceeds the 5% sensitivity, history is repeatedly
+// wiped, and the level oscillates instead of settling (§5.4).
+func TestElasticOscillationUnderNoise(t *testing.T) {
+	mo := Model{M: Power8(), W: Workload{Width: 1000, Depth: 1, Cost: 1000000}}
+	trace := RunElastic(mo, ElasticConfig{Seed: 5})
+	changes := 0
+	half := trace[len(trace)/2:]
+	for i := 1; i < len(half); i++ {
+		if half[i].Threads != half[i-1].Threads {
+			changes++
+		}
+	}
+	if changes < 10 {
+		t.Fatalf("only %d level changes in the second half; the paper shows sustained oscillation", changes)
+	}
+}
+
+func TestElasticDeterminism(t *testing.T) {
+	mo := Model{M: Xeon(), W: Workload{Width: 10, Depth: 100, Cost: 1000}}
+	a := RunElastic(mo, ElasticConfig{Seed: 42})
+	b := RunElastic(mo, ElasticConfig{Seed: 42})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := RunElastic(mo, ElasticConfig{Seed: 43})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSettledHelpersDegenerate(t *testing.T) {
+	if lo, hi := SettledLevels(nil, 0.25); lo != 0 || hi != 0 {
+		t.Fatal("empty trace settle levels")
+	}
+	if SettledThroughput(nil, 0.25) != 0 {
+		t.Fatal("empty trace settle throughput")
+	}
+}
+
+// TestElasticResettlesAfterWorkloadChange reproduces the §4.2.3 claim:
+// untrusting data on a load change, combined with exploration both up
+// and down, finds a new settling point. Midway through the run the
+// data-parallel workload's per-tuple cost drops 10×, moving the optimum
+// from ≈7 to ≈20 threads on the Xeon model.
+func TestElasticResettlesAfterWorkloadChange(t *testing.T) {
+	before := Workload{Width: 1000, Depth: 1, Cost: 100000}
+	after := Workload{Width: 1000, Depth: 1, Cost: 10000}
+	mo := Model{M: Xeon(), W: before}
+	trace := RunElastic(mo, ElasticConfig{
+		Seed:        9,
+		SwitchAtSec: 700,
+		SwitchTo:    after,
+	})
+	// Settled level in the first phase ≈ optimum of `before`.
+	firstHalf := trace[:60]
+	lo1, hi1 := SettledLevels(firstHalf, 0.3)
+	bestBefore, _ := mo.BestDynamic()
+	if lo1 > 2*bestBefore || hi1 < bestBefore/3 {
+		t.Fatalf("pre-change band [%d, %d] far from optimum %d", lo1, hi1, bestBefore)
+	}
+	// After the change the controller must move to the new optimum's
+	// neighborhood.
+	lo2, hi2 := SettledLevels(trace, 0.2)
+	bestAfter, _ := Model{M: Xeon(), W: after}.BestDynamic()
+	if lo2 > 3*bestAfter || hi2 < bestAfter/3 {
+		t.Fatalf("post-change band [%d, %d] far from new optimum %d", lo2, hi2, bestAfter)
+	}
+	// The level actually moved in response to the change.
+	if lo1 == lo2 && hi1 == hi2 && bestBefore != bestAfter {
+		t.Fatalf("level band unchanged [%d, %d] across a workload change", lo1, hi1)
+	}
+}

@@ -1,0 +1,310 @@
+package spl
+
+// The abstract syntax tree produced by the parser. Nodes carry the
+// position of their first token for diagnostics.
+
+// Program is a parsed SPL source file: a set of composite operators.
+type Program struct {
+	Composites []*Composite
+}
+
+// Composite is one composite operator definition.
+type Composite struct {
+	Pos         Pos
+	Name        string
+	Annotations []*Annotation
+	// Outputs and Inputs are the composite's stream parameters, in
+	// declaration order.
+	Outputs []string
+	Inputs  []string
+	// Types are the type-section definitions.
+	Types []*TypeDef
+	// Invocations are the graph-section operator invocations.
+	Invocations []*Invocation
+}
+
+// Annotation is @name(key=value, ...).
+type Annotation struct {
+	Pos  Pos
+	Name string
+	Args map[string]string
+}
+
+// TypeDef names a tuple type: Name = field list.
+type TypeDef struct {
+	Pos    Pos
+	Name   string
+	Fields []Field
+}
+
+// Field is one attribute declaration.
+type Field struct {
+	Type TypeExpr
+	Name string
+}
+
+// TypeExpr is a syntactic type: a primitive or named type, list<T>, or
+// an inline tuple (field list).
+type TypeExpr struct {
+	Pos Pos
+	// Name holds the primitive or named type, or "list".
+	Name string
+	// Elem is the list element type when Name == "list".
+	Elem *TypeExpr
+	// Fields holds an inline tuple type (Name == "").
+	Fields []Field
+}
+
+// Invocation is one operator invocation in a graph section: either a
+// stream declaration (stream<T> Name = Op(Ins) {...}) or a sink
+// declaration (() as Alias = Op(Ins) {...}).
+type Invocation struct {
+	Pos         Pos
+	Annotations []*Annotation
+	// OutStream is the declared output stream name; empty for sinks.
+	OutStream string
+	// OutType is the declared output stream type; nil for sinks.
+	OutType *TypeExpr
+	// Alias is the sink's "as" name; empty for stream declarations.
+	Alias string
+	// OpName is the invoked operator or composite name.
+	OpName string
+	// Inputs are the input stream names per input port: semicolons in
+	// the invocation separate ports, commas fan several streams into one
+	// port. Inputs[p] lists the streams subscribed to port p.
+	Inputs [][]string
+	// Params are the param-clause assignments.
+	Params []*ParamAssign
+	// Logic maps an input stream name to its onTuple block.
+	Logic map[string]*Block
+	// State is the operator's persistent state declarations (logic
+	// state: { ... }), nil when absent.
+	State *Block
+}
+
+// Name returns the invocation's diagnostic name.
+func (inv *Invocation) Name() string {
+	if inv.OutStream != "" {
+		return inv.OutStream
+	}
+	return inv.Alias
+}
+
+// ParamAssign is one "name: expr;" inside a param clause.
+type ParamAssign struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	P() Pos
+	stmt()
+}
+
+// DeclStmt declares a local variable: [mutable] type name = expr;
+type DeclStmt struct {
+	Pos     Pos
+	Mutable bool
+	Type    TypeExpr
+	Name    string
+	Init    Expr
+}
+
+// AssignStmt assigns to a declared local: target = expr;
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// IfStmt is if (cond) block [else block].
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block
+}
+
+// SubmitStmt is submit({attrs}, Stream);
+type SubmitStmt struct {
+	Pos    Pos
+	Tuple  *TupleLit
+	Stream string
+}
+
+// ExprStmt evaluates an expression for its side effects (builtin calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// WhileStmt is while (cond) block.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+// BreakStmt exits the innermost while loop.
+type BreakStmt struct {
+	Pos Pos
+}
+
+// ContinueStmt restarts the innermost while loop.
+type ContinueStmt struct {
+	Pos Pos
+}
+
+// P implementations.
+func (s *DeclStmt) P() Pos     { return s.Pos }
+func (s *AssignStmt) P() Pos   { return s.Pos }
+func (s *IfStmt) P() Pos       { return s.Pos }
+func (s *SubmitStmt) P() Pos   { return s.Pos }
+func (s *ExprStmt) P() Pos     { return s.Pos }
+func (s *WhileStmt) P() Pos    { return s.Pos }
+func (s *BreakStmt) P() Pos    { return s.Pos }
+func (s *ContinueStmt) P() Pos { return s.Pos }
+
+func (*DeclStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*SubmitStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*WhileStmt) stmt()    {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface {
+	P() Pos
+	expr()
+}
+
+// Ident is a name reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	V   int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Pos Pos
+	V   float64
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Pos Pos
+	V   string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	V   bool
+}
+
+// ListLit is [e0, e1, ...].
+type ListLit struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// TupleLit is {name = expr, ...}.
+type TupleLit struct {
+	Pos    Pos
+	Names  []string
+	Values []Expr
+}
+
+// AttrExpr is x.name (tuple attribute access).
+type AttrExpr struct {
+	Pos  Pos
+	X    Expr
+	Name string
+}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	Pos  Pos
+	X, I Expr
+}
+
+// SliceExpr is x[lo:hi]; either bound may be nil.
+type SliceExpr struct {
+	Pos    Pos
+	X      Expr
+	Lo, Hi Expr
+}
+
+// CallExpr is name(args...).
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// BinaryExpr is x op y.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+}
+
+// CondExpr is c ? t : f.
+type CondExpr struct {
+	Pos     Pos
+	C, T, F Expr
+}
+
+// P implementations.
+func (e *Ident) P() Pos      { return e.Pos }
+func (e *IntLit) P() Pos     { return e.Pos }
+func (e *FloatLit) P() Pos   { return e.Pos }
+func (e *StringLit) P() Pos  { return e.Pos }
+func (e *BoolLit) P() Pos    { return e.Pos }
+func (e *ListLit) P() Pos    { return e.Pos }
+func (e *TupleLit) P() Pos   { return e.Pos }
+func (e *AttrExpr) P() Pos   { return e.Pos }
+func (e *IndexExpr) P() Pos  { return e.Pos }
+func (e *SliceExpr) P() Pos  { return e.Pos }
+func (e *CallExpr) P() Pos   { return e.Pos }
+func (e *UnaryExpr) P() Pos  { return e.Pos }
+func (e *BinaryExpr) P() Pos { return e.Pos }
+func (e *CondExpr) P() Pos   { return e.Pos }
+
+func (*Ident) expr()      {}
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*StringLit) expr()  {}
+func (*BoolLit) expr()    {}
+func (*ListLit) expr()    {}
+func (*TupleLit) expr()   {}
+func (*AttrExpr) expr()   {}
+func (*IndexExpr) expr()  {}
+func (*SliceExpr) expr()  {}
+func (*CallExpr) expr()   {}
+func (*UnaryExpr) expr()  {}
+func (*BinaryExpr) expr() {}
+func (*CondExpr) expr()   {}

@@ -1,0 +1,228 @@
+package spl
+
+import (
+	"strconv"
+	"strings"
+
+	"streams/internal/ops"
+)
+
+// builtin describes one builtin function: a type-checking rule and an
+// evaluator. Checking is ad-hoc per function (several builtins are
+// generic over element types, which a signature table cannot express
+// simply).
+type builtin struct {
+	check func(pos Pos, args []Type) (Type, error)
+	eval  func(pos Pos, args []Value) Value
+}
+
+func fixedSig(result Type, params ...Type) func(Pos, []Type) (Type, error) {
+	return func(pos Pos, args []Type) (Type, error) {
+		if len(args) != len(params) {
+			return nil, errf(pos, "wrong argument count: got %d, want %d", len(args), len(params))
+		}
+		for i, p := range params {
+			if !assignable(p, args[i]) {
+				return nil, errf(pos, "argument %d has type %s, want %s", i+1, args[i], p)
+			}
+		}
+		return result, nil
+	}
+}
+
+var builtins = map[string]builtin{
+	// tokenize(str, delimiters, keepEmpty) splits str at any character in
+	// delimiters; keepEmpty retains empty tokens between adjacent
+	// delimiters.
+	"tokenize": {
+		check: fixedSig(ListType{Elem: RString}, RString, RString, Boolean),
+		eval: func(_ Pos, args []Value) Value {
+			s, delims, keep := args[0].(string), args[1].(string), args[2].(bool)
+			isDelim := func(r rune) bool { return strings.ContainsRune(delims, r) }
+			var toks []string
+			if keep {
+				toks = strings.FieldsFunc(s, isDelim)
+				// FieldsFunc drops empties; reimplement keeping them.
+				toks = toks[:0]
+				cur := strings.Builder{}
+				for _, r := range s {
+					if isDelim(r) {
+						toks = append(toks, cur.String())
+						cur.Reset()
+					} else {
+						cur.WriteRune(r)
+					}
+				}
+				toks = append(toks, cur.String())
+			} else {
+				toks = strings.FieldsFunc(s, isDelim)
+			}
+			out := make([]Value, len(toks))
+			for i, t := range toks {
+				out[i] = t
+			}
+			return out
+		},
+	},
+	// findFirst(str, needle, from) returns the byte index of needle at or
+	// after from, or -1.
+	"findFirst": {
+		check: fixedSig(Int64, RString, RString, Int64),
+		eval: func(_ Pos, args []Value) Value {
+			s, needle, from := args[0].(string), args[1].(string), args[2].(int64)
+			if from < 0 || from > int64(len(s)) {
+				return int64(-1)
+			}
+			i := strings.Index(s[from:], needle)
+			if i < 0 {
+				return int64(-1)
+			}
+			return from + int64(i)
+		},
+	},
+	// size(list<T>) returns the element count.
+	"size": {
+		check: func(pos Pos, args []Type) (Type, error) {
+			if len(args) != 1 {
+				return nil, errf(pos, "size takes one argument")
+			}
+			if _, ok := args[0].(ListType); !ok {
+				return nil, errf(pos, "size argument has type %s, want a list", args[0])
+			}
+			return Int64, nil
+		},
+		eval: func(_ Pos, args []Value) Value {
+			return int64(len(args[0].([]Value)))
+		},
+	},
+	// length(rstring) returns the byte length.
+	"length": {
+		check: fixedSig(Int64, RString),
+		eval: func(_ Pos, args []Value) Value {
+			return int64(len(args[0].(string)))
+		},
+	},
+	// flatten(list<rstring>) joins tokens with single spaces (the paper's
+	// Figure 1 uses it to reassemble a log message tail).
+	"flatten": {
+		check: fixedSig(RString, ListType{Elem: RString}),
+		eval: func(_ Pos, args []Value) Value {
+			l := args[0].([]Value)
+			parts := make([]string, len(l))
+			for i, v := range l {
+				parts[i] = v.(string)
+			}
+			return strings.Join(parts, " ")
+		},
+	},
+	// substring(str, from, length).
+	"substring": {
+		check: fixedSig(RString, RString, Int64, Int64),
+		eval: func(pos Pos, args []Value) Value {
+			s, from, n := args[0].(string), args[1].(int64), args[2].(int64)
+			if from < 0 || n < 0 || from > int64(len(s)) {
+				panic(rtErrf(pos, "substring(%q, %d, %d) out of range", s, from, n))
+			}
+			end := from + n
+			if end > int64(len(s)) {
+				end = int64(len(s))
+			}
+			return s[from:end]
+		},
+	},
+	"lower": {
+		check: fixedSig(RString, RString),
+		eval:  func(_ Pos, args []Value) Value { return strings.ToLower(args[0].(string)) },
+	},
+	"upper": {
+		check: fixedSig(RString, RString),
+		eval:  func(_ Pos, args []Value) Value { return strings.ToUpper(args[0].(string)) },
+	},
+	// toInt(rstring) parses a decimal integer (0 on failure, as SPL's
+	// lenient casts behave).
+	"toInt": {
+		check: fixedSig(Int64, RString),
+		eval: func(_ Pos, args []Value) Value {
+			v, _ := strconv.ParseInt(strings.TrimSpace(args[0].(string)), 10, 64)
+			return v
+		},
+	},
+	// toFloat64(x) widens an integer to float64.
+	"toFloat64": {
+		check: func(pos Pos, args []Type) (Type, error) {
+			if len(args) != 1 || (!isInt(args[0]) && !args[0].equal(Float64)) {
+				return nil, errf(pos, "toFloat64 takes one numeric argument")
+			}
+			return Float64, nil
+		},
+		eval: func(_ Pos, args []Value) Value {
+			switch v := args[0].(type) {
+			case int64:
+				return float64(v)
+			default:
+				return v
+			}
+		},
+	},
+	// toString(x) formats any value.
+	"toString": {
+		check: func(pos Pos, args []Type) (Type, error) {
+			if len(args) != 1 {
+				return nil, errf(pos, "toString takes one argument")
+			}
+			return RString, nil
+		},
+		eval: func(_ Pos, args []Value) Value { return formatValue(args[0]) },
+	},
+	// makeDate / makeTime normalize date and time fragments; the paper's
+	// example feeds them syslog fields.
+	"makeDate": {
+		check: fixedSig(RString, RString),
+		eval:  func(_ Pos, args []Value) Value { return args[0].(string) },
+	},
+	"makeTime": {
+		check: fixedSig(RString, RString),
+		eval:  func(_ Pos, args []Value) Value { return args[0].(string) },
+	},
+	// makeTimestamp(date, time) combines the fragments.
+	"makeTimestamp": {
+		check: fixedSig(Timestamp, RString, RString),
+		eval: func(_ Pos, args []Value) Value {
+			return args[0].(string) + " " + args[1].(string)
+		},
+	},
+	// parseMsg(msg) extracts the uid, euid, tty, rhost and (when present)
+	// user values from an sshd authentication-failure message, in that
+	// order — the helper the paper's Figure 1 calls. A missing or empty
+	// trailing key shortens the list, matching the example's
+	// size(tokens) == 5 check for the optional user.
+	"parseMsg": {
+		check: fixedSig(ListType{Elem: RString}, RString),
+		eval: func(_ Pos, args []Value) Value {
+			kv := map[string]string{}
+			for _, tok := range strings.Fields(args[0].(string)) {
+				if i := strings.IndexByte(tok, '='); i > 0 {
+					kv[tok[:i]] = tok[i+1:]
+				}
+			}
+			var out []Value
+			for _, key := range []string{"uid", "euid", "tty", "rhost", "user"} {
+				v, ok := kv[key]
+				if !ok || (v == "" && key == "user") {
+					break
+				}
+				out = append(out, v)
+			}
+			return out
+		},
+	},
+	// spin(cost) performs cost floating-point operations and returns the
+	// result — the synthetic work of the paper's evaluation, exposed to
+	// SPL programs.
+	"spin": {
+		check: fixedSig(Float64, Int64),
+		eval: func(_ Pos, args []Value) Value {
+			return ops.Spin(int(args[0].(int64))/2, 1)
+		},
+	},
+}

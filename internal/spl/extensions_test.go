@@ -1,0 +1,532 @@
+package spl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streams/internal/pe"
+)
+
+// TestStatefulCustom verifies the logic state clause: a running counter
+// persisting across tuples, serialized by the port's consumer lock.
+func TestStatefulCustom(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 100; }
+    stream<int64 total> Sums = Custom(N) {
+      logic state: {
+        mutable int64 running = 0;
+      }
+      onTuple N: {
+        running = running + i;
+        submit({total = running}, Sums);
+      }
+    }
+    () as Out = FileSink(Sums) { param file: "sums"; }
+}
+`
+	for _, model := range []pe.Model{pe.Manual, pe.Dynamic} {
+		files := compileRun(t, src, model, 2, nil)
+		lines := files["sums"].Lines()
+		if len(lines) != 100 {
+			t.Fatalf("%v: got %d lines", model, len(lines))
+		}
+		// Prefix sums of 0..99.
+		if lines[0] != "0" || lines[99] != "4950" {
+			t.Fatalf("%v: state not persistent: first=%s last=%s", model, lines[0], lines[99])
+		}
+	}
+}
+
+// TestStatePerParallelReplica: each @parallel channel owns its state.
+func TestStatePerParallelReplica(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 90; }
+    @parallel(width=3)
+    stream<int64 c> Counts = Custom(N) {
+      logic state: { mutable int64 n = 0; }
+      onTuple N: {
+        n = n + 1;
+        submit({c = n}, Counts);
+      }
+    }
+    () as Out = FileSink(Counts) { param file: "counts"; }
+}
+`
+	files := compileRun(t, src, pe.Dynamic, 2, nil)
+	lines := files["counts"].Lines()
+	if len(lines) != 90 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Each replica sees 30 tuples, so the maximum count is 30 (not 90).
+	maxSeen := 0
+	for _, l := range lines {
+		v := 0
+		if _, err := fmtSscan(l, &v); err != nil {
+			t.Fatalf("bad line %q", l)
+		}
+		maxSeen = max(maxSeen, v)
+	}
+	if maxSeen != 30 {
+		t.Fatalf("max per-replica count %d, want 30 (state must be per replica)", maxSeen)
+	}
+}
+
+// TestWhileLoop exercises while/break/continue in logic.
+func TestWhileLoop(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 5; }
+    stream<int64 f> Facts = Custom(N) {
+      logic onTuple N: {
+        mutable int64 acc = 1;
+        mutable int64 k = i;
+        while (k > 1) {
+          acc = acc * k;
+          k = k - 1;
+          if (acc > 1000000) {
+            break;
+          }
+        }
+        submit({f = acc}, Facts);
+      }
+    }
+    () as Out = FileSink(Facts) { param file: "facts"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	lines := files["facts"].Lines()
+	want := []string{"1", "1", "2", "6", "24"} // factorials of 0..4
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for i, l := range lines {
+		if l != want[i] {
+			t.Fatalf("factorial(%d) = %s, want %s", i, l, want[i])
+		}
+	}
+}
+
+func TestWhileContinue(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 1; }
+    stream<int64 s> Out = Custom(N) {
+      logic onTuple N: {
+        mutable int64 k = 0;
+        mutable int64 sum = 0;
+        while (k < 10) {
+          k = k + 1;
+          if (k % 2 == 1) {
+            continue;
+          }
+          sum = sum + k;
+        }
+        submit({s = sum}, Out);
+      }
+    }
+    () as S = FileSink(Out) { param file: "o"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	if got := files["o"].Lines(); len(got) != 1 || got[0] != "30" { // 2+4+6+8+10
+		t.Fatalf("continue sum = %v, want [30]", got)
+	}
+}
+
+func TestThrottleOperator(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 20; }
+    stream<int64 i> Slow = Throttle(N) { param rate: 200; }
+    () as Out = FileSink(Slow) { param file: "o"; }
+}
+`
+	start := time.Now()
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	elapsed := time.Since(start)
+	if got := len(files["o"].Lines()); got != 20 {
+		t.Fatalf("throttle delivered %d", got)
+	}
+	// 20 tuples at 200/s ≈ 95ms minimum (first tuple unthrottled).
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("throttle too fast: %v", elapsed)
+	}
+}
+
+func TestPunctorOperator(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 10; }
+    stream<int64 i> P = Punctor(N) { param count: 3; }
+    () as Out = FileSink(P) { param file: "o"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	if got := len(files["o"].Lines()); got != 10 {
+		t.Fatalf("punctor delivered %d data tuples", got)
+	}
+}
+
+func TestDeDuplicateOperator(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 12; }
+    stream<int64 g> Groups = Custom(N) {
+      logic onTuple N: { submit({g = i / 4}, Groups); }
+    }
+    stream<int64 g> Uniq = DeDuplicate(Groups) { param key: g; }
+    () as Out = FileSink(Uniq) { param file: "o"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	lines := files["o"].Lines()
+	want := []string{"0", "1", "2"}
+	if len(lines) != 3 {
+		t.Fatalf("dedup kept %d lines: %v", len(lines), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("dedup output %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestExtensionErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"break outside loop", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> C = Custom(N) {
+    logic onTuple N: { break; }
+  }
+  () as S = FileSink(C) { param file: "x"; }
+}`, "break outside a loop"},
+		{"continue outside loop", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> C = Custom(N) {
+    logic onTuple N: { continue; }
+  }
+  () as S = FileSink(C) { param file: "x"; }
+}`, "continue outside a loop"},
+		{"while cond not boolean", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> C = Custom(N) {
+    logic onTuple N: { while (i) { } submit({i = i}, C); }
+  }
+  () as S = FileSink(C) { param file: "x"; }
+}`, "want boolean"},
+		{"state with non-decl", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> C = Custom(N) {
+    logic state: { submit({i = 1}, C); }
+    onTuple N: { submit({i = i}, C); }
+  }
+  () as S = FileSink(C) { param file: "x"; }
+}`, "state clauses may only contain declarations"},
+		{"state sees no attrs", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> C = Custom(N) {
+    logic state: { int64 x = i; }
+    onTuple N: { submit({i = x}, C); }
+  }
+  () as S = FileSink(C) { param file: "x"; }
+}`, `undefined name "i"`},
+		{"throttle needs rate", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> T = Throttle(N) {}
+  () as S = FileSink(T) { param file: "x"; }
+}`, "requires a rate"},
+		{"dedup unknown key", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> D = DeDuplicate(N) { param key: nope; }
+  () as S = FileSink(D) { param file: "x"; }
+}`, `no attribute "nope"`},
+		{"punctor bad count", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> P = Punctor(N) { param count: 0; }
+  () as S = FileSink(P) { param file: "x"; }
+}`, "positive count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compile succeeded, want error %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// fmtSscan is a tiny strconv helper avoiding an fmt dependency cycle in
+// tests.
+func fmtSscan(s string, v *int) (int, error) {
+	n := 0
+	neg := false
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, errf(Pos{}, "bad int %q", s)
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	*v = n
+	return 1, nil
+}
+
+func TestAggregateSum(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 10; }
+    stream<int64 total> Sums = Aggregate(N) {
+      param count: 4; function: sum; attr: i;
+    }
+    () as Out = FileSink(Sums) { param file: "o"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	lines := files["o"].Lines()
+	// Windows: [0..3]=6, [4..7]=22, partial [8,9]=17 flushed at final.
+	want := []string{"6", "22", "17"}
+	if len(lines) != 3 {
+		t.Fatalf("aggregate emitted %d values: %v", len(lines), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("aggregate output %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestAggregateAvgAndCount(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 8; }
+    stream<float64 m> Avgs = Aggregate(N) {
+      param count: 4; function: avg; attr: i;
+    }
+    () as A = FileSink(Avgs) { param file: "avg"; }
+}
+`
+	files := compileRun(t, src, pe.Dynamic, 2, nil)
+	lines := files["avg"].Lines()
+	if len(lines) != 2 || lines[0] != "1.5" || lines[1] != "5.5" {
+		t.Fatalf("avg output %v, want [1.5 5.5]", lines)
+	}
+
+	src2 := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 7; }
+    stream<int64 c> Counts = Aggregate(N) {
+      param count: 3; function: count;
+    }
+    () as C = FileSink(Counts) { param file: "cnt"; }
+}
+`
+	files = compileRun(t, src2, pe.Manual, 1, nil)
+	lines = files["cnt"].Lines()
+	if len(lines) != 3 || lines[0] != "3" || lines[1] != "3" || lines[2] != "1" {
+		t.Fatalf("count output %v, want [3 3 1]", lines)
+	}
+}
+
+func TestAggregateMinMax(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 6; }
+    stream<int64 v> Vals = Custom(N) {
+      logic onTuple N: { submit({v = (i % 2 == 0) ? -i : i * 10}, Vals); }
+    }
+    stream<int64 lo> Mins = Aggregate(Vals) {
+      param count: 6; function: min; attr: v;
+    }
+    () as M = FileSink(Mins) { param file: "min"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	// Values: 0, 10, -2, 30, -4, 50 → min -4.
+	if lines := files["min"].Lines(); len(lines) != 1 || lines[0] != "-4" {
+		t.Fatalf("min output %v, want [-4]", lines)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad function", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 x> A = Aggregate(N) { param count: 2; function: median; attr: i; }
+  () as S = FileSink(A) { param file: "x"; }
+}`, "unknown Aggregate function"},
+		{"missing attr", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 x> A = Aggregate(N) { param count: 2; function: sum; }
+  () as S = FileSink(A) { param file: "x"; }
+}`, "requires an attr"},
+		{"avg into int", `
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 x> A = Aggregate(N) { param count: 2; function: avg; attr: i; }
+  () as S = FileSink(A) { param file: "x"; }
+}`, "float64"},
+		{"non-numeric attr", `
+composite Main { graph
+  stream<rstring s> F = FileSource() { param file: "f"; }
+  stream<int64 x> A = Aggregate(F) { param count: 2; function: sum; attr: s; }
+  () as S = FileSink(A) { param file: "x"; }
+}`, "want a number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compile succeeded, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestListAndAttrAssignment exercises the interpreter's copy-on-write
+// assignment paths for list indices and tuple attributes.
+func TestListAndAttrAssignment(t *testing.T) {
+	src := `
+composite Main {
+  type
+    Pair = int64 a, int64 b;
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 3; }
+    stream<Pair> Pairs = Custom(N) {
+      logic onTuple N: { submit({a = i, b = i * 10}, Pairs); }
+    }
+    stream<int64 r> Out = Custom(Pairs) {
+      logic onTuple Pairs: {
+        mutable list<int64> xs = [1, 2, 3];
+        xs[1] = a;
+        mutable Pair copy = Pairs;
+        copy.b = xs[1] + b;
+        submit({r = copy.b}, Out);
+      }
+    }
+    () as S = FileSink(Out) { param file: "o"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	lines := files["o"].Lines()
+	// copy.b = i + i*10 = 11i for i = 0, 1, 2.
+	want := []string{"0", "11", "22"}
+	if len(lines) != 3 {
+		t.Fatalf("got %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("output %v, want %v", lines, want)
+		}
+	}
+}
+
+// TestFloatAggregate exercises the float paths through Aggregate.
+func TestFloatAggregate(t *testing.T) {
+	src := `
+composite Main {
+  graph
+    stream<int64 i> N = Beacon() { param iterations: 4; }
+    stream<float64 v> F = Custom(N) {
+      logic onTuple N: { submit({v = toFloat64(i) / 2.0}, F); }
+    }
+    stream<float64 hi> Maxs = Aggregate(F) {
+      param count: 4; function: max; attr: v;
+    }
+    () as S = FileSink(Maxs) { param file: "o"; }
+}
+`
+	files := compileRun(t, src, pe.Manual, 1, nil)
+	if lines := files["o"].Lines(); len(lines) != 1 || lines[0] != "1.5" {
+		t.Fatalf("float max output %v, want [1.5]", lines)
+	}
+}
+
+// TestCompositeArityErrors covers composite invocation mismatch paths.
+func TestCompositeArityErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"wrong input count", `
+composite Inner(output O; input A, B) {
+  graph
+    stream<int64 i> O = Custom(A; B) {
+      logic onTuple A: { submit({i = i}, O); }
+    }
+}
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  stream<int64 i> X = Inner(N) {}
+  () as S = FileSink(X) { param file: "x"; }
+}`, "takes 2 input streams, got 1"},
+		{"sink invocation of producing composite", `
+composite Inner(output O) {
+  graph
+    stream<int64 i> O = Beacon() { param iterations: 1; }
+}
+composite Main { graph
+  () as X = Inner() {}
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  () as S = FileSink(N) { param file: "x"; }
+}`, "outputs; invocation declares 0"},
+		{"parallel composite", `
+composite Inner(output O; input A) {
+  graph
+    stream<int64 i> O = Custom(A) {
+      logic onTuple A: { submit({i = i}, O); }
+    }
+}
+composite Main { graph
+  stream<int64 i> N = Beacon() { param iterations: 1; }
+  @parallel(width=2)
+  stream<int64 i> X = Inner(N) {}
+  () as S = FileSink(X) { param file: "x"; }
+}`, "@parallel on composite invocations"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src, Options{})
+			if err == nil {
+				t.Fatalf("compile succeeded, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,265 @@
+package spl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns SPL source into tokens. It supports //-line and /* */
+// block comments, decimal integer and float literals, double-quoted
+// strings with the usual escapes, and the punctuation the parser needs.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	err  *Error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the tokens (ending with EOF)
+// or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if lx.err != nil {
+			return nil, lx.err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	if lx.off+w >= len(lx.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off+w:])
+	return r
+}
+
+func (lx *Lexer) advance() rune {
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.err = errf(start, "unterminated block comment")
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	if lx.err != nil {
+		return Token{Kind: EOF, Pos: lx.pos()}
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return lx.ident(pos)
+	case unicode.IsDigit(r):
+		return lx.number(pos)
+	case r == '"':
+		return lx.str(pos)
+	}
+	lx.advance()
+	two := func(next rune, yes, no Kind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch r {
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}
+	case '[':
+		return Token{Kind: LBRACKET, Pos: pos}
+	case ']':
+		return Token{Kind: RBRACKET, Pos: pos}
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}
+	case ';':
+		return Token{Kind: SEMI, Pos: pos}
+	case ':':
+		return Token{Kind: COLON, Pos: pos}
+	case '.':
+		return Token{Kind: DOT, Pos: pos}
+	case '@':
+		return Token{Kind: AT, Pos: pos}
+	case '?':
+		return Token{Kind: QUESTION, Pos: pos}
+	case '+':
+		return Token{Kind: PLUS, Pos: pos}
+	case '-':
+		return Token{Kind: MINUS, Pos: pos}
+	case '*':
+		return Token{Kind: STAR, Pos: pos}
+	case '/':
+		return Token{Kind: SLASH, Pos: pos}
+	case '%':
+		return Token{Kind: PERCENT, Pos: pos}
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '!':
+		return two('=', NEQ, NOT)
+	case '<':
+		return two('=', LEQ, LANGLE)
+	case '>':
+		return two('=', GEQ, RANGLE)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: ANDAND, Pos: pos}
+		}
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OROR, Pos: pos}
+		}
+	}
+	lx.err = errf(pos, "unexpected character %q", r)
+	return Token{Kind: EOF, Pos: pos}
+}
+
+func (lx *Lexer) ident(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) {
+		r := lx.peek()
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			break
+		}
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) number(pos Pos) Token {
+	start := lx.off
+	kind := INT
+	for lx.off < len(lx.src) && unicode.IsDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && unicode.IsDigit(lx.peek2()) {
+		kind = FLOAT
+		lx.advance()
+		for lx.off < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	return Token{Kind: kind, Text: lx.src[start:lx.off], Pos: pos}
+}
+
+func (lx *Lexer) str(pos Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			lx.err = errf(pos, "unterminated string literal")
+			return Token{Kind: EOF, Pos: pos}
+		}
+		r := lx.advance()
+		switch r {
+		case '"':
+			return Token{Kind: STRING, Text: sb.String(), Pos: pos}
+		case '\\':
+			if lx.off >= len(lx.src) {
+				lx.err = errf(pos, "unterminated string escape")
+				return Token{Kind: EOF, Pos: pos}
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '"':
+				sb.WriteRune(e)
+			default:
+				lx.err = errf(pos, "unknown escape \\%c", e)
+				return Token{Kind: EOF, Pos: pos}
+			}
+		case '\n':
+			lx.err = errf(pos, "newline in string literal")
+			return Token{Kind: EOF, Pos: pos}
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package spl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`composite Main { graph stream<rstring line> X = F() {} }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KWComposite, IDENT, LBRACE, KWGraph, KWStream, LANGLE,
+		IDENT, IDENT, RANGLE, IDENT, ASSIGN, IDENT, LPAREN, RPAREN,
+		LBRACE, RBRACE, RBRACE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`== != <= >= && || ! = < > + - * / % ? :`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{EQ, NEQ, LEQ, GEQ, ANDAND, OROR, NOT, ASSIGN, LANGLE,
+		RANGLE, PLUS, MINUS, STAR, SLASH, PERCENT, QUESTION, COLON, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexLiterals(t *testing.T) {
+	toks, err := Lex(`42 3.14 "hi\nthere" true false ident`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INT || toks[0].Text != "42" {
+		t.Fatalf("int token %+v", toks[0])
+	}
+	if toks[1].Kind != FLOAT || toks[1].Text != "3.14" {
+		t.Fatalf("float token %+v", toks[1])
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "hi\nthere" {
+		t.Fatalf("string token %+v", toks[2])
+	}
+	if toks[3].Kind != KWTrue || toks[4].Kind != KWFalse || toks[5].Kind != IDENT {
+		t.Fatal("keyword/ident tokens wrong")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("a // line comment\n /* block\ncomment */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comment skipping failed: %v", toks)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Fatalf("line tracking through comments: %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := map[string]string{
+		`"unterminated`:   "unterminated string",
+		"\"newline\nin\"": "newline in string",
+		`"\q"`:            "unknown escape",
+		"/* unclosed":     "unterminated block comment",
+		"#":               "unexpected character",
+	}
+	for src, want := range cases {
+		_, err := Lex(src)
+		if err == nil {
+			t.Errorf("Lex(%q) succeeded, want error containing %q", src, want)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Lex(%q) error %q, want %q", src, err, want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("second token pos %v", toks[1].Pos)
+	}
+}

@@ -1,0 +1,830 @@
+package spl
+
+import "strconv"
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses an SPL source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+func (p *Parser) cur() Token     { return p.toks[p.pos] }
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekKind(ahead int) Kind {
+	if p.pos+ahead >= len(p.toks) {
+		return EOF
+	}
+	return p.toks[p.pos+ahead].Kind
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return p.cur(), errf(p.cur().Pos, "expected %v, found %v", k, p.cur().Kind)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// program := (annotation* composite)* EOF
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		anns, err := p.annotations()
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.composite(anns)
+		if err != nil {
+			return nil, err
+		}
+		prog.Composites = append(prog.Composites, c)
+	}
+	if len(prog.Composites) == 0 {
+		return nil, errf(p.cur().Pos, "no composite operators in source")
+	}
+	return prog, nil
+}
+
+// annotations := ("@" IDENT "(" key "=" value ("," key "=" value)* ")")*
+func (p *Parser) annotations() ([]*Annotation, error) {
+	var anns []*Annotation
+	for p.at(AT) {
+		pos := p.next().Pos
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		ann := &Annotation{Pos: pos, Name: name.Text, Args: map[string]string{}}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		for {
+			key, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(ASSIGN); err != nil {
+				return nil, err
+			}
+			val := p.next()
+			switch val.Kind {
+			case IDENT, INT, FLOAT, STRING:
+				ann.Args[key.Text] = val.Text
+			default:
+				return nil, errf(val.Pos, "annotation value must be an identifier or literal, found %v", val.Kind)
+			}
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		anns = append(anns, ann)
+	}
+	return anns, nil
+}
+
+// composite := "composite" IDENT params? "{" section* "}"
+func (p *Parser) composite(anns []*Annotation) (*Composite, error) {
+	kw, err := p.expect(KWComposite)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	c := &Composite{Pos: kw.Pos, Name: name.Text, Annotations: anns}
+	if p.accept(LPAREN) {
+		if err := p.compositeParams(c); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	for !p.at(RBRACE) {
+		switch p.cur().Kind {
+		case KWType:
+			p.next()
+			if err := p.typeSection(c); err != nil {
+				return nil, err
+			}
+		case KWGraph:
+			p.next()
+			if err := p.graphSection(c); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(p.cur().Pos, "expected 'type' or 'graph' section, found %v", p.cur().Kind)
+		}
+	}
+	_, err = p.expect(RBRACE)
+	return c, err
+}
+
+// compositeParams := ("output"|"input") names (";" ("output"|"input") names)* ")"
+func (p *Parser) compositeParams(c *Composite) error {
+	for {
+		var into *[]string
+		switch p.cur().Kind {
+		case KWOutput:
+			into = &c.Outputs
+		case KWInput:
+			into = &c.Inputs
+		default:
+			return errf(p.cur().Pos, "expected 'output' or 'input' in composite parameters, found %v", p.cur().Kind)
+		}
+		p.next()
+		for {
+			id, err := p.expect(IDENT)
+			if err != nil {
+				return err
+			}
+			*into = append(*into, id.Text)
+			if !p.accept(COMMA) {
+				break
+			}
+		}
+		if !p.accept(SEMI) {
+			break
+		}
+	}
+	_, err := p.expect(RPAREN)
+	return err
+}
+
+// typeSection := (IDENT "=" fieldList ";")* — ends at 'graph', 'type' or '}'.
+func (p *Parser) typeSection(c *Composite) error {
+	for p.at(IDENT) {
+		name := p.next()
+		if _, err := p.expect(ASSIGN); err != nil {
+			return err
+		}
+		fields, err := p.fieldList()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return err
+		}
+		c.Types = append(c.Types, &TypeDef{Pos: name.Pos, Name: name.Text, Fields: fields})
+	}
+	return nil
+}
+
+// fieldList := typeExpr IDENT ("," typeExpr IDENT)*
+func (p *Parser) fieldList() ([]Field, error) {
+	var fields []Field
+	for {
+		te, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Type: *te, Name: name.Text})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	return fields, nil
+}
+
+// typeExpr := "list" "<" typeExpr ">" | IDENT
+func (p *Parser) typeExpr() (*TypeExpr, error) {
+	id, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	te := &TypeExpr{Pos: id.Pos, Name: id.Text}
+	if id.Text == "list" {
+		if _, err := p.expect(LANGLE); err != nil {
+			return nil, err
+		}
+		elem, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		te.Elem = elem
+		if _, err := p.expect(RANGLE); err != nil {
+			return nil, err
+		}
+	}
+	return te, nil
+}
+
+// streamType := IDENT | fieldList  (inside stream< ... >)
+func (p *Parser) streamType() (*TypeExpr, error) {
+	// A lone identifier followed by '>' is a named type; anything else is
+	// an inline field list.
+	if p.at(IDENT) && p.peekKind(1) == RANGLE {
+		id := p.next()
+		return &TypeExpr{Pos: id.Pos, Name: id.Text}, nil
+	}
+	pos := p.cur().Pos
+	fields, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	return &TypeExpr{Pos: pos, Fields: fields}, nil
+}
+
+// graphSection := invocation* — ends at 'type', 'graph' or '}'.
+func (p *Parser) graphSection(c *Composite) error {
+	for {
+		switch p.cur().Kind {
+		case RBRACE, KWType, KWGraph, EOF:
+			return nil
+		}
+		inv, err := p.invocation()
+		if err != nil {
+			return err
+		}
+		c.Invocations = append(c.Invocations, inv)
+	}
+}
+
+// invocation := annotations (streamDecl | sinkDecl)
+func (p *Parser) invocation() (*Invocation, error) {
+	anns, err := p.annotations()
+	if err != nil {
+		return nil, err
+	}
+	inv := &Invocation{Annotations: anns, Logic: map[string]*Block{}}
+	switch p.cur().Kind {
+	case KWStream:
+		kw := p.next()
+		inv.Pos = kw.Pos
+		if _, err := p.expect(LANGLE); err != nil {
+			return nil, err
+		}
+		ot, err := p.streamType()
+		if err != nil {
+			return nil, err
+		}
+		inv.OutType = ot
+		if _, err := p.expect(RANGLE); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		inv.OutStream = name.Text
+	case LPAREN:
+		kw := p.next()
+		inv.Pos = kw.Pos
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWAs); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		inv.Alias = name.Text
+	default:
+		return nil, errf(p.cur().Pos, "expected 'stream' or '()' invocation, found %v", p.cur().Kind)
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	op, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	inv.OpName = op.Text
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	if !p.at(RPAREN) {
+		for {
+			var port []string
+			for {
+				id, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				port = append(port, id.Text)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+			inv.Inputs = append(inv.Inputs, port)
+			if !p.accept(SEMI) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	for !p.at(RBRACE) {
+		switch p.cur().Kind {
+		case KWParam:
+			p.next()
+			for p.at(IDENT) {
+				pa, err := p.paramAssign()
+				if err != nil {
+					return nil, err
+				}
+				inv.Params = append(inv.Params, pa)
+			}
+		case KWLogic:
+			p.next()
+			for p.at(KWOnTuple) || p.at(KWState) {
+				if p.at(KWState) {
+					st := p.next()
+					if _, err := p.expect(COLON); err != nil {
+						return nil, err
+					}
+					blk, err := p.block()
+					if err != nil {
+						return nil, err
+					}
+					if inv.State != nil {
+						return nil, errf(st.Pos, "duplicate state clause")
+					}
+					inv.State = blk
+					continue
+				}
+				p.next()
+				stream, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(COLON); err != nil {
+					return nil, err
+				}
+				blk, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := inv.Logic[stream.Text]; dup {
+					return nil, errf(stream.Pos, "duplicate onTuple clause for stream %q", stream.Text)
+				}
+				inv.Logic[stream.Text] = blk
+			}
+		default:
+			return nil, errf(p.cur().Pos, "expected 'param' or 'logic' clause, found %v", p.cur().Kind)
+		}
+	}
+	_, err = p.expect(RBRACE)
+	return inv, err
+}
+
+// paramAssign := IDENT ":" expr ";"
+func (p *Parser) paramAssign() (*ParamAssign, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ParamAssign{Pos: name.Pos, Name: name.Text, Expr: e}, nil
+}
+
+// block := "{" stmt* "}"
+func (p *Parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Block{Pos: lb.Pos}
+	for !p.at(RBRACE) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // consume }
+	return blk, nil
+}
+
+// stmt dispatches on the statement's leading tokens.
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KWIf:
+		return p.ifStmt()
+	case KWWhile:
+		return p.whileStmt()
+	case KWBreak:
+		kw := p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: kw.Pos}, nil
+	case KWContinue:
+		kw := p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: kw.Pos}, nil
+	case KWSubmit:
+		return p.submitStmt()
+	case KWMutable:
+		p.next()
+		return p.declStmt(true)
+	case IDENT:
+		// IDENT IDENT → declaration with a named/primitive type.
+		// "list" "<" → declaration with a list type.
+		if p.peekKind(1) == IDENT || (p.cur().Text == "list" && p.peekKind(1) == LANGLE) {
+			return p.declStmt(false)
+		}
+	}
+	pos := p.cur().Pos
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(ASSIGN) {
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: pos, Target: e, Value: v}, nil
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: pos, X: e}, nil
+}
+
+func (p *Parser) declStmt(mutable bool) (Stmt, error) {
+	te, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	init, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Pos: te.Pos, Mutable: mutable, Type: *te, Name: name.Text, Init: init}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(KWElse) {
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) submitStmt() (Stmt, error) {
+	kw := p.next()
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	tl, err := p.tupleLit()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COMMA); err != nil {
+		return nil, err
+	}
+	stream, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &SubmitStmt{Pos: kw.Pos, Tuple: tl, Stream: stream.Text}, nil
+}
+
+func (p *Parser) tupleLit() (*TupleLit, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	tl := &TupleLit{Pos: lb.Pos}
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		tl.Names = append(tl.Names, name.Text)
+		tl.Values = append(tl.Values, v)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	_, err = p.expect(RBRACE)
+	return tl, err
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *Parser) expr() (Expr, error) { return p.ternary() }
+
+func (p *Parser) ternary() (Expr, error) {
+	c, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(QUESTION) {
+		return c, nil
+	}
+	t, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	f, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Pos: c.P(), C: c, T: t, F: f}, nil
+}
+
+// binLevels orders binary operators from loosest to tightest.
+var binLevels = [][]Kind{
+	{OROR},
+	{ANDAND},
+	{EQ, NEQ},
+	{LANGLE, RANGLE, LEQ, GEQ},
+	{PLUS, MINUS},
+	{STAR, SLASH, PERCENT},
+}
+
+func (p *Parser) binary(level int) (Expr, error) {
+	if level == len(binLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range binLevels[level] {
+			if p.at(k) {
+				op := p.next()
+				rhs, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &BinaryExpr{Pos: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.at(NOT) || p.at(MINUS) {
+		op := p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(DOT):
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &AttrExpr{Pos: name.Pos, X: x, Name: name.Text}
+		case p.at(LBRACKET):
+			lb := p.next()
+			var lo Expr
+			if !p.at(COLON) {
+				lo, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(COLON) {
+				var hi Expr
+				if !p.at(RBRACKET) {
+					hi, err = p.expr()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(RBRACKET); err != nil {
+					return nil, err
+				}
+				x = &SliceExpr{Pos: lb.Pos, X: x, Lo: lo, Hi: hi}
+			} else {
+				if _, err := p.expect(RBRACKET); err != nil {
+					return nil, err
+				}
+				if lo == nil {
+					return nil, errf(lb.Pos, "missing index expression")
+				}
+				x = &IndexExpr{Pos: lb.Pos, X: x, I: lo}
+			}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Pos: t.Pos, V: v}, nil
+	case FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &FloatLit{Pos: t.Pos, V: v}, nil
+	case STRING:
+		p.next()
+		return &StringLit{Pos: t.Pos, V: t.Text}, nil
+	case KWTrue:
+		p.next()
+		return &BoolLit{Pos: t.Pos, V: true}, nil
+	case KWFalse:
+		p.next()
+		return &BoolLit{Pos: t.Pos, V: false}, nil
+	case LBRACKET:
+		p.next()
+		ll := &ListLit{Pos: t.Pos}
+		if !p.at(RBRACKET) {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ll.Elems = append(ll.Elems, e)
+				if !p.accept(COMMA) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		return ll, nil
+	case LBRACE:
+		return p.tupleLit()
+	case LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		p.next()
+		if p.at(LPAREN) {
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Name: t.Text}
+			if !p.at(RPAREN) {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(COMMA) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %v", t.Kind)
+	}
+}

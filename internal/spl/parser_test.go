@@ -1,0 +1,251 @@
+package spl
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig1Source = `
+// The paper's Figure 1 composite: failed logins from system messages.
+composite LoginFailures(output Failures) {
+  type
+    LogLine = timestamp time, rstring hostname, rstring srvc, rstring msg;
+    Failure = timestamp time, rstring uid, rstring euid,
+              rstring tty, rstring rhost, rstring user;
+  graph
+    stream<rstring line> Lines = FileSource() {
+      param format: line;
+            file: "/var/log/messages";
+    }
+    @parallel(width=7)
+    stream<LogLine> ParsedLines = Custom(Lines) {
+      logic onTuple Lines: {
+        list<rstring> tokens = tokenize(line, " ", false);
+        rstring date = makeDate(tokens[1]);
+        rstring time = makeTime(tokens[2]);
+        timestamp t = makeTimestamp(date, time);
+        submit({time = t, hostname = tokens[3],
+                srvc = tokens[4], msg = flatten(tokens[5:])},
+               ParsedLines);
+      }
+    }
+    stream<LogLine> FailuresRaw = Filter(ParsedLines) {
+      param filter:
+        findFirst(srvc, "sshd", 0) != -1 &&
+        findFirst(msg, "authentication failure", 0) != -1;
+    }
+    @parallel(width=4)
+    stream<Failure> Failures = Custom(FailuresRaw) {
+      logic onTuple FailuresRaw: {
+        list<rstring> tokens = parseMsg(msg);
+        submit({time = FailuresRaw.time,
+                uid = tokens[0], euid = tokens[1],
+                tty = tokens[2], rhost = tokens[3],
+                user = size(tokens) == 5 ? tokens[4] : ""},
+               Failures);
+      }
+    }
+}
+`
+
+const fig1Main = `
+@threading(model=dynamic)
+composite Main {
+  graph
+    stream<Failure> Failures = LoginFailures() {}
+    () as Sink = FileSink(Failures) {
+      param file: "failures.txt";
+    }
+}
+`
+
+func TestParseFig1(t *testing.T) {
+	prog, err := Parse(fig1Source + fig1Main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Composites) != 2 {
+		t.Fatalf("parsed %d composites, want 2", len(prog.Composites))
+	}
+	lf := prog.Composites[0]
+	if lf.Name != "LoginFailures" || len(lf.Outputs) != 1 || lf.Outputs[0] != "Failures" {
+		t.Fatalf("composite header wrong: %+v", lf)
+	}
+	if len(lf.Types) != 2 || lf.Types[0].Name != "LogLine" || len(lf.Types[1].Fields) != 6 {
+		t.Fatalf("type section wrong: %+v", lf.Types)
+	}
+	if len(lf.Invocations) != 4 {
+		t.Fatalf("parsed %d invocations, want 4", len(lf.Invocations))
+	}
+	par := lf.Invocations[1]
+	if len(par.Annotations) != 1 || par.Annotations[0].Name != "parallel" || par.Annotations[0].Args["width"] != "7" {
+		t.Fatalf("@parallel annotation wrong: %+v", par.Annotations)
+	}
+	if par.OpName != "Custom" || par.OutStream != "ParsedLines" || len(par.Logic) != 1 {
+		t.Fatalf("custom invocation wrong: %+v", par)
+	}
+	main := prog.Composites[1]
+	if len(main.Annotations) != 1 || main.Annotations[0].Args["model"] != "dynamic" {
+		t.Fatalf("@threading annotation wrong: %+v", main.Annotations)
+	}
+	snk := main.Invocations[1]
+	if snk.Alias != "Sink" || snk.OpName != "FileSink" || snk.Inputs[0][0] != "Failures" {
+		t.Fatalf("sink invocation wrong: %+v", snk)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+composite C {
+  graph
+    stream<int64 x> Out = Custom(In) {
+      logic onTuple In: {
+        mutable int64 acc = 0;
+        acc = acc + x;
+        if (acc > 10) {
+          submit({x = acc}, Out);
+        } else {
+          spin(5);
+        }
+        list<int64> xs = [1, 2, 3];
+        xs[0] = 9;
+        int64 y = xs[0] % 2 == 0 ? xs[1] : -xs[2];
+        submit({x = y}, Out);
+      }
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := prog.Composites[0].Invocations[0].Logic["In"]
+	if len(blk.Stmts) != 7 {
+		t.Fatalf("parsed %d statements, want 7", len(blk.Stmts))
+	}
+	if _, ok := blk.Stmts[0].(*DeclStmt); !ok {
+		t.Fatalf("stmt 0 is %T, want DeclStmt", blk.Stmts[0])
+	}
+	if !blk.Stmts[0].(*DeclStmt).Mutable {
+		t.Fatal("mutable flag lost")
+	}
+	if _, ok := blk.Stmts[1].(*AssignStmt); !ok {
+		t.Fatalf("stmt 1 is %T, want AssignStmt", blk.Stmts[1])
+	}
+	ifs, ok := blk.Stmts[2].(*IfStmt)
+	if !ok || ifs.Else == nil {
+		t.Fatalf("stmt 2 is %T (else=%v)", blk.Stmts[2], ok)
+	}
+	if _, ok := blk.Stmts[4].(*AssignStmt); !ok {
+		t.Fatalf("stmt 4 is %T, want index AssignStmt", blk.Stmts[4])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		``:                          "no composite operators",
+		`composite {`:               "expected identifier",
+		`composite C { wrong }`:     "expected 'type' or 'graph'",
+		`composite C { graph foo }`: "expected 'stream' or '()'",
+		`composite C { graph stream<T> X = F(); }`:                                  "expected '{'",
+		`composite C { graph () as S = F() { bogus } }`:                             "expected 'param' or 'logic'",
+		`@ann() composite C {}`:                                                     "expected identifier",
+		`composite C(weird X) {}`:                                                   "expected 'output' or 'input'",
+		`composite C { graph stream<T> X = F() { logic onTuple A: { submit(; } } }`: "expected '{'",
+	}
+	for src, want := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error %q", src, want)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Parse(%q) error %q, want %q", src, err, want)
+		}
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	src := `
+composite C {
+  graph
+    stream<int64 x> Out = Custom(In) {
+      logic onTuple In: {
+        int64 y = 1 + 2 * 3;
+        submit({x = y}, Out);
+      }
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := prog.Composites[0].Invocations[0].Logic["In"].Stmts[0].(*DeclStmt)
+	add, ok := decl.Init.(*BinaryExpr)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("top operator %T, want + at top", decl.Init)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != STAR {
+		t.Fatalf("right operand %T, want *", add.Y)
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	good := map[string]Value{
+		`1 + 2 * 3`:                  int64(7),
+		`"a" + "b"`:                  "ab",
+		`10 % 3`:                     int64(1),
+		`true && false`:              false,
+		`1 < 2 ? 10 : 20`:            int64(10),
+		`-(4 - 6)`:                   int64(2),
+		`size([1, 2, 3])`:            int64(3),
+		`findFirst("xaby", "ab", 0)`: int64(1),
+		`2.5 + 1.5`:                  float64(4),
+		`2.5 * 2.0 - 1.0`:            float64(4),
+		`3.0 / 2.0`:                  float64(1.5),
+		`1.5 < 2.5`:                  true,
+		`2.5 >= 2.5`:                 true,
+		`"abc" < "abd"`:              true,
+		`"b" >= "a"`:                 true,
+		`"x" <= "x"`:                 true,
+		`5 <= 4`:                     false,
+		`!false`:                     true,
+		`-2.5`:                       float64(-2.5),
+		`true || false`:              true,
+		`[1, 2] == [1, 2]`:           true,
+		`[1] != [2]`:                 true,
+		`10 % 4 == 2`:                true,
+	}
+	for src, want := range good {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &Parser{toks: toks}
+		e, err := p.expr()
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		v, err := constEval(e)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !valueEq(v, want) {
+			t.Errorf("constEval(%s) = %v, want %v", src, v, want)
+		}
+	}
+	// Errors: type errors and runtime faults both surface as errors.
+	for _, src := range []string{`1 + "a"`, `1 / 0`, `[1,2][5]`, `undefinedName`} {
+		toks, _ := Lex(src)
+		p := &Parser{toks: toks}
+		e, err := p.expr()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := constEval(e); err == nil {
+			t.Errorf("constEval(%s) succeeded, want error", src)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package spl implements a compiler for a subset of the Streams
+// Processing Language (SPL), the programming language of IBM Streams
+// (§2.1 of the paper). The subset covers what the paper's examples use:
+// composite operators with type and graph sections, stream declarations,
+// builtin operator invocations (FileSource, Beacon, Custom, Filter,
+// Work, FileSink, ...), Custom operator logic with onTuple statement
+// blocks, and the @parallel and @threading annotations.
+//
+// The pipeline is conventional: Lex → Parse → Check (types and names) →
+// Lower (composite expansion, @parallel replication, fusion into one
+// graph.Graph). Custom logic and filter expressions are executed by a
+// small tree-walking interpreter compiled into operator closures.
+package spl
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	FLOAT
+	STRING
+
+	// Punctuation.
+	LBRACE   // {
+	RBRACE   // }
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	LANGLE   // <
+	RANGLE   // >
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	DOT      // .
+	AT       // @
+	ASSIGN   // =
+	QUESTION // ?
+
+	// Operators.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	NOT     // !
+	EQ      // ==
+	NEQ     // !=
+	LEQ     // <=
+	GEQ     // >=
+	ANDAND  // &&
+	OROR    // ||
+
+	// Keywords.
+	KWComposite
+	KWGraph
+	KWType
+	KWParam
+	KWLogic
+	KWOnTuple
+	KWStream
+	KWAs
+	KWOutput
+	KWInput
+	KWIf
+	KWElse
+	KWMutable
+	KWSubmit
+	KWTrue
+	KWFalse
+	KWWhile
+	KWBreak
+	KWContinue
+	KWState
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer", FLOAT: "float",
+	STRING: "string", LBRACE: "'{'", RBRACE: "'}'", LPAREN: "'('",
+	RPAREN: "')'", LBRACKET: "'['", RBRACKET: "']'", LANGLE: "'<'",
+	RANGLE: "'>'", COMMA: "','", SEMI: "';'", COLON: "':'", DOT: "'.'",
+	AT: "'@'", ASSIGN: "'='", QUESTION: "'?'", PLUS: "'+'", MINUS: "'-'",
+	STAR: "'*'", SLASH: "'/'", PERCENT: "'%'", NOT: "'!'", EQ: "'=='",
+	NEQ: "'!='", LEQ: "'<='", GEQ: "'>='", ANDAND: "'&&'", OROR: "'||'",
+	KWComposite: "'composite'", KWGraph: "'graph'", KWType: "'type'",
+	KWParam: "'param'", KWLogic: "'logic'", KWOnTuple: "'onTuple'",
+	KWStream: "'stream'", KWAs: "'as'", KWOutput: "'output'",
+	KWInput: "'input'", KWIf: "'if'", KWElse: "'else'",
+	KWMutable: "'mutable'", KWSubmit: "'submit'", KWTrue: "'true'",
+	KWFalse: "'false'", KWWhile: "'while'", KWBreak: "'break'",
+	KWContinue: "'continue'", KWState: "'state'",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"composite": KWComposite,
+	"graph":     KWGraph,
+	"type":      KWType,
+	"param":     KWParam,
+	"logic":     KWLogic,
+	"onTuple":   KWOnTuple,
+	"stream":    KWStream,
+	"as":        KWAs,
+	"output":    KWOutput,
+	"input":     KWInput,
+	"if":        KWIf,
+	"else":      KWElse,
+	"mutable":   KWMutable,
+	"submit":    KWSubmit,
+	"true":      KWTrue,
+	"false":     KWFalse,
+	"while":     KWWhile,
+	"break":     KWBreak,
+	"continue":  KWContinue,
+	"state":     KWState,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String implements fmt.Stringer.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

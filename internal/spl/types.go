@@ -1,0 +1,184 @@
+package spl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a resolved SPL type.
+type Type interface {
+	String() string
+	equal(Type) bool
+}
+
+// Prim is a primitive type.
+type Prim int
+
+// Primitive types. Int32 and Int64 are distinct for checking but share
+// the int64 runtime representation; Timestamp shares the string
+// representation with RString.
+const (
+	Boolean Prim = iota
+	Int32
+	Int64
+	Float64
+	RString
+	Timestamp
+)
+
+// String implements Type.
+func (p Prim) String() string {
+	switch p {
+	case Boolean:
+		return "boolean"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case RString:
+		return "rstring"
+	case Timestamp:
+		return "timestamp"
+	default:
+		return fmt.Sprintf("Prim(%d)", int(p))
+	}
+}
+
+func (p Prim) equal(o Type) bool {
+	q, ok := o.(Prim)
+	return ok && p == q
+}
+
+// isInt reports whether t is an integer type.
+func isInt(t Type) bool { return t.equal(Int32) || t.equal(Int64) }
+
+// assignable reports whether a value of type src can be used where dst is
+// expected; the only implicit conversion is integer widening (and int
+// literal narrowing, handled by both directions being allowed between
+// the integer types).
+func assignable(dst, src Type) bool {
+	if dst.equal(src) {
+		return true
+	}
+	if isInt(dst) && isInt(src) {
+		return true
+	}
+	return false
+}
+
+// ListType is list<Elem>.
+type ListType struct {
+	Elem Type
+}
+
+// String implements Type.
+func (l ListType) String() string { return "list<" + l.Elem.String() + ">" }
+
+func (l ListType) equal(o Type) bool {
+	m, ok := o.(ListType)
+	return ok && l.Elem.equal(m.Elem)
+}
+
+// TField is one attribute of a tuple type.
+type TField struct {
+	Name string
+	Type Type
+}
+
+// TupleType is an ordered attribute list; stream types are tuple types.
+type TupleType struct {
+	Fields []TField
+}
+
+// String implements Type.
+func (t TupleType) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.Type.String() + " " + f.Name
+	}
+	return "tuple<" + strings.Join(parts, ", ") + ">"
+}
+
+func (t TupleType) equal(o Type) bool {
+	u, ok := o.(TupleType)
+	if !ok || len(t.Fields) != len(u.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.equal(u.Fields[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Field returns the type of the named attribute.
+func (t TupleType) Field(name string) (Type, bool) {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f.Type, true
+		}
+	}
+	return nil, false
+}
+
+// primTypes maps source spellings to primitives.
+var primTypes = map[string]Prim{
+	"boolean":   Boolean,
+	"int32":     Int32,
+	"int64":     Int64,
+	"float64":   Float64,
+	"rstring":   RString,
+	"timestamp": Timestamp,
+}
+
+// resolveType turns a syntactic TypeExpr into a Type, using named to look
+// up type-section definitions.
+func resolveType(te *TypeExpr, named map[string]TupleType) (Type, error) {
+	switch {
+	case te == nil:
+		return nil, fmt.Errorf("missing type")
+	case te.Name == "list":
+		elem, err := resolveType(te.Elem, named)
+		if err != nil {
+			return nil, err
+		}
+		return ListType{Elem: elem}, nil
+	case te.Name == "":
+		fields, err := resolveFields(te.Fields, named)
+		if err != nil {
+			return nil, err
+		}
+		return TupleType{Fields: fields}, nil
+	default:
+		if p, ok := primTypes[te.Name]; ok {
+			return p, nil
+		}
+		if tt, ok := named[te.Name]; ok {
+			return tt, nil
+		}
+		return nil, errf(te.Pos, "unknown type %q", te.Name)
+	}
+}
+
+// resolveFields resolves a syntactic field list into tuple fields,
+// flattening named tuple types used as field groups (SPL allows a named
+// tuple type to appear in a field list, splicing its attributes).
+func resolveFields(fs []Field, named map[string]TupleType) ([]TField, error) {
+	var out []TField
+	seen := map[string]bool{}
+	for _, f := range fs {
+		t, err := resolveType(&f.Type, named)
+		if err != nil {
+			return nil, err
+		}
+		if seen[f.Name] {
+			return nil, errf(f.Type.Pos, "duplicate attribute %q", f.Name)
+		}
+		seen[f.Name] = true
+		out = append(out, TField{Name: f.Name, Type: t})
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+// Package tuple defines the unit of data flow in the streaming runtime.
+//
+// A Tuple carries the application payload plus the metadata the scheduler
+// needs to execute it — most importantly the destination input port. As
+// in IBM Streams, tuples are value types: submitting a tuple downstream
+// copies it into the receiving port's queue, so the runtime never shares
+// mutable payload state between operators and never allocates per tuple
+// on the hot path (§4.1.5 of the paper explains why the product made the
+// same trade).
+//
+// The runtime also carries punctuations — in-band control signals sent
+// over streams. We model the two kinds the experiments need: window
+// punctuations (pass-through markers) and final punctuations, which tell
+// a port that no more tuples will ever arrive on one of its upstream
+// streams.
+package tuple
+
+import "fmt"
+
+// Kind discriminates data tuples from in-band punctuation.
+type Kind uint8
+
+const (
+	// Data is an ordinary application tuple.
+	Data Kind = iota
+	// WindowMark is a window punctuation, forwarded like a tuple.
+	WindowMark
+	// FinalMark is a final punctuation: the sending stream is closed.
+	FinalMark
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case WindowMark:
+		return "window"
+	case FinalMark:
+		return "final"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// PayloadWords is the number of 64-bit payload slots carried inline by
+// every tuple. Eight words is enough for all the evaluation workloads and
+// for the mini-SPL examples' scalar fields; larger values live in Ref.
+const PayloadWords = 8
+
+// Tuple is the unit of work the scheduler moves between operators. The
+// zero value is a valid (empty) data tuple.
+type Tuple struct {
+	// Port is the global ID of the destination input port. It is set by
+	// the runtime when the tuple is routed, not by operators.
+	Port int32
+	// Kind discriminates data from punctuation.
+	Kind Kind
+	// Seq is a per-stream sequence number stamped by the sending output
+	// port. The test suite uses it to verify the global ordering
+	// requirement; operators may read it but must not depend on it.
+	Seq uint64
+	// Words is the inline scalar payload.
+	Words [PayloadWords]uint64
+	// Ref optionally points at an immutable out-of-line payload (for
+	// example a parsed log line in the loginfailures example). Because
+	// tuples are copied by value, anything referenced here must be
+	// treated as read-only by downstream operators.
+	Ref any
+}
+
+// NewData returns a data tuple whose first payload words are set to the
+// given values.
+func NewData(words ...uint64) Tuple {
+	var t Tuple
+	if len(words) > PayloadWords {
+		panic(fmt.Sprintf("tuple: %d payload words exceed the inline capacity %d", len(words), PayloadWords))
+	}
+	copy(t.Words[:], words)
+	return t
+}
+
+// Final returns a final punctuation.
+func Final() Tuple { return Tuple{Kind: FinalMark} }
+
+// Window returns a window punctuation.
+func Window() Tuple { return Tuple{Kind: WindowMark} }
+
+// IsPunct reports whether the tuple is any kind of punctuation.
+func (t Tuple) IsPunct() bool { return t.Kind != Data }
+
+// String implements fmt.Stringer for debugging output.
+func (t Tuple) String() string {
+	if t.Kind != Data {
+		return fmt.Sprintf("tuple{%s port=%d}", t.Kind, t.Port)
+	}
+	return fmt.Sprintf("tuple{port=%d seq=%d w0=%d}", t.Port, t.Seq, t.Words[0])
+}

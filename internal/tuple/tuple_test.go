@@ -1,0 +1,89 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Data:       "data",
+		WindowMark: "window",
+		FinalMark:  "final",
+		Kind(7):    "Kind(7)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNewData(t *testing.T) {
+	tp := NewData(1, 2, 3)
+	if tp.Kind != Data {
+		t.Fatalf("Kind = %v, want Data", tp.Kind)
+	}
+	if tp.Words[0] != 1 || tp.Words[1] != 2 || tp.Words[2] != 3 || tp.Words[3] != 0 {
+		t.Fatalf("Words = %v", tp.Words)
+	}
+	if tp.IsPunct() {
+		t.Fatal("data tuple reported as punctuation")
+	}
+}
+
+func TestNewDataOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewData with too many words did not panic")
+		}
+	}()
+	NewData(1, 2, 3, 4, 5, 6, 7, 8, 9)
+}
+
+func TestPunctuations(t *testing.T) {
+	if !Final().IsPunct() || Final().Kind != FinalMark {
+		t.Fatal("Final() is wrong")
+	}
+	if !Window().IsPunct() || Window().Kind != WindowMark {
+		t.Fatal("Window() is wrong")
+	}
+}
+
+// TestValueSemantics verifies that assigning a tuple copies the payload —
+// the property the runtime relies on for isolation between operators.
+func TestValueSemantics(t *testing.T) {
+	a := NewData(42)
+	b := a
+	b.Words[0] = 7
+	if a.Words[0] != 42 {
+		t.Fatal("tuple copy aliased payload words")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tp := NewData(5)
+	tp.Port = 3
+	tp.Seq = 9
+	if got, want := tp.String(), "tuple{port=3 seq=9 w0=5}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	f := Final()
+	f.Port = 2
+	if got, want := f.String(), "tuple{final port=2}"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: NewData never mutates inputs and stores all words in order.
+func TestNewDataProperty(t *testing.T) {
+	f := func(w0, w1, w2, w3 uint64) bool {
+		tp := NewData(w0, w1, w2, w3)
+		return tp.Words[0] == w0 && tp.Words[1] == w1 &&
+			tp.Words[2] == w2 && tp.Words[3] == w3 &&
+			tp.Words[4] == 0 && tp.Kind == Data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package xport connects processing elements over the network, the way
+// IBM Streams runs distributed applications: streams that cross PE
+// boundaries are serialized onto TCP connections, and each PE input port
+// has its own thread that receives data, deserializes tuples, and
+// executes the receiving operators (§2.3 — one more kind of thread the
+// operator scheduler does not control but must coexist with).
+//
+// An Export operator terminates a stream in one PE and writes
+// length-delimited tuple frames to a connection; an Import source opens
+// the peer PE's side, reading frames and submitting tuples. Final
+// punctuation travels in-band, so a bounded upstream PE drains its
+// downstream PE exactly like a fused graph would.
+package xport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/tuple"
+)
+
+// Wire format: a fixed preamble per connection, then frames.
+//
+//	preamble: "SPLX" version(1)
+//	frame:    kind(1) seq(8) words(8×8)
+//
+// Tuple.Ref is not transmitted: like the product, typed payloads need
+// per-type serializers, and the evaluation workloads carry their payload
+// in the inline words.
+const (
+	magic      = "SPLX"
+	version    = 1
+	frameSize  = 1 + 8 + 8*tuple.PayloadWords
+	ioDeadline = 200 * time.Millisecond
+)
+
+// EncodeFrame serializes t into buf (which must hold frameSize bytes).
+func EncodeFrame(buf []byte, t tuple.Tuple) {
+	buf[0] = byte(t.Kind)
+	binary.BigEndian.PutUint64(buf[1:9], t.Seq)
+	for i, w := range t.Words {
+		binary.BigEndian.PutUint64(buf[9+8*i:], w)
+	}
+}
+
+// DecodeFrame deserializes a frame.
+func DecodeFrame(buf []byte) (tuple.Tuple, error) {
+	var t tuple.Tuple
+	if len(buf) < frameSize {
+		return t, fmt.Errorf("xport: short frame (%d bytes)", len(buf))
+	}
+	k := tuple.Kind(buf[0])
+	switch k {
+	case tuple.Data, tuple.WindowMark, tuple.FinalMark:
+		t.Kind = k
+	default:
+		return t, fmt.Errorf("xport: unknown tuple kind %d", buf[0])
+	}
+	t.Seq = binary.BigEndian.Uint64(buf[1:9])
+	for i := range t.Words {
+		t.Words[i] = binary.BigEndian.Uint64(buf[9+8*i:])
+	}
+	return t, nil
+}
+
+// Export is a sink operator that forwards every tuple to a peer PE over
+// a connection. Its local state (the connection and write buffer) is
+// lock-protected because under the dynamic model any thread may execute
+// it.
+type Export struct {
+	name string
+	dial func() (net.Conn, error)
+
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	sent uint64
+	err  error
+}
+
+// NewExport returns an Export that lazily dials its peer on the first
+// tuple. Name is diagnostic.
+func NewExport(name string, dial func() (net.Conn, error)) *Export {
+	return &Export{name: name, dial: dial}
+}
+
+// Name implements graph.Operator.
+func (e *Export) Name() string { return e.name }
+
+// Sent returns the number of frames written (including punctuation).
+func (e *Export) Sent() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent
+}
+
+// Err returns the first transport error, if any.
+func (e *Export) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Process implements graph.Operator.
+func (e *Export) Process(_ graph.Submitter, t tuple.Tuple, _ int) {
+	e.send(t)
+}
+
+// OnPunct implements graph.Puncts: window marks travel in-band. (Final
+// marks are sent by Finish so they are emitted exactly once, after all
+// data.)
+func (e *Export) OnPunct(_ graph.Submitter, k tuple.Kind, _ int) {
+	if k == tuple.WindowMark {
+		e.send(tuple.Window())
+	}
+}
+
+// Finish implements sched.Finalizer: send the final punctuation, flush
+// and close.
+func (e *Export) Finish(graph.Submitter) {
+	e.send(tuple.Final())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.bw != nil {
+		if err := e.bw.Flush(); err != nil && e.err == nil {
+			e.err = err
+		}
+	}
+	if e.conn != nil {
+		if err := e.conn.Close(); err != nil && e.err == nil {
+			e.err = err
+		}
+		e.conn, e.bw = nil, nil
+	}
+}
+
+func (e *Export) send(t tuple.Tuple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	if e.conn == nil {
+		conn, err := e.dial()
+		if err != nil {
+			e.err = fmt.Errorf("xport: export %s dial: %w", e.name, err)
+			return
+		}
+		e.conn = conn
+		e.bw = bufio.NewWriterSize(conn, 64*1024)
+		if _, err := e.bw.WriteString(magic); err != nil {
+			e.err = err
+			return
+		}
+		if err := e.bw.WriteByte(version); err != nil {
+			e.err = err
+			return
+		}
+	}
+	var buf [frameSize]byte
+	EncodeFrame(buf[:], t)
+	if _, err := e.bw.Write(buf[:]); err != nil {
+		e.err = err
+		return
+	}
+	e.sent++
+	// bufio flushes on a full buffer; flush eagerly on punctuation and
+	// every 128 frames so slow streams keep bounded latency.
+	if t.IsPunct() || e.sent%128 == 0 {
+		if err := e.bw.Flush(); err != nil {
+			e.err = err
+		}
+	}
+}
+
+// Import is a source operator that accepts one upstream connection and
+// replays its tuples into the local PE. Its Run loop is exactly the
+// paper's "PE input port thread": receive, deserialize, execute
+// downstream operators (via the scheduler's submitter).
+type Import struct {
+	name string
+	ln   net.Listener
+
+	mu       sync.Mutex
+	received uint64
+	err      error
+}
+
+// NewImport returns an Import accepting from ln. The Import owns the
+// listener and closes it when Run returns.
+func NewImport(name string, ln net.Listener) *Import {
+	return &Import{name: name, ln: ln}
+}
+
+// Name implements graph.Operator.
+func (im *Import) Name() string { return im.name }
+
+// Process implements graph.Operator; sources receive no input.
+func (im *Import) Process(graph.Submitter, tuple.Tuple, int) {}
+
+// Received returns the number of data tuples submitted locally.
+func (im *Import) Received() uint64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.received
+}
+
+// Err returns the first transport error, if any.
+func (im *Import) Err() error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.err
+}
+
+func (im *Import) setErr(err error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if im.err == nil {
+		im.err = err
+	}
+}
+
+// Run implements graph.Source.
+func (im *Import) Run(out graph.Submitter, stop <-chan struct{}) {
+	defer im.ln.Close()
+	conn, err := im.accept(stop)
+	if err != nil {
+		if !errors.Is(err, errStopped) {
+			im.setErr(err)
+		}
+		return
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64*1024)
+
+	// Preamble.
+	var pre [len(magic) + 1]byte
+	if err := im.readFull(conn, br, pre[:], stop); err != nil {
+		im.setErr(fmt.Errorf("xport: import %s preamble: %w", im.name, err))
+		return
+	}
+	if string(pre[:len(magic)]) != magic || pre[len(magic)] != version {
+		im.setErr(fmt.Errorf("xport: import %s: bad preamble %q v%d", im.name, pre[:len(magic)], pre[len(magic)]))
+		return
+	}
+
+	var buf [frameSize]byte
+	for {
+		if err := im.readFull(conn, br, buf[:], stop); err != nil {
+			if !errors.Is(err, errStopped) && !errors.Is(err, io.EOF) {
+				im.setErr(err)
+			}
+			return
+		}
+		t, err := DecodeFrame(buf[:])
+		if err != nil {
+			im.setErr(err)
+			return
+		}
+		switch t.Kind {
+		case tuple.FinalMark:
+			// Upstream PE drained: this source is done; the PE emits
+			// local final punctuation when Run returns.
+			return
+		case tuple.WindowMark:
+			out.Submit(tuple.Window(), 0)
+		default:
+			im.mu.Lock()
+			im.received++
+			im.mu.Unlock()
+			out.Submit(t, 0)
+		}
+	}
+}
+
+var errStopped = errors.New("xport: stopped")
+
+// accept waits for the upstream connection, polling stop.
+func (im *Import) accept(stop <-chan struct{}) (net.Conn, error) {
+	for {
+		select {
+		case <-stop:
+			return nil, errStopped
+		default:
+		}
+		if d, ok := im.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			if err := d.SetDeadline(time.Now().Add(ioDeadline)); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := im.ln.Accept()
+		if err == nil {
+			return conn, nil
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// readFull fills buf from br, renewing deadlines and honoring stop.
+func (im *Import) readFull(conn net.Conn, br *bufio.Reader, buf []byte, stop <-chan struct{}) error {
+	got := 0
+	for got < len(buf) {
+		select {
+		case <-stop:
+			return errStopped
+		default:
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(ioDeadline)); err != nil {
+			return err
+		}
+		n, err := br.Read(buf[got:])
+		got += n
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			if errors.Is(err, io.EOF) && got > 0 && got < len(buf) {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ graph.Source = (*Import)(nil)
+	_ graph.Puncts = (*Export)(nil)
+)

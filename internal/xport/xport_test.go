@@ -1,0 +1,271 @@
+package xport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/ops"
+	"streams/internal/pe"
+	"streams/internal/tuple"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(kindSel uint8, seq uint64, w0, w1, w7 uint64) bool {
+		kinds := []tuple.Kind{tuple.Data, tuple.WindowMark, tuple.FinalMark}
+		in := tuple.Tuple{Kind: kinds[int(kindSel)%3], Seq: seq}
+		in.Words[0], in.Words[1], in.Words[7] = w0, w1, w7
+		var buf [frameSize]byte
+		EncodeFrame(buf[:], in)
+		out, err := DecodeFrame(buf[:])
+		if err != nil {
+			return false
+		}
+		return out.Kind == in.Kind && out.Seq == in.Seq && out.Words == in.Words
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, 3)); err == nil {
+		t.Error("short frame accepted")
+	}
+	bad := make([]byte, frameSize)
+	bad[0] = 99
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// buildPEs wires PE1 (Generator → Worker → Export) to PE2 (Import →
+// Worker → Sink) over a loopback TCP connection and returns both plus
+// the sink and the transports.
+func buildPEs(t *testing.T, n uint64, model pe.Model) (*pe.PE, *pe.PE, *ops.Sink, *Export, *Import) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	exp := NewExport("Export", func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 5*time.Second)
+	})
+	b1 := graph.NewBuilder()
+	src := b1.AddNode(&ops.Generator{Limit: n}, 0, 1)
+	w1 := b1.AddNode(&ops.Worker{Cost: 5}, 1, 1)
+	ex := b1.AddNode(exp, 1, 0)
+	b1.Connect(src, 0, w1, 0)
+	b1.Connect(w1, 0, ex, 0)
+	g1, err := b1.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe1, err := pe.New(g1, pe.Config{Model: model, Threads: 2, MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	imp := NewImport("Import", ln)
+	snk := &ops.Sink{}
+	b2 := graph.NewBuilder()
+	in := b2.AddNode(imp, 0, 1)
+	w2 := b2.AddNode(&ops.Worker{Cost: 5}, 1, 1)
+	sn := b2.AddNode(snk, 1, 0)
+	b2.Connect(in, 0, w2, 0)
+	b2.Connect(w2, 0, sn, 0)
+	g2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe2, err := pe.New(g2, pe.Config{Model: model, Threads: 2, MaxThreads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pe1, pe2, snk, exp, imp
+}
+
+// TestTwoPEsDrainAcrossTCP runs a bounded stream across two PEs and
+// verifies full delivery, in-order arrival, and final-punctuation-driven
+// drain of the downstream PE.
+func TestTwoPEsDrainAcrossTCP(t *testing.T) {
+	const n = 20000
+	for _, model := range []pe.Model{pe.Dynamic, pe.Manual} {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			var mu sync.Mutex
+			var seen []uint64
+			pe1, pe2, snk, exp, imp := buildPEs(t, n, model)
+			snk.OnTuple = func(tp tuple.Tuple) {
+				mu.Lock()
+				seen = append(seen, tp.Words[0])
+				mu.Unlock()
+			}
+			if err := pe2.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pe1.Start(); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() {
+				pe1.Wait()
+				pe2.Wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("distributed drain timed out")
+			}
+			if err := exp.Err(); err != nil {
+				t.Fatalf("export error: %v", err)
+			}
+			if err := imp.Err(); err != nil {
+				t.Fatalf("import error: %v", err)
+			}
+			if got := snk.Count(); got != n {
+				t.Fatalf("downstream sink saw %d tuples, want %d", got, n)
+			}
+			if imp.Received() != n {
+				t.Fatalf("import received %d, want %d", imp.Received(), n)
+			}
+			// exp.Sent counts data + final punctuation.
+			if exp.Sent() != n+1 {
+				t.Fatalf("export sent %d frames, want %d", exp.Sent(), n+1)
+			}
+			for i, v := range seen {
+				if v != uint64(i) {
+					t.Fatalf("position %d: tuple %d out of order across the wire", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestImportStopsWithoutPeer verifies the PE input port thread honors
+// stop while waiting for a connection.
+func TestImportStopsWithoutPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := NewImport("Import", ln)
+	stop := make(chan struct{})
+	ret := make(chan struct{})
+	go func() {
+		imp.Run(nopSubmitter{}, stop)
+		close(ret)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-ret:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Import.Run did not stop")
+	}
+}
+
+type nopSubmitter struct{}
+
+func (nopSubmitter) Submit(tuple.Tuple, int) {}
+
+// TestImportRejectsBadPreamble checks protocol validation.
+func TestImportRejectsBadPreamble(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := NewImport("Import", ln)
+	stop := make(chan struct{})
+	ret := make(chan struct{})
+	go func() {
+		imp.Run(nopSubmitter{}, stop)
+		close(ret)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("BOGUS")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case <-ret:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Import.Run did not return on bad preamble")
+	}
+	if imp.Err() == nil {
+		t.Fatal("bad preamble produced no error")
+	}
+}
+
+// TestWindowPunctuationCrossesWire checks in-band window marks survive
+// the transport.
+func TestWindowPunctuationCrossesWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	exp := NewExport("Export", func() (net.Conn, error) { return net.Dial("tcp", addr) })
+	imp := NewImport("Import", ln)
+
+	var mu sync.Mutex
+	var got []tuple.Kind
+	collect := submitterFunc(func(t tuple.Tuple, _ int) {
+		mu.Lock()
+		got = append(got, t.Kind)
+		mu.Unlock()
+	})
+	stop := make(chan struct{})
+	ret := make(chan struct{})
+	go func() {
+		imp.Run(collect, stop)
+		close(ret)
+	}()
+	exp.Process(nil, tuple.NewData(1), 0)
+	exp.OnPunct(nil, tuple.WindowMark, 0)
+	exp.Process(nil, tuple.NewData(2), 0)
+	exp.Finish(nil)
+	select {
+	case <-ret:
+	case <-time.After(5 * time.Second):
+		t.Fatal("import did not finish")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []tuple.Kind{tuple.Data, tuple.WindowMark, tuple.Data}
+	if len(got) != len(want) {
+		t.Fatalf("received kinds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d kind %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+type submitterFunc func(tuple.Tuple, int)
+
+func (f submitterFunc) Submit(t tuple.Tuple, p int) { f(t, p) }
+
+// TestExportDialFailure: a dead peer surfaces as Err, not a hang.
+func TestExportDialFailure(t *testing.T) {
+	exp := NewExport("Export", func() (net.Conn, error) {
+		return net.DialTimeout("tcp", "127.0.0.1:1", 100*time.Millisecond)
+	})
+	exp.Process(nil, tuple.NewData(1), 0)
+	if exp.Err() == nil {
+		t.Fatal("dial failure produced no error")
+	}
+	// Further sends are no-ops, not panics.
+	exp.Process(nil, tuple.NewData(2), 0)
+	exp.Finish(nil)
+}
