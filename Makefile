@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test race check bench
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race suite covers the packages with lock-free concurrency: the
+# queue/enforcer layer and the scheduler.
+race:
+	$(GO) test -race ./internal/lfq ./internal/sched
+
+check: vet build test race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .

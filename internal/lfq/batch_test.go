@@ -1,0 +1,418 @@
+package lfq
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSPSCPushNPopNBasics(t *testing.T) {
+	q := NewSPSC[int](8)
+	if got := q.PushN(nil); got != 0 {
+		t.Fatalf("PushN(nil) = %d, want 0", got)
+	}
+	if got := q.PushN([]int{0, 1, 2, 3, 4}); got != 5 {
+		t.Fatalf("PushN = %d, want 5", got)
+	}
+	// Partial push: only 3 slots remain.
+	if got := q.PushN([]int{5, 6, 7, 8, 9}); got != 3 {
+		t.Fatalf("PushN on nearly full queue = %d, want 3", got)
+	}
+	if got := q.PushN([]int{99}); got != 0 {
+		t.Fatalf("PushN on full queue = %d, want 0", got)
+	}
+	dst := make([]int, 3)
+	if got := q.PopN(dst); got != 3 {
+		t.Fatalf("PopN = %d, want 3", got)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("PopN[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// Partial pop: 5 remain, ask for 8.
+	dst = make([]int, 8)
+	if got := q.PopN(dst); got != 5 {
+		t.Fatalf("PopN = %d, want 5", got)
+	}
+	for i, v := range dst[:5] {
+		if v != i+3 {
+			t.Fatalf("PopN[%d] = %d, want %d", i, v, i+3)
+		}
+	}
+	if got := q.PopN(dst); got != 0 {
+		t.Fatalf("PopN on empty queue = %d, want 0", got)
+	}
+}
+
+// TestSPSCBatchWrapAround pushes and pops misaligned batch sizes so every
+// call eventually straddles the ring's wrap point, checking the
+// two-segment copies.
+func TestSPSCBatchWrapAround(t *testing.T) {
+	q := NewSPSC[int](16)
+	next, expect := 0, 0
+	src := make([]int, 7)
+	dst := make([]int, 7)
+	for round := 0; round < 200; round++ {
+		for i := range src {
+			src[i] = next + i
+		}
+		pushed := q.PushN(src)
+		next += pushed
+		popped := q.PopN(dst)
+		for i := 0; i < popped; i++ {
+			if dst[i] != expect {
+				t.Fatalf("round %d: popped %d, want %d", round, dst[i], expect)
+			}
+			expect++
+		}
+	}
+	if expect == 0 {
+		t.Fatal("no elements moved")
+	}
+}
+
+// TestSPSCBatchModelProperty drives random interleavings of single and
+// batch operations against a bounded-FIFO reference model.
+func TestSPSCBatchModelProperty(t *testing.T) {
+	model := func(script []byte) bool {
+		q := NewSPSC[int](16)
+		var ref []int
+		next := 0
+		for _, op := range script {
+			size := 1 + int(op>>4) // 1..16
+			if op%2 == 0 {
+				src := make([]int, size)
+				for i := range src {
+					src[i] = next + i
+				}
+				got := q.PushN(src)
+				want := 16 - len(ref)
+				if want > size {
+					want = size
+				}
+				if got != want {
+					return false
+				}
+				ref = append(ref, src[:got]...)
+				next += got
+			} else {
+				dst := make([]int, size)
+				got := q.PopN(dst)
+				want := len(ref)
+				if want > size {
+					want = size
+				}
+				if got != want {
+					return false
+				}
+				for i := 0; i < got; i++ {
+					if dst[i] != ref[i] {
+						return false
+					}
+				}
+				ref = ref[got:]
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(model, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCBatchConcurrent streams elements through the queue with
+// randomly sized PushN/PopN calls from one producer and one consumer
+// goroutine. Under -race this validates that the single release store per
+// batch still publishes every slot write.
+func TestSPSCBatchConcurrent(t *testing.T) {
+	const n = 1 << 16
+	q := NewSPSC[int](256)
+	done := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(2))
+		dst := make([]int, 64)
+		expect := 0
+		for expect < n {
+			k := q.PopN(dst[:1+rng.Intn(64)])
+			if k == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for i := 0; i < k; i++ {
+				if dst[i] != expect {
+					done <- fmt.Errorf("popped %d, want %d", dst[i], expect)
+					return
+				}
+				expect++
+			}
+		}
+		done <- nil
+	}()
+	rng := rand.New(rand.NewSource(1))
+	src := make([]int, 64)
+	next := 0
+	for next < n {
+		k := 1 + rng.Intn(64)
+		if next+k > n {
+			k = n - next
+		}
+		for i := 0; i < k; i++ {
+			src[i] = next + i
+		}
+		pushed := q.PushN(src[:k])
+		next += pushed
+		if pushed == 0 {
+			runtime.Gosched()
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPSCMixedSingleAndBatch interleaves Push/Pop with PushN/PopN to
+// check the cached index snapshots stay coherent across the two APIs.
+func TestSPSCMixedSingleAndBatch(t *testing.T) {
+	q := NewSPSC[int](32)
+	next, expect := 0, 0
+	var v int
+	dst := make([]int, 5)
+	for round := 0; round < 500; round++ {
+		if q.Push(next) {
+			next++
+		}
+		src := []int{next, next + 1, next + 2}
+		next += q.PushN(src)
+		if q.Pop(&v) {
+			if v != expect {
+				t.Fatalf("Pop = %d, want %d", v, expect)
+			}
+			expect++
+		}
+		k := q.PopN(dst)
+		for i := 0; i < k; i++ {
+			if dst[i] != expect {
+				t.Fatalf("PopN = %d, want %d", dst[i], expect)
+			}
+			expect++
+		}
+	}
+	if expect == 0 {
+		t.Fatal("no elements moved")
+	}
+}
+
+func TestEnforcerPushNPartial(t *testing.T) {
+	e := NewEnforcer[int](8)
+	src := make([]int, 12)
+	for i := range src {
+		src[i] = i
+	}
+	if got := e.PushN(src); got != 8 {
+		t.Fatalf("PushN = %d, want 8 (queue capacity)", got)
+	}
+	if got := e.PushN(src[8:]); got != 0 {
+		t.Fatalf("PushN on full queue = %d, want 0", got)
+	}
+	dst := make([]int, 4)
+	n, ok := e.ConsumeN(dst)
+	if !ok || n != 4 {
+		t.Fatalf("ConsumeN = (%d, %v), want (4, true)", n, ok)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("ConsumeN[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// The freed space accepts the retried suffix in order.
+	if got := e.PushN(src[8:]); got != 4 {
+		t.Fatalf("PushN of suffix = %d, want 4", got)
+	}
+}
+
+func TestEnforcerPushNContended(t *testing.T) {
+	e := NewEnforcer[int](8)
+	if !e.ProdTryLock() {
+		t.Fatal("ProdTryLock failed on fresh enforcer")
+	}
+	if got := e.PushN([]int{1, 2, 3}); got != 0 {
+		t.Fatalf("PushN under contended producer lock = %d, want 0", got)
+	}
+	e.ProdUnlock()
+	if got := e.PushN([]int{1, 2, 3}); got != 3 {
+		t.Fatalf("PushN after unlock = %d, want 3", got)
+	}
+	if !e.ConsTryLock() {
+		t.Fatal("ConsTryLock failed")
+	}
+	if n, ok := e.ConsumeN(make([]int, 3)); ok || n != 0 {
+		t.Fatalf("ConsumeN under contended consumer lock = (%d, %v), want (0, false)", n, ok)
+	}
+	e.ConsUnlock()
+}
+
+// TestEnforcerBatchRaceStress hammers one enforcer with several batch
+// producers and several batch consumers, the exact concurrency shape the
+// scheduler creates (fan-in producers contending on the producer
+// try-lock, scheduler threads contending on the consumer try-lock). Run
+// under -race this is the regression net for the batched memory-ordering
+// protocol. It checks conservation (every pushed value pops exactly once)
+// and per-producer FIFO order.
+func TestEnforcerBatchRaceStress(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 20000
+	)
+	e := NewEnforcer[[2]int](64)
+	const total = int64(producers * perProd)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+	var consWG sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			dst := make([][2]int, 16)
+			for popped.Load() < total {
+				n, _ := e.ConsumeN(dst)
+				if n == 0 {
+					runtime.Gosched()
+					continue
+				}
+				popped.Add(int64(n))
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := make([][2]int, 16)
+			next := 0
+			for next < perProd {
+				k := 16
+				if next+k > perProd {
+					k = perProd - next
+				}
+				for i := 0; i < k; i++ {
+					src[i] = [2]int{p, next + i}
+				}
+				n := e.PushN(src[:k])
+				next += n
+				if n == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	consWG.Wait()
+	if got := popped.Load(); got != producers*perProd {
+		t.Fatalf("popped %d values, want %d", got, producers*perProd)
+	}
+}
+
+// TestEnforcerBatchPerProducerOrder checks FIFO order per producer with
+// batch producers and a single batch consumer (the scheduler's ordering
+// contract: one consumer lock holder at a time).
+func TestEnforcerBatchPerProducerOrder(t *testing.T) {
+	const (
+		producers = 3
+		perProd   = 30000
+	)
+	e := NewEnforcer[[2]int](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := make([][2]int, 11)
+			next := 0
+			for next < perProd {
+				k := len(src)
+				if next+k > perProd {
+					k = perProd - next
+				}
+				for i := 0; i < k; i++ {
+					src[i] = [2]int{p, next + i}
+				}
+				n := e.PushN(src[:k])
+				next += n
+				if n == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	got := 0
+	dst := make([][2]int, 32)
+	for got < producers*perProd {
+		n, _ := e.ConsumeN(dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < n; i++ {
+			p, seq := dst[i][0], dst[i][1]
+			if seq <= last[p] {
+				t.Fatalf("producer %d: value %d arrived after %d", p, seq, last[p])
+			}
+			last[p] = seq
+			got++
+		}
+	}
+	wg.Wait()
+}
+
+// ----- Microbenchmarks (run with -benchmem) -----
+
+// BenchmarkSPSCBatch measures per-element cost of moving tuples through
+// the ring in batches of the given size; size=1 via PushN/PopN shows the
+// batch API's fixed overhead against BenchmarkSPSCPushPop.
+func BenchmarkSPSCBatch(b *testing.B) {
+	for _, size := range []int{1, 8, 32, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			q := NewSPSC[int](1024)
+			src := make([]int, size)
+			dst := make([]int, size)
+			for i := range src {
+				src[i] = i
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				q.PushN(src)
+				q.PopN(dst)
+			}
+		})
+	}
+}
+
+func BenchmarkEnforcerPushN(b *testing.B) {
+	for _, size := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			e := NewEnforcer[int](1024)
+			src := make([]int, size)
+			dst := make([]int, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				e.PushN(src)
+				e.ConsumeN(dst)
+			}
+		})
+	}
+}

@@ -66,3 +66,35 @@ func (e *Enforcer[T]) Push(v T) bool {
 	}
 	return false
 }
+
+// PushN attempts to enqueue up to len(src) tuples in order under a single
+// producer try-lock acquisition, returning how many were accepted. A
+// return of 0 means the lock was contended or the queue was full; as with
+// Push the caller cannot distinguish the two and should fall back to the
+// scheduler's reSchedule path for the remainder. A partial count means
+// the queue filled: the accepted prefix is enqueued in order, so FIFO
+// order per producer is preserved when the caller retries the suffix.
+func (e *Enforcer[T]) PushN(src []T) int {
+	if len(src) == 0 || !e.ProdTryLock() {
+		return 0
+	}
+	n := e.queue.PushN(src)
+	e.ProdUnlock()
+	return n
+}
+
+// ConsumeN attempts to dequeue up to len(dst) tuples under a single
+// consumer try-lock acquisition. It returns how many tuples were moved
+// and whether the lock was acquired at all (n == 0 with ok == true means
+// the queue was empty). Callers that drain repeatedly (the scheduler's
+// main loop) should instead hold ConsTryLock across several Queue().PopN
+// calls; ConsumeN is the one-shot helper for callers that would otherwise
+// pair the locks around a single Pop.
+func (e *Enforcer[T]) ConsumeN(dst []T) (n int, ok bool) {
+	if !e.ConsTryLock() {
+		return 0, false
+	}
+	n = e.queue.PopN(dst)
+	e.ConsUnlock()
+	return n, true
+}

@@ -88,6 +88,39 @@ func (q *SPSC[T]) Push(v T) bool {
 	return true
 }
 
+// PushN appends up to len(src) elements in order and returns how many it
+// accepted (0 when the queue is full). The whole batch costs at most one
+// acquire refresh of the consumer index and exactly one release store of
+// the tail, against one pair per element for repeated Push calls. Like
+// Push it must be called by at most one goroutine at a time (the
+// producer).
+func (q *SPSC[T]) PushN(src []T) int {
+	t := q.tail.Load()
+	capacity := q.mask + 1
+	free := capacity - (t - q.headSnap)
+	if uint64(len(src)) > free { // refresh the consumer index once
+		q.headSnap = q.head.Load()
+		free = capacity - (t - q.headSnap)
+	}
+	n := uint64(len(src))
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	// The n slots starting at t wrap at most once; copy in two segments.
+	start := t & q.mask
+	first := capacity - start
+	if first > n {
+		first = n
+	}
+	copy(q.buf[start:start+first], src[:first])
+	copy(q.buf[:n-first], src[first:n])
+	q.tail.Store(t + n)
+	return int(n)
+}
+
 // Pop removes the head element into *v and reports whether the queue was
 // non-empty. It must be called by at most one goroutine at a time (the
 // consumer).
@@ -104,4 +137,39 @@ func (q *SPSC[T]) Pop(v *T) bool {
 	q.buf[h&q.mask] = zero // release references for the garbage collector
 	q.head.Store(h + 1)
 	return true
+}
+
+// PopN removes up to len(dst) elements in FIFO order into dst and returns
+// how many it moved (0 when the queue is empty). The whole batch costs at
+// most one acquire refresh of the producer index and exactly one release
+// store of the head. Like Pop it must be called by at most one goroutine
+// at a time (the consumer).
+func (q *SPSC[T]) PopN(dst []T) int {
+	h := q.head.Load()
+	avail := q.tailSnap - h
+	if avail < uint64(len(dst)) { // refresh the producer index once
+		q.tailSnap = q.tail.Load()
+		avail = q.tailSnap - h
+	}
+	n := uint64(len(dst))
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	// The n slots starting at h wrap at most once; copy out (and zero for
+	// the garbage collector) in two segments.
+	capacity := q.mask + 1
+	start := h & q.mask
+	first := capacity - start
+	if first > n {
+		first = n
+	}
+	copy(dst[:first], q.buf[start:start+first])
+	clear(q.buf[start : start+first])
+	copy(dst[first:n], q.buf[:n-first])
+	clear(q.buf[:n-first])
+	q.head.Store(h + n)
+	return int(n)
 }

@@ -21,23 +21,37 @@ const shardStride = 16
 // threads off shared cache lines (§4.1.2).
 type Counter struct {
 	shards []atomic.Uint64
+	// mask selects a shard from a thread ID with one AND instead of the
+	// modulo-of-a-division the hot path would otherwise recompute on
+	// every call; the shard count is rounded up to a power of two at
+	// construction to make that possible.
+	mask uint64
 }
 
-// NewCounter returns a counter with the given number of shards; callers
-// pass the maximum number of executing threads. A non-positive value is
-// treated as 1.
+// NewCounter returns a counter with at least the given number of shards
+// (rounded up to a power of two); callers pass the maximum number of
+// executing threads. A non-positive value is treated as 1.
 func NewCounter(shards int) *Counter {
 	if shards < 1 {
 		shards = 1
 	}
-	return &Counter{shards: make([]atomic.Uint64, shards*shardStride)}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Counter{
+		shards: make([]atomic.Uint64, n*shardStride),
+		mask:   uint64(n - 1),
+	}
 }
 
 // Add increments shard tid by n. tid values beyond the shard count wrap,
-// preserving correctness (only spreading degrades).
+// preserving correctness (only spreading degrades). Batch-friendly by
+// design: charging a whole drained batch with one Add(tid, n) costs the
+// same single uncontended atomic add as charging one tuple, so callers
+// moving tuples in batches should accumulate locally and charge once.
 func (c *Counter) Add(tid int, n uint64) {
-	i := (tid % (len(c.shards) / shardStride)) * shardStride
-	c.shards[i].Add(n)
+	c.shards[(uint64(tid)&c.mask)*shardStride].Add(n)
 }
 
 // Total sums all shards. The result is a lower bound of the true count at

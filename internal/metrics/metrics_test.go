@@ -47,6 +47,35 @@ func TestCounterConcurrent(t *testing.T) {
 	}
 }
 
+func TestCounterShardRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		c := NewCounter(tc.ask)
+		if got := len(c.shards) / shardStride; got != tc.want {
+			t.Errorf("NewCounter(%d): %d shards, want %d", tc.ask, got, tc.want)
+		}
+		if c.mask != uint64(tc.want-1) {
+			t.Errorf("NewCounter(%d): mask %#x, want %#x", tc.ask, c.mask, tc.want-1)
+		}
+		// Wrapping stays total-preserving whatever the tid.
+		for tid := 0; tid < 3*tc.want; tid++ {
+			c.Add(tid, 2)
+		}
+		if got := c.Total(); got != uint64(6*tc.want) {
+			t.Errorf("NewCounter(%d): Total = %d, want %d", tc.ask, got, 6*tc.want)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(3, 1)
+	}
+}
+
 func TestWelfordKnownValues(t *testing.T) {
 	var w Welford
 	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {

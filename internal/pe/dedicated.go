@@ -62,17 +62,27 @@ func (r *dedicatedRunner) start() error {
 	return nil
 }
 
-// portLoop is one dedicated thread: consume the port's queue forever,
-// backing off exponentially while it is empty, until the port closes or
-// the PE shuts down.
+// dedicatedBatch is the drain-batch size for dedicated port threads,
+// matching the dynamic scheduler's cap.
+const dedicatedBatch = 32
+
+// portLoop is one dedicated thread: consume the port's queue forever in
+// batches, backing off exponentially while it is empty, until the port
+// closes or the PE shuts down. Batching reuses the scheduler's batch
+// drain idea: one acquire refresh and one release store of the queue
+// indices, and one counter charge, per batch instead of per tuple.
 func (r *dedicatedRunner) portLoop(p *graph.InPort) {
 	q := r.queues[p.ID].Queue() // sole consumer: no consumer lock needed
+	batchCap := dedicatedBatch
+	if c := q.Cap(); c < batchCap {
+		batchCap = c
+	}
+	buf := make([]tuple.Tuple, batchCap)
 	delay := time.Microsecond
-	var t tuple.Tuple
 	for {
-		if q.Pop(&t) {
+		if n := q.PopN(buf); n > 0 {
 			delay = time.Microsecond
-			if r.deliver(p, t) {
+			if r.deliverBatch(p, buf[:n]) {
 				return // port closed by its final punctuation
 			}
 			continue
@@ -87,17 +97,48 @@ func (r *dedicatedRunner) portLoop(p *graph.InPort) {
 	}
 }
 
-// deliver processes one tuple at port p on p's dedicated thread,
-// reporting whether the port just closed.
-func (r *dedicatedRunner) deliver(p *graph.InPort, t tuple.Tuple) bool {
+// deliverBatch processes a batch of tuples at port p on p's dedicated
+// thread, charging the execution counters once per batch, and reports
+// whether the port just closed. As in the scheduler's batch drain, the
+// counts are settled before a final punctuation is handled so every
+// executed tuple is visible in the counters by the time the PE closes.
+func (r *dedicatedRunner) deliverBatch(p *graph.InPort, batch []tuple.Tuple) bool {
+	// One execution context serves the whole batch; it escapes into
+	// operator code through the Submitter interface, so allocating it per
+	// tuple would dominate small-tuple cost.
 	ec := &dedicatedCtx{r: r, node: p.Node, tid: p.ID}
+	data := 0
+	charge := func() {
+		if data == 0 {
+			return
+		}
+		r.exec.Add(p.ID, uint64(data))
+		if p.Node.NumOut == 0 {
+			r.sink.Add(p.ID, uint64(data))
+		}
+		data = 0
+	}
+	for i := range batch {
+		if batch[i].Kind == tuple.FinalMark {
+			charge()
+		}
+		if r.deliver(ec, p, batch[i], &data) {
+			charge()
+			return true
+		}
+	}
+	charge()
+	return false
+}
+
+// deliver processes one tuple at port p on p's dedicated thread,
+// reporting whether the port just closed. Data executions are tallied
+// into *data; the caller charges the sharded counters per batch.
+func (r *dedicatedRunner) deliver(ec *dedicatedCtx, p *graph.InPort, t tuple.Tuple, data *int) bool {
 	switch t.Kind {
 	case tuple.Data:
 		p.Node.Op.Process(ec, t, p.Index)
-		r.exec.Add(p.ID, 1)
-		if p.Node.NumOut == 0 {
-			r.sink.Add(p.ID, 1)
-		}
+		*data++
 	case tuple.WindowMark:
 		if ph, ok := p.Node.Op.(graph.Puncts); ok {
 			ph.OnPunct(ec, tuple.WindowMark, p.Index)

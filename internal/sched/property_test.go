@@ -86,7 +86,15 @@ func TestRandomDAGDeliveryProperty(t *testing.T) {
 				wantExecuted += p
 			}
 
-			s := runGraph(t, g, Config{MaxThreads: 3, QueueCap: 8}, 2)
+			// Run each topology twice: once with roomy queues (batched
+			// drains move full batches) and once with capacity-4 queues,
+			// where coalesced PushN flushes routinely half-succeed and
+			// fall back through reSchedule.
+			cfg := Config{MaxThreads: 3, QueueCap: 8}
+			if seed%2 == 1 {
+				cfg.QueueCap = 4
+			}
+			s := runGraph(t, g, cfg, 2)
 			for i, snk := range sinks {
 				want := uint64(n) * sinkPaths[i]
 				if got := snk.Count(); got != want {

@@ -143,6 +143,22 @@ type Scheduler struct {
 	levelMu sync.Mutex
 	wg      sync.WaitGroup
 
+	// batchCap is the size of every tuple batch buffer:
+	// min(QueueCap, 32). Batches amortize the queue-index and metric
+	// synchronization over many tuples; 32 bounds both the extra work a
+	// thread commits to before noticing suspension and the submit-side
+	// latency a coalesced tuple can accrue.
+	batchCap int
+	// bufPool recycles drain and coalescing buffers for contexts that
+	// cannot use the per-thread batch buffer: reSchedule (which nests
+	// inside an executing batch) and source threads (which have no
+	// Thread).
+	bufPool sync.Pool
+	// ctxPool recycles execution contexts for thread-less producers
+	// (source threads draining through reSchedule); scheduler threads use
+	// their own free list instead (Thread.ctxCache).
+	ctxPool sync.Pool
+
 	// Metrics. executed counts every tuple processed by every operator —
 	// the PE-wide throughput the elasticity algorithm consumes (§5.4
 	// notes Fig. 11 reports exactly this). perNode tracks per-operator
@@ -172,9 +188,14 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 	} else {
 		fl = lfq.NewMPMC[int32](listCap)
 	}
+	batchCap := cfg.QueueCap
+	if batchCap > 32 {
+		batchCap = 32
+	}
 	s := &Scheduler{
 		g:                  g,
 		cfg:                cfg,
+		batchCap:           batchCap,
 		queues:             make([]*lfq.Enforcer[tuple.Tuple], nPorts),
 		freePorts:          fl,
 		seqs:               make([][]atomic.Uint64, len(g.Nodes)),
@@ -190,8 +211,12 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		perNode:            make([]atomic.Uint64, len(g.Nodes)),
 		done:               make(chan struct{}),
 	}
+	s.bufPool.New = func() any {
+		b := make([]tuple.Tuple, batchCap)
+		return &b
+	}
 	for i := range s.threads {
-		s.threads[i] = newThread(i)
+		s.threads[i] = newThread(i, batchCap)
 	}
 	for _, p := range g.Ports {
 		s.queues[p.ID] = lfq.NewEnforcer[tuple.Tuple](cfg.QueueCap)
@@ -262,6 +287,33 @@ type ctx struct {
 	node *graph.Node
 	tid  int
 	thr  *Thread
+
+	// Submit-side coalescing. Contexts created by executeBatch set
+	// coalesce; consecutive submissions to the same destination port then
+	// accumulate and move with a single Enforcer.PushN. Source contexts
+	// leave coalesce unset and push immediately: a source ctx lives for
+	// the whole Run, so buffered tuples would have no flush point and
+	// could be delayed arbitrarily long by a slow source.
+	//
+	// Coalescing activates lazily so single-submission operator
+	// invocations (the overwhelmingly common case on a pipeline) pay one
+	// tuple copy and no buffer traffic: the first submission is held
+	// inline in pending; only a second consecutive submission to the
+	// same port acquires a batch buffer. At most one of the buffer
+	// (coalLen > 0) and pending (hasPending) is active at a time, and
+	// pendPort is the destination of whichever it is.
+	coalesce   bool
+	hasPending bool
+	pendPort   int32
+	coalLen    int
+	pending    tuple.Tuple
+	coal       []tuple.Tuple  // acquired on the 2nd consecutive same-port submit
+	coalBuf    *[]tuple.Tuple // coal's pooled handle, re-pooled by endCoalesce
+
+	// nextFree chains recycled contexts on their thread's free list
+	// (Thread.ctxCache); meaningful only between releaseCtx and the next
+	// acquireCtx.
+	nextFree *ctx
 }
 
 // Submit implements graph.Submitter.
@@ -275,8 +327,109 @@ func (c *ctx) Submit(t tuple.Tuple, outPort int) {
 		t2 := t
 		t2.Port = int32(pid)
 		t2.Seq = seq
-		c.s.push(t2, c)
+		if c.coalesce {
+			c.buffer(t2)
+		} else {
+			c.s.push(t2, c)
+		}
 	}
+}
+
+// buffer records t for coalesced submission. Tuples for one port are
+// buffered and flushed in submission order, so the per-stream FIFO
+// guarantee is untouched; only the interleaving across different
+// destination ports can differ from unbuffered submission, which no
+// ordering requirement covers.
+func (c *ctx) buffer(t tuple.Tuple) {
+	if c.coalLen > 0 {
+		// An active batch: extend it, or flush on a port change / full
+		// buffer and start over from a lone pending tuple.
+		if c.pendPort == t.Port && c.coalLen < len(c.coal) {
+			c.coal[c.coalLen] = t
+			c.coalLen++
+			return
+		}
+		c.flushCoalesce()
+	} else if c.hasPending {
+		if c.pendPort == t.Port && c.s.batchCap > 1 {
+			// Second consecutive submission to one port: this invocation
+			// is actually batching, so now pay for a buffer.
+			if c.coal == nil {
+				c.coalBuf = c.s.acquireBatch(c.thr)
+				c.coal = *c.coalBuf
+			}
+			c.coal[0] = c.pending
+			c.coal[1] = t
+			c.coalLen = 2
+			c.hasPending = false
+			return
+		}
+		c.hasPending = false
+		c.s.push(c.pending, c)
+	}
+	c.pending = t
+	c.pendPort = t.Port
+	c.hasPending = true
+}
+
+// flushCoalesce pushes the buffered tuples with one batch push. On a
+// partial push (queue full) or a contended producer lock the remainder
+// falls back tuple by tuple through push/reSchedule, in order — exactly
+// the back-pressure path unbuffered submission takes, so blocking
+// semantics are unchanged.
+func (c *ctx) flushCoalesce() {
+	n := c.coalLen
+	if n == 0 {
+		return
+	}
+	c.coalLen = 0
+	buf := c.coal[:n]
+	pushed := c.s.queues[c.pendPort].PushN(buf)
+	for i := pushed; i < n; i++ {
+		c.s.push(buf[i], c)
+	}
+}
+
+// endCoalesce flushes whatever is still held — the batch buffer or the
+// lone pending tuple — and returns the buffer. Every executeBatch calls
+// it before returning, so no tuple outlives the batch that submitted it.
+func (c *ctx) endCoalesce() {
+	c.flushCoalesce()
+	if c.hasPending {
+		c.hasPending = false
+		c.s.push(c.pending, c)
+	}
+	if c.coal != nil {
+		c.s.releaseBatch(c.thr, c.coalBuf)
+		c.coal = nil
+		c.coalBuf = nil
+	}
+}
+
+// acquireBatch returns a batchCap-sized tuple buffer: the thread's spare
+// when it is free, the shared pool otherwise (nested execution frames and
+// source threads, which have no Thread). The spare is touched only by the
+// owning goroutine, so spareBusy needs no synchronization. Buffers travel
+// as *[]tuple.Tuple so the release re-pools the same pointer instead of
+// boxing a fresh slice header.
+func (s *Scheduler) acquireBatch(thr *Thread) *[]tuple.Tuple {
+	if thr != nil && !thr.spareBusy {
+		thr.spareBusy = true
+		return thr.spare
+	}
+	return s.bufPool.Get().(*[]tuple.Tuple)
+}
+
+// releaseBatch returns a buffer obtained from acquireBatch. Contents are
+// not cleared: buffers recycle quickly on the hot path and pooled buffers
+// are dropped by the garbage collector when idle, so stale Ref pointers
+// are only transiently retained.
+func (s *Scheduler) releaseBatch(thr *Thread, b *[]tuple.Tuple) {
+	if thr != nil && b == thr.spare {
+		thr.spareBusy = false
+		return
+	}
+	s.bufPool.Put(b)
 }
 
 func (c *ctx) finished() bool {
@@ -326,15 +479,43 @@ func (s *Scheduler) push(t tuple.Tuple, c *ctx) {
 // access without touching global data (§4.1.4).
 func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *ctx) {
 	s.reschedules.Add(c.tid, 1)
+	// reSchedule nests inside an executing batch (and runs on source
+	// threads that have no Thread at all), so it borrows a drain buffer —
+	// the thread's spare, or a pooled one — instead of using thr.batch.
+	// Both the buffer and the execution context are acquired only if a
+	// consumer lock is actually won: the pure retry-spin path stays
+	// allocation-free.
+	var bufp *[]tuple.Tuple
+	var buf []tuple.Tuple
+	var ec *ctx
+	p := s.g.Ports[t.Port]
 	spins := 0
 	for !q.Push(t) && !c.finished() {
 		if q.ConsTryLock() {
-			var rt tuple.Tuple
+			if bufp == nil {
+				bufp = s.acquireBatch(c.thr)
+				buf = *bufp
+				// The drain does not coalesce: this is the congestion
+				// path, where downstream queues are full and a batched
+				// push would only buffer tuples to fail the PushN and
+				// fall back tuple by tuple anyway.
+				ec = s.acquireCtx(p, c.tid, c.thr, false)
+			}
+			// Drain at most ReschedLimit+1 tuples (the pre-batching bound)
+			// in batches, charging locks, indices and counters per batch.
 			processed := 0
-			for q.Queue().Pop(&rt) {
-				s.execute(rt, c.tid, c.thr)
-				processed++
-				if processed > s.cfg.ReschedLimit || c.finished() || c.suspendedNow() {
+			for processed <= s.cfg.ReschedLimit {
+				want := s.cfg.ReschedLimit + 1 - processed
+				if want > len(buf) {
+					want = len(buf)
+				}
+				n := q.Queue().PopN(buf[:want])
+				if n == 0 {
+					break
+				}
+				s.executeBatch(ec, p, buf[:n])
+				processed += n
+				if c.finished() || c.suspendedNow() {
 					break
 				}
 			}
@@ -348,37 +529,103 @@ func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *c
 			spins = 0
 		}
 	}
+	if bufp != nil {
+		s.releaseBatch(c.thr, bufp)
+		s.releaseCtx(ec)
+	}
 }
 
-// execute processes one tuple on its destination port's operator,
-// handling punctuation inline. The caller must hold the port's consumer
-// lock.
-func (s *Scheduler) execute(t tuple.Tuple, tid int, thr *Thread) {
-	p := s.g.Ports[t.Port]
-	ec := ctx{s: s, node: p.Node, tid: tid, thr: thr}
+// acquireCtx returns an execution context for draining port p, reused
+// across every batch of one drain. Contexts escape into operator code
+// through the Submitter interface and so always live on the heap; scheduler
+// threads recycle them through a thread-local free list (no
+// synchronization — the list is touched only by the owning goroutine) so
+// steady-state draining allocates nothing. Source threads, which have no
+// Thread, fall back to allocation. Callers with coalescing enabled must
+// call endCoalesce before releasing the port's consumer lock.
+func (s *Scheduler) acquireCtx(p *graph.InPort, tid int, thr *Thread, coalesce bool) *ctx {
+	var ec *ctx
 	if thr != nil {
-		// execute nests when operators drain downstream queues through
+		if ec = thr.ctxCache; ec != nil {
+			thr.ctxCache = ec.nextFree
+		}
+	} else {
+		ec, _ = s.ctxPool.Get().(*ctx)
+	}
+	if ec == nil {
+		ec = new(ctx)
+	}
+	*ec = ctx{s: s, node: p.Node, tid: tid, thr: thr, coalesce: coalesce}
+	return ec
+}
+
+// releaseCtx returns a drained port's context to its thread's free list,
+// or to the shared pool for thread-less (source) producers. The context
+// must hold no coalesced tuples (endCoalesce already ran or coalescing
+// was off).
+func (s *Scheduler) releaseCtx(ec *ctx) {
+	if thr := ec.thr; thr != nil {
+		ec.nextFree = thr.ctxCache
+		thr.ctxCache = ec
+		return
+	}
+	s.ctxPool.Put(ec)
+}
+
+// executeBatch processes a batch of tuples popped from a single port's
+// queue, handling punctuation inline. The caller must hold the port's
+// consumer lock and supply that port's drainCtx. Because every tuple
+// targets the same port (batches come from one SPSC queue), the routing
+// lookup and the executed/perNode/sinkDeliver counter updates are paid
+// once per batch instead of once per tuple, and the execution context is
+// shared by all the drain's batches. All tuples in the batch are executed
+// unconditionally: they have already left the queue, so stop and
+// suspension flags are only consulted between batches by the callers.
+func (s *Scheduler) executeBatch(ec *ctx, p *graph.InPort, batch []tuple.Tuple) {
+	tid := ec.tid
+	if thr := ec.thr; thr != nil {
+		// Execution nests when operators drain downstream queues through
 		// reSchedule; restore rather than clear so the outermost frame
 		// keeps the thread marked active.
 		was := thr.active.Swap(true)
 		defer thr.active.Store(was)
 	}
-	switch t.Kind {
-	case tuple.Data:
-		p.Node.Op.Process(&ec, t, p.Index)
-		s.executed.Add(tid, 1)
-		s.perNode[p.Node.ID].Add(1)
+	data := 0
+	charge := func() {
+		if data == 0 {
+			return
+		}
+		s.executed.Add(tid, uint64(data))
+		s.perNode[p.Node.ID].Add(uint64(data))
 		if p.Node.NumOut == 0 {
-			s.sinkDeliver.Add(tid, 1)
+			s.sinkDeliver.Add(tid, uint64(data))
 		}
-	case tuple.WindowMark:
-		if ph, ok := p.Node.Op.(graph.Puncts); ok {
-			ph.OnPunct(&ec, tuple.WindowMark, p.Index)
-		}
-		forwardPunct(&ec, tuple.Window())
-	case tuple.FinalMark:
-		s.handleFinal(p, &ec)
+		data = 0
 	}
+	for i := range batch {
+		t := &batch[i]
+		switch t.Kind {
+		case tuple.Data:
+			p.Node.Op.Process(ec, *t, p.Index)
+			data++
+		case tuple.WindowMark:
+			if ph, ok := p.Node.Op.(graph.Puncts); ok {
+				ph.OnPunct(ec, tuple.WindowMark, p.Index)
+			}
+			forwardPunct(ec, tuple.Window())
+		case tuple.FinalMark:
+			// Settle the batch's counts first: handleFinal can cascade
+			// into closing the PE, and every tuple executed before the
+			// close must already be visible in the counters by then
+			// (Wait returns as soon as the PE closes). Coalesced tuples
+			// this node already submitted are unaffected: the forwarded
+			// final queues behind them in the same buffer, so downstream
+			// cannot process it before they flush.
+			charge()
+			s.handleFinal(p, ec)
+		}
+	}
+	charge()
 }
 
 // forwardPunct submits a punctuation on every output port of the
@@ -533,20 +780,37 @@ func (s *Scheduler) Wait() {
 	s.wg.Wait()
 }
 
-// schedule is the paper's Figure 4 main scheduling loop.
+// schedule is the paper's Figure 4 main scheduling loop, draining each
+// acquired port in batches: the find already paid for touching global
+// data (the free list and the consumer lock), so the whole drain runs on
+// thread-local state, and batching stretches the same amortization over
+// the queue indices and metric shards — one acquire refresh, one release
+// store and one counter add per batch of up to batchCap tuples.
 func (s *Scheduler) schedule(thr *Thread) {
 	var t tuple.Tuple
 	for s.findWorkBlocking(&t, thr) {
-		s.execute(t, thr.id, thr)
 		q := s.queues[t.Port]
 		port := t.Port
-		for q.Queue().Pop(&t) {
-			s.execute(t, thr.id, thr)
+		p := s.g.Ports[port]
+		ec := s.acquireCtx(p, thr.id, thr, true)
+		// findWork popped the first tuple already; complete its batch.
+		thr.batch[0] = t
+		n := 1 + q.Queue().PopN(thr.batch[1:])
+		for {
+			s.executeBatch(ec, p, thr.batch[:n])
 			if thr.suspended.Load() || s.stopRequested(thr) {
 				break
 			}
+			if n = q.Queue().PopN(thr.batch); n == 0 {
+				break
+			}
 		}
+		// Flush coalesced submissions before releasing the consumer lock:
+		// stamping and flushing under the same lock is what preserves the
+		// per-stream FIFO order at the destination ports.
+		ec.endCoalesce()
 		q.ConsUnlock()
+		s.releaseCtx(ec)
 		if !s.portClosed[port].Load() {
 			for !s.freePorts.Push(port) {
 				runtime.Gosched() // transient contention; capacity cannot be exceeded
@@ -619,6 +883,12 @@ func (s *Scheduler) findWorkNonBlocking(t *tuple.Tuple, thr *Thread) bool {
 	return false
 }
 
+// maxScratchCap bounds the backing array a thread retains for the LIFO
+// free-list walk. A walk over a graph with thousands of idle ports grows
+// scratch to the full port count; without the bound that grown array
+// stayed aliased into thr.scratch forever.
+const maxScratchCap = 64
+
 // findWorkLIFO is the free-list walk for the FreeListLIFO ablation. The
 // paper's walk (pop, test, push to the back, stop on seeing the first
 // port again) assumes FIFO order; on a stack the pushed-back port is
@@ -641,7 +911,14 @@ func (s *Scheduler) findWorkLIFO(t *tuple.Tuple, thr *Thread) bool {
 	for i := len(scratch) - 1; i >= 0; i-- {
 		s.requeue(scratch[i])
 	}
-	thr.scratch = scratch[:0]
+	if cap(scratch) > maxScratchCap {
+		// A long walk grew the backing array; keep only a bounded buffer
+		// so the thread does not pin memory proportional to the port
+		// count between walks.
+		thr.scratch = make([]int32, 0, maxScratchCap)
+	} else {
+		thr.scratch = scratch[:0]
+	}
 	return found
 }
 

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streams/internal/tuple"
 )
 
 // Thread is one scheduler execution context. The paper's design gives
@@ -38,11 +40,37 @@ type Thread struct {
 	cond *sync.Cond
 
 	// scratch buffers the LIFO free-list walk (FreeListLIFO ablation).
+	// Its retained capacity is bounded (maxScratchCap) so one walk over a
+	// huge port set does not pin a proportionally huge array forever.
 	scratch []int32
+
+	// batch is the thread's drain buffer: the top-level scheduling loop
+	// pops tuples into it in batches so the queue indices and the metric
+	// shards are touched once per batch instead of once per tuple. Only
+	// the non-nested schedule() loop may use it; nested drains
+	// (reSchedule) go through Scheduler.acquireBatch instead.
+	batch []tuple.Tuple
+
+	// spare is a second buffer the thread lends out via acquireBatch so
+	// the common depth-1 reSchedule or coalescing frame skips the shared
+	// sync.Pool; spareBusy hands it to at most one frame at a time. Both
+	// are touched only by the thread's own goroutine.
+	spare     *[]tuple.Tuple
+	spareBusy bool
+
+	// ctxCache heads the thread's free list of recycled execution
+	// contexts (Scheduler.acquireCtx/releaseCtx); touched only by the
+	// thread's own goroutine.
+	ctxCache *ctx
 }
 
-func newThread(id int) *Thread {
-	t := &Thread{id: id}
+func newThread(id, batchCap int) *Thread {
+	spare := make([]tuple.Tuple, batchCap)
+	t := &Thread{
+		id:    id,
+		batch: make([]tuple.Tuple, batchCap),
+		spare: &spare,
+	}
 	t.cond = sync.NewCond(&t.mu)
 	return t
 }
