@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench
+.PHONY: all vet build test race check bench bench-contention
 
 all: check
 
@@ -13,12 +13,17 @@ build:
 test:
 	$(GO) test ./...
 
-# The race suite covers the packages with lock-free concurrency: the
-# queue/enforcer layer and the scheduler.
 race:
-	$(GO) test -race ./internal/lfq ./internal/sched
+	$(GO) test -race ./...
 
 check: vet build test race
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# bench-contention sweeps the free-list contention benchmark (global vs
+# sharded × threads × ports) and archives the results as JSON.
+bench-contention:
+	$(GO) test -bench BenchmarkFreeListContention -run '^$$' ./internal/sched \
+		| $(GO) run ./cmd/benchjson > contention.json
+	@echo wrote contention.json

@@ -161,8 +161,12 @@ func benchAblation(b *testing.B, qcap int, scfg sched.Config) {
 }
 
 func BenchmarkAblationRetryVsAbandon(b *testing.B) {
-	b.Run("abandon-paper", func(b *testing.B) { benchAblation(b, 0, sched.Config{}) })
-	b.Run("retry", func(b *testing.B) { benchAblation(b, 0, sched.Config{RetryOnContention: true}) })
+	// The retry-vs-abandon decision is about the global free-list walk,
+	// so both arms run the single global list.
+	b.Run("abandon-paper", func(b *testing.B) { benchAblation(b, 0, sched.Config{GlobalFreeList: true}) })
+	b.Run("retry", func(b *testing.B) {
+		benchAblation(b, 0, sched.Config{GlobalFreeList: true, RetryOnContention: true})
+	})
 }
 
 func BenchmarkAblationRescheduleVsBlock(b *testing.B) {
@@ -180,8 +184,20 @@ func BenchmarkAblationReschedLimit(b *testing.B) {
 }
 
 func BenchmarkAblationFreeListOrder(b *testing.B) {
-	b.Run("fifo-lru-paper", func(b *testing.B) { benchAblation(b, 0, sched.Config{}) })
+	// The ordering ablation is defined on the single global list
+	// (FreeListLIFO implies GlobalFreeList), so the FIFO arm pins it too.
+	b.Run("fifo-lru-paper", func(b *testing.B) { benchAblation(b, 0, sched.Config{GlobalFreeList: true}) })
 	b.Run("lifo-mru", func(b *testing.B) { benchAblation(b, 0, sched.Config{FreeListLIFO: true}) })
+}
+
+// BenchmarkAblationFreeListSharding measures what the sharded free list
+// (this repo's extension beyond the paper) buys over the paper's single
+// global MPMC list on a real pipeline run; the microbenchmark sweep
+// behind the same question is BenchmarkFreeListContention in
+// internal/sched.
+func BenchmarkAblationFreeListSharding(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) { benchAblation(b, 0, sched.Config{}) })
+	b.Run("global-paper", func(b *testing.B) { benchAblation(b, 0, sched.Config{GlobalFreeList: true}) })
 }
 
 func BenchmarkAblationStopFlags(b *testing.B) {

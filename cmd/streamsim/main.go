@@ -39,13 +39,14 @@ func main() {
 		every   = flag.Int("every", 5, "print every Nth trace point for figure 11 panels")
 		verbose = flag.Bool("verbose", false, "include context-switch estimates (§5.1)")
 
-		native  = flag.Bool("native", false, "run the real runtime on this host instead of the model")
-		width   = flag.Int("w", 2, "native: data-parallel width")
-		depth   = flag.Int("d", 8, "native: pipeline depth")
-		cost    = flag.Int("cost", 100, "native: flops per tuple")
-		model   = flag.String("model", "dynamic", "native: manual, dedicated or dynamic")
-		threads = flag.Int("threads", 2, "native: dynamic thread count")
-		dur     = flag.Duration("dur", 2*time.Second, "native: measurement duration")
+		native   = flag.Bool("native", false, "run the real runtime on this host instead of the model")
+		width    = flag.Int("w", 2, "native: data-parallel width")
+		depth    = flag.Int("d", 8, "native: pipeline depth")
+		cost     = flag.Int("cost", 100, "native: flops per tuple")
+		model    = flag.String("model", "dynamic", "native: manual, dedicated or dynamic")
+		threads  = flag.Int("threads", 2, "native: dynamic thread count")
+		dur      = flag.Duration("dur", 2*time.Second, "native: measurement duration")
+		globalfl = flag.Bool("globalfl", false, "native: use the paper's single global free list instead of the sharded per-thread caches")
 	)
 	flag.Parse()
 
@@ -60,12 +61,25 @@ func main() {
 			fatal(err)
 		}
 		w := sim.Workload{Width: *width, Depth: *depth, Cost: *cost}
-		fmt.Printf("native run on this host: %s, model %s, threads %d\n", w, m, *threads)
-		tput, err := fig.RunNative(w, fig.NativeConfig{Model: m, Threads: *threads, Duration: *dur})
+		freeList := "sharded"
+		if *globalfl {
+			freeList = "global"
+		}
+		fmt.Printf("native run on this host: %s, model %s, threads %d, free list %s\n", w, m, *threads, freeList)
+		res, err := fig.RunNative(w, fig.NativeConfig{
+			Model: m, Threads: *threads, Duration: *dur, GlobalFreeList: *globalfl,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("sink throughput: %.4g tuples/s\n", tput)
+		fmt.Printf("sink throughput: %.4g tuples/s\n", res.Throughput)
+		if m == pe.Dynamic {
+			st := res.Stats
+			fmt.Printf("scheduler: reschedules %d, find failures %d\n", st.Reschedules, st.FindFailures)
+			c := st.Contention
+			fmt.Printf("free list: push failures %d, pop failures %d, steals %d, steal misses %d, spills %d\n",
+				c.PushFail, c.PopFail, c.Steal, c.StealMiss, c.Spill)
+		}
 	case *panel != "":
 		p, ok := fig.FindPanel(*panel)
 		if !ok {

@@ -25,6 +25,7 @@ import (
 	"streams/internal/metrics"
 	"streams/internal/ops"
 	"streams/internal/pe"
+	"streams/internal/sched"
 	"streams/internal/sim"
 )
 
@@ -226,17 +227,34 @@ type NativeConfig struct {
 	Threads int
 	// Duration is how long to measure after a brief warmup.
 	Duration time.Duration
+	// GlobalFreeList runs the dynamic scheduler with the paper's single
+	// global free list instead of the default sharded per-thread caches,
+	// for global-vs-sharded comparisons (EXPERIMENTS.md).
+	GlobalFreeList bool
+}
+
+// NativeResult reports a native run: measured sink throughput plus the
+// scheduler's slow-path meters over the whole run (warmup included),
+// so contention experiments can report steals/spills alongside
+// tuples/s.
+type NativeResult struct {
+	// Throughput is measured sink tuples/s over the measurement window.
+	Throughput float64
+	// Stats carries the scheduler's reschedule/find-failure/contention
+	// counters (zero under the manual and dedicated models).
+	Stats pe.SchedStats
 }
 
 // RunNative executes a (scaled-down) workload on the real runtime of
-// this repository and returns measured sink tuples/s. It validates the
-// scheduler's behaviour at host scale; it does not reproduce the paper's
-// multicore numbers (see package comment).
-func RunNative(w sim.Workload, cfg NativeConfig) (float64, error) {
+// this repository and returns measured sink tuples/s with scheduler
+// statistics. It validates the scheduler's behaviour at host scale; it
+// does not reproduce the paper's multicore numbers (see package
+// comment).
+func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 	topo := ops.Topology{Width: w.Width, Depth: w.Depth, Cost: w.Cost}
 	g, snk, err := topo.Build()
 	if err != nil {
-		return 0, err
+		return NativeResult{}, err
 	}
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
@@ -245,12 +263,13 @@ func RunNative(w sim.Workload, cfg NativeConfig) (float64, error) {
 		Model:      cfg.Model,
 		Threads:    cfg.Threads,
 		MaxThreads: max(cfg.Threads, 1),
+		Sched:      sched.Config{GlobalFreeList: cfg.GlobalFreeList},
 	})
 	if err != nil {
-		return 0, err
+		return NativeResult{}, err
 	}
 	if err := p.Start(); err != nil {
-		return 0, err
+		return NativeResult{}, err
 	}
 	warm := cfg.Duration / 4
 	time.Sleep(warm)
@@ -260,7 +279,10 @@ func RunNative(w sim.Workload, cfg NativeConfig) (float64, error) {
 	delta := snk.Count() - before
 	elapsed := time.Since(start).Seconds()
 	p.Stop()
-	return float64(delta) / elapsed, nil
+	return NativeResult{
+		Throughput: float64(delta) / elapsed,
+		Stats:      p.SchedStats(),
+	}, nil
 }
 
 // SortPanelsByID orders panels deterministically for report output.

@@ -97,13 +97,13 @@ func TestRunNativeSmallWorkload(t *testing.T) {
 		t.Skip("native run in -short mode")
 	}
 	for _, model := range []pe.Model{pe.Manual, pe.Dynamic} {
-		tput, err := RunNative(sim.Workload{Width: 2, Depth: 5, Cost: 10},
+		res, err := RunNative(sim.Workload{Width: 2, Depth: 5, Cost: 10},
 			NativeConfig{Model: model, Threads: 2, Duration: 300 * time.Millisecond})
 		if err != nil {
 			t.Fatalf("%v: %v", model, err)
 		}
-		if tput <= 0 {
-			t.Fatalf("%v: non-positive native throughput %g", model, tput)
+		if res.Throughput <= 0 {
+			t.Fatalf("%v: non-positive native throughput %g", model, res.Throughput)
 		}
 	}
 }

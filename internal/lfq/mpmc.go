@@ -63,10 +63,34 @@ func (q *MPMC[T]) Len() int {
 	return int(t - h)
 }
 
+// PushResult tells a failed push's caller what it is up against: a
+// genuinely full queue calls for waiting (or spilling elsewhere), while
+// a busy slot means another thread is mid-operation and a brief retry
+// will succeed.
+type PushResult int
+
+const (
+	// PushOK: the element was enqueued.
+	PushOK PushResult = iota
+	// PushFull: an unconsumed element occupies the slot — the queue is
+	// at capacity. Retrying before a consumer pops is futile.
+	PushFull
+	// PushBusy: a consumer has claimed the slot's pop ticket but has not
+	// finished vacating it — transient contention, not fullness.
+	PushBusy
+)
+
 // Push appends v and reports success. False means the queue was full or
-// the push lost a race; per the scheduler's contention principle the
-// caller decides whether to retry.
+// a slot was still in transit; callers that need to tell the two apart
+// use PushEx.
 func (q *MPMC[T]) Push(v T) bool {
+	return q.PushEx(v) == PushOK
+}
+
+// PushEx appends v, distinguishing a full queue from transient
+// contention on failure. Per the scheduler's contention principle the
+// caller decides whether to retry, back off, or do something else.
+func (q *MPMC[T]) PushEx(v T) PushResult {
 	for {
 		t := q.tail.Load()
 		slot := &q.slots[t&q.mask]
@@ -76,12 +100,25 @@ func (q *MPMC[T]) Push(v T) bool {
 			if q.tail.CompareAndSwap(t, t+1) {
 				slot.val = v
 				slot.seq.Store(t + 1)
-				return true
+				return PushOK
 			}
 			// Lost the ticket race; another producer advanced. This is
 			// pure contention, not fullness — take one more look.
-		case seq < t: // slot still holds an unconsumed element: full
-			return false
+		case seq < t:
+			// The slot is not ready for this ticket. Either it still
+			// holds an unconsumed element (full), or a consumer CASed
+			// the pop ticket and has not yet finished vacating it (in
+			// transit). The head index tells them apart.
+			h := q.head.Load()
+			if h > t {
+				// The queue cycled past our stale ticket while we were
+				// descheduled; reload rather than misreport.
+				continue
+			}
+			if t-h >= uint64(len(q.slots)) {
+				return PushFull
+			}
+			return PushBusy
 		default:
 			// seq > t: tail moved under us between loads; reload.
 		}

@@ -237,3 +237,42 @@ func BenchmarkMPMCContended(b *testing.B) {
 		}
 	})
 }
+
+// TestMPMCPushExDistinguishesFull verifies PushEx reports PushFull on a
+// queue at capacity and PushOK once space frees up. (The PushBusy state
+// needs a consumer frozen mid-pop and so is only reachable
+// concurrently; the concurrent tests above exercise that path through
+// Push's retry semantics.)
+func TestMPMCPushExDistinguishesFull(t *testing.T) {
+	q := NewMPMC[int](4)
+	for i := 0; i < 4; i++ {
+		if got := q.PushEx(i); got != PushOK {
+			t.Fatalf("PushEx(%d) = %v below capacity, want PushOK", i, got)
+		}
+	}
+	if got := q.PushEx(99); got != PushFull {
+		t.Fatalf("PushEx on full queue = %v, want PushFull", got)
+	}
+	var v int
+	if !q.Pop(&v) || v != 0 {
+		t.Fatalf("Pop = (%d), want 0", v)
+	}
+	if got := q.PushEx(99); got != PushOK {
+		t.Fatalf("PushEx after Pop = %v, want PushOK", got)
+	}
+}
+
+// TestStackPushExFull checks the Stack's PushEx parity: failure is
+// always PushFull.
+func TestStackPushExFull(t *testing.T) {
+	s := NewStack[int](2)
+	if got := s.PushEx(1); got != PushOK {
+		t.Fatalf("PushEx = %v, want PushOK", got)
+	}
+	if got := s.PushEx(2); got != PushOK {
+		t.Fatalf("PushEx = %v, want PushOK", got)
+	}
+	if got := s.PushEx(3); got != PushFull {
+		t.Fatalf("PushEx on full stack = %v, want PushFull", got)
+	}
+}

@@ -85,6 +85,16 @@ func (s *Stack[T]) Push(v T) bool {
 	return true
 }
 
+// PushEx adds v, reporting failure as PushFull: the packed-list CASes
+// retry internally, so an exhausted node pool (a full stack) is the only
+// failure mode.
+func (s *Stack[T]) PushEx(v T) PushResult {
+	if s.Push(v) {
+		return PushOK
+	}
+	return PushFull
+}
+
 // Pop removes the most recently pushed element into *v; false means the
 // stack was empty.
 func (s *Stack[T]) Pop(v *T) bool {

@@ -1,0 +1,118 @@
+package lfq
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// WSDeque is a bounded, lock-free work-stealing deque (the Chase–Lev
+// algorithm over a fixed-size ring). The scheduler gives every thread
+// one as its local free-port cache: the owning thread pushes and pops
+// port hints at the bottom in LIFO order, paying no compare-and-swap at
+// all in the common case, while any other thread may steal the oldest
+// hint from the top with a single CAS.
+//
+// The element type is int32 — operator input-port IDs — rather than a
+// type parameter: slots are atomic so the racy read a thief performs
+// before claiming its ticket is well-defined (and clean under the race
+// detector). A stale read is harmless: the slot at index t can only be
+// reused after top has advanced past t, and top is a monotonically
+// increasing 64-bit counter, so the thief's CompareAndSwap on the old
+// ticket is guaranteed to fail.
+//
+// Following the scheduler's abandon-on-contention principle, Steal
+// reports failure when it loses the ticket race instead of retrying;
+// the caller moves on to another victim.
+type WSDeque struct {
+	_      cacheLinePad
+	top    atomic.Int64 // steal ticket; only ever incremented
+	_      cacheLinePad
+	bottom atomic.Int64 // owner's end; written only by the owner
+	_      cacheLinePad
+	mask   int64
+	slots  []atomic.Int32
+}
+
+// NewWSDeque returns an empty deque with capacity for exactly cap
+// elements. cap must be a power of two and at least 1.
+func NewWSDeque(capacity int) *WSDeque {
+	if capacity < 1 || capacity&(capacity-1) != 0 {
+		panic(fmt.Sprintf("lfq: WSDeque capacity %d is not a positive power of two", capacity))
+	}
+	return &WSDeque{
+		mask:  int64(capacity - 1),
+		slots: make([]atomic.Int32, capacity),
+	}
+}
+
+// Cap returns the fixed capacity.
+func (d *WSDeque) Cap() int { return len(d.slots) }
+
+// Len returns an instantaneous estimate of the number of elements, for
+// monitoring only.
+func (d *WSDeque) Len() int {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
+}
+
+// PushBottom appends v at the owner's end; false means the deque is
+// full. Only the owning thread may call it.
+func (d *WSDeque) PushBottom(v int32) bool {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b-t > d.mask {
+		return false // full
+	}
+	d.slots[b&d.mask].Store(v)
+	d.bottom.Store(b + 1)
+	return true
+}
+
+// PopBottom removes the most recently pushed element into *v (LIFO);
+// false means the deque was empty or a thief won the race for the last
+// element. Only the owning thread may call it.
+func (d *WSDeque) PopBottom(v *int32) bool {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	// Go's sync/atomic operations are sequentially consistent, so this
+	// load cannot be reordered before the bottom store above — the
+	// ordering the algorithm's owner/thief handshake depends on.
+	t := d.top.Load()
+	if t > b {
+		d.bottom.Store(t) // empty; restore the canonical form
+		return false
+	}
+	x := d.slots[b&d.mask].Load()
+	if t == b {
+		// Last element: race thieves for it via the steal ticket.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		if !won {
+			return false
+		}
+	}
+	*v = x
+	return true
+}
+
+// Steal removes the oldest element into *v. It may be called from any
+// thread. False means the deque was empty or the steal lost a ticket
+// race — per the contention principle the caller should try another
+// victim rather than retry.
+func (d *WSDeque) Steal(v *int32) bool {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return false // empty
+	}
+	x := d.slots[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return false // lost the race; abandon
+	}
+	*v = x
+	return true
+}

@@ -1,0 +1,173 @@
+package lfq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWSDequeLIFOOrder(t *testing.T) {
+	d := NewWSDeque(8)
+	for i := int32(0); i < 5; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if got := d.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+	for want := int32(4); want >= 0; want-- {
+		var v int32
+		if !d.PopBottom(&v) {
+			t.Fatalf("pop failed at %d", want)
+		}
+		if v != want {
+			t.Fatalf("popped %d, want %d (LIFO)", v, want)
+		}
+	}
+	var v int32
+	if d.PopBottom(&v) {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestWSDequeStealTakesOldest(t *testing.T) {
+	d := NewWSDeque(8)
+	for i := int32(0); i < 4; i++ {
+		d.PushBottom(i)
+	}
+	for want := int32(0); want < 4; want++ {
+		var v int32
+		if !d.Steal(&v) {
+			t.Fatalf("steal failed at %d", want)
+		}
+		if v != want {
+			t.Fatalf("stole %d, want %d (FIFO from the top)", v, want)
+		}
+	}
+	var v int32
+	if d.Steal(&v) {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestWSDequeFullBehavior(t *testing.T) {
+	d := NewWSDeque(4)
+	for i := int32(0); i < 4; i++ {
+		if !d.PushBottom(i) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if d.PushBottom(99) {
+		t.Fatal("push into full deque succeeded")
+	}
+	// Draining one element from either end frees a slot.
+	var v int32
+	if !d.Steal(&v) || v != 0 {
+		t.Fatalf("steal got (%d)", v)
+	}
+	if !d.PushBottom(99) {
+		t.Fatal("push after steal failed")
+	}
+}
+
+func TestWSDequeMixedEnds(t *testing.T) {
+	d := NewWSDeque(8)
+	d.PushBottom(1)
+	d.PushBottom(2)
+	d.PushBottom(3)
+	var v int32
+	if !d.Steal(&v) || v != 1 {
+		t.Fatalf("steal = %d, want 1", v)
+	}
+	if !d.PopBottom(&v) || v != 3 {
+		t.Fatalf("pop = %d, want 3", v)
+	}
+	if !d.PopBottom(&v) || v != 2 {
+		t.Fatalf("pop = %d, want 2", v)
+	}
+	if d.PopBottom(&v) {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestWSDequeCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two capacity did not panic")
+		}
+	}()
+	NewWSDeque(6)
+}
+
+// TestWSDequeConcurrentConservation runs one owner cycling push/pop
+// against several thieves and checks every pushed value is taken exactly
+// once — by the owner or by exactly one thief.
+func TestWSDequeConcurrentConservation(t *testing.T) {
+	const (
+		thieves = 4
+		total   = 200000
+	)
+	d := NewWSDeque(64)
+	taken := make([]atomic.Int32, total)
+	var pushed, consumed atomic.Int64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	take := func(v int32) {
+		if n := taken[v].Add(1); n != 1 {
+			t.Errorf("value %d taken %d times", v, n)
+		}
+		consumed.Add(1)
+	}
+
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var v int32
+			for {
+				if d.Steal(&v) {
+					take(v)
+					continue
+				}
+				select {
+				case <-done:
+					// Drain whatever the owner left behind.
+					for d.Steal(&v) {
+						take(v)
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push everything, popping when full; pop the rest at the end.
+	var v int32
+	for next := int32(0); next < total; {
+		if d.PushBottom(next) {
+			pushed.Add(1)
+			next++
+			continue
+		}
+		if d.PopBottom(&v) {
+			take(v)
+		}
+	}
+	for d.PopBottom(&v) {
+		take(v)
+	}
+	close(done)
+	wg.Wait()
+
+	if got := consumed.Load(); got != total {
+		t.Fatalf("consumed %d values, want %d", got, total)
+	}
+	for i := range taken {
+		if taken[i].Load() != 1 {
+			t.Fatalf("value %d taken %d times", i, taken[i].Load())
+		}
+	}
+}

@@ -64,6 +64,56 @@ func (c *Counter) Total() uint64 {
 	return t
 }
 
+// Contention bundles the scheduler's free-list contention meters, one
+// sharded Counter per event kind so the measurement itself stays off
+// shared cache lines. The scheduler charges them on its slow paths only
+// (a failed push, a steal, a spill); the hot path pays nothing.
+type Contention struct {
+	// PushFail counts failed pushes to the global free list (a slot in
+	// transit, or — out of an abundance of accounting — a full list).
+	PushFail *Counter
+	// PopFail counts global free-list pops that came back empty-handed;
+	// the MPMC cannot distinguish empty from contended, so this is the
+	// union of both.
+	PopFail *Counter
+	// Steal counts ports taken from another thread's shard.
+	Steal *Counter
+	// StealMiss counts steal sweeps that obtained at least one port but
+	// found no runnable work among them.
+	StealMiss *Counter
+	// Spill counts local-shard overflows redirected to the global list.
+	Spill *Counter
+}
+
+// NewContention returns a Contention set sized for the given number of
+// executing threads (see NewCounter).
+func NewContention(shards int) *Contention {
+	return &Contention{
+		PushFail:  NewCounter(shards),
+		PopFail:   NewCounter(shards),
+		Steal:     NewCounter(shards),
+		StealMiss: NewCounter(shards),
+		Spill:     NewCounter(shards),
+	}
+}
+
+// ContentionSnapshot is a point-in-time reading of a Contention set,
+// with the same lower-bound semantics as Counter.Total.
+type ContentionSnapshot struct {
+	PushFail, PopFail, Steal, StealMiss, Spill uint64
+}
+
+// Snapshot sums every meter.
+func (c *Contention) Snapshot() ContentionSnapshot {
+	return ContentionSnapshot{
+		PushFail:  c.PushFail.Total(),
+		PopFail:   c.PopFail.Total(),
+		Steal:     c.Steal.Total(),
+		StealMiss: c.StealMiss.Total(),
+		Spill:     c.Spill.Total(),
+	}
+}
+
 // Welford accumulates streaming mean and standard deviation (Welford's
 // algorithm). The zero value is ready to use.
 type Welford struct {

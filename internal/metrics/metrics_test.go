@@ -129,3 +129,18 @@ func TestWelfordMeanProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestContentionSnapshot(t *testing.T) {
+	c := NewContention(4)
+	c.PushFail.Add(0, 3)
+	c.PushFail.Add(2, 1)
+	c.PopFail.Add(1, 7)
+	c.Steal.Add(3, 2)
+	c.StealMiss.Add(0, 5)
+	c.Spill.Add(2, 11)
+	got := c.Snapshot()
+	want := ContentionSnapshot{PushFail: 4, PopFail: 7, Steal: 2, StealMiss: 5, Spill: 11}
+	if got != want {
+		t.Fatalf("Snapshot = %+v, want %+v", got, want)
+	}
+}

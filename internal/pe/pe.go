@@ -25,6 +25,7 @@ import (
 	"streams/internal/cpuutil"
 	"streams/internal/elastic"
 	"streams/internal/graph"
+	"streams/internal/metrics"
 	"streams/internal/sched"
 )
 
@@ -285,6 +286,34 @@ func (pe *PE) OperatorCounts() map[string]uint64 {
 
 // SinkDelivered returns tuples delivered to sink operators since Start.
 func (pe *PE) SinkDelivered() uint64 { return pe.runner.sinkDelivered() }
+
+// SchedStats bundles the dynamic scheduler's slow-path meters: how often
+// threads fell into self-help (reschedules), came up empty from a work
+// search (find failures), and hit free-structure contention events.
+type SchedStats struct {
+	// Reschedules counts full-queue pushes that fell into the reSchedule
+	// self-help path.
+	Reschedules uint64
+	// FindFailures counts findWorkNonBlocking calls that found no work.
+	FindFailures uint64
+	// Contention snapshots the free-list meters: global push/pop
+	// failures, shard steals and misses, and shard overflow spills.
+	Contention metrics.ContentionSnapshot
+}
+
+// SchedStats returns the dynamic scheduler's slow-path meters (zero
+// under the manual and dedicated models, which have no scheduler).
+func (pe *PE) SchedStats() SchedStats {
+	d, ok := pe.runner.(*dynamicRunner)
+	if !ok {
+		return SchedStats{}
+	}
+	return SchedStats{
+		Reschedules:  d.s.Reschedules(),
+		FindFailures: d.s.FindFailures(),
+		Contention:   d.s.Contention(),
+	}
+}
 
 // Done is closed once every input port has processed its final
 // punctuation (bounded sources only).

@@ -15,10 +15,12 @@ func TestAblationsPreserveCorrectness(t *testing.T) {
 		"block-on-full-queue": {MaxThreads: 4, QueueCap: 4, BlockOnFullQueue: true},
 		"shared-stop-flags":   {MaxThreads: 4, QueueCap: 8, SharedStopFlags: true},
 		"free-list-lifo":      {MaxThreads: 4, QueueCap: 8, FreeListLIFO: true},
+		"global-free-list":    {MaxThreads: 4, QueueCap: 8, GlobalFreeList: true},
+		"tiny-shards":         {MaxThreads: 4, QueueCap: 8, ShardCap: 2},
 		"all-reversed": {
 			MaxThreads: 4, QueueCap: 8,
 			RetryOnContention: true, BlockOnFullQueue: true,
-			SharedStopFlags: true, FreeListLIFO: true,
+			SharedStopFlags: true, FreeListLIFO: true, GlobalFreeList: true,
 		},
 	}
 	for name, cfg := range cases {

@@ -4,17 +4,26 @@
 //
 // The design in one paragraph: every operator input port owns a bounded
 // single-producer/single-consumer lock-free tuple queue, guarded by
-// producer and consumer try-locks (lfq.Enforcer). A PE-global lock-free
-// free list (freePorts) holds the ports that may have work. Scheduler
-// threads pop a port from the free list, try-lock its consumer side, pop
-// one tuple, and — having paid the cost of touching global data — drain
-// the rest of the queue before returning the port to the back of the
-// list, which approximates least-recently-used scheduling. Threads that
-// fail to push into a full downstream queue never block and never go
-// back to the global list: they alternate between retrying the push and
-// draining a bounded amount of the blocking queue themselves
-// (reSchedule). Every stop condition a thread polls is thread-local, so
-// the hot loop touches no shared cache lines.
+// producer and consumer try-locks (lfq.Enforcer). A free structure
+// holds the ports that may have work. Scheduler threads pop a port from
+// it, try-lock its consumer side, pop one tuple, and — having paid the
+// cost of touching shared data — drain the rest of the queue before
+// returning the port. Threads that fail to push into a full downstream
+// queue never block and never go back to the free structure: they
+// alternate between retrying the push and draining a bounded amount of
+// the blocking queue themselves (reSchedule). Every stop condition a
+// thread polls is thread-local, so the hot loop touches no shared cache
+// lines.
+//
+// The free structure goes beyond the paper: by default it is sharded —
+// each scheduler thread owns a bounded lock-free LIFO of port hints
+// (lfq.WSDeque) that it pushes and pops without a single CAS, stealing
+// from other shards in randomized order when its own runs dry and
+// spilling to a retained global list on overflow. The paper's original
+// single global Vyukov MPMC list survives behind the GlobalFreeList
+// ablation flag (and implicitly under FreeListLIFO); see DESIGN.md's
+// "Sharded free list" section for the ownership and elastic-resize
+// protocol.
 package sched
 
 import (
@@ -50,6 +59,12 @@ type Config struct {
 	// submit tuples (source operator threads); it sizes the metric
 	// shards. Default: the graph's source count.
 	SourceThreads int
+	// ShardCap is the capacity of each thread's local free-port cache
+	// under the sharded free list; it must be a power of two. Default:
+	// the global list's capacity, capped at 256 — large enough that
+	// typical graphs never spill, small enough that a thread cannot pin
+	// memory proportional to a huge port set.
+	ShardCap int
 
 	// The remaining options reverse individual design decisions from the
 	// paper so the benchmark suite can measure what each one buys
@@ -62,15 +77,30 @@ type Config struct {
 	// BlockOnFullQueue makes producers wait for queue space instead of
 	// draining the blocking queue themselves; a bounded escape hatch
 	// falls back to reSchedule so the ablation cannot deadlock the PE
-	// (§4.1.4 explains why self-help is the design).
+	// (§4.1.4 explains why self-help is the design). Blocking producers
+	// only stay unwedged when the free structure rotates threads across
+	// ports so every queue stays shallow — the approximately-LRU service
+	// order of the global FIFO list. The sharded list's LIFO affinity
+	// instead lets downstream queues run deep, and once every thread is
+	// a blocked producer no thread is searching (or stealing) at all,
+	// leaving only the escape hatch to crawl the pipeline forward.
+	// Setting it therefore implies GlobalFreeList.
 	BlockOnFullQueue bool
 	// SharedStopFlags polls one shared set of stop flags from every
 	// thread instead of per-thread copies (§4.1.2 argues the shared
 	// cache line limits scalability).
 	SharedStopFlags bool
 	// FreeListLIFO replaces the FIFO free list (approximately LRU
-	// scheduling, §4.1.5) with a most-recently-used stack.
+	// scheduling, §4.1.5) with a most-recently-used stack. The order
+	// ablation is defined on the single global list, so setting it
+	// implies GlobalFreeList.
 	FreeListLIFO bool
+	// GlobalFreeList routes every free-port handoff through the single
+	// global list — the paper's original design — instead of the
+	// sharded per-thread caches with work stealing. This is the
+	// paper-faithful configuration for the Fig. 9–11 reproductions and
+	// the free-list ablation benchmarks.
+	GlobalFreeList bool
 }
 
 func (c Config) withDefaults(g *graph.Graph) Config {
@@ -95,6 +125,9 @@ func (c Config) withDefaults(g *graph.Graph) Config {
 	if c.SourceThreads == 0 {
 		c.SourceThreads = len(g.SourceNodes)
 	}
+	if c.ShardCap != 0 && (c.ShardCap < 1 || c.ShardCap&(c.ShardCap-1) != 0) {
+		panic(fmt.Sprintf("sched: ShardCap %d is not a positive power of two", c.ShardCap))
+	}
 	return c
 }
 
@@ -102,6 +135,7 @@ func (c Config) withDefaults(g *graph.Graph) Config {
 // can substitute a stack for the FIFO queue.
 type freeList interface {
 	Push(v int32) bool
+	PushEx(v int32) lfq.PushResult
 	Pop(v *int32) bool
 }
 
@@ -116,8 +150,20 @@ type Scheduler struct {
 	queues []*lfq.Enforcer[tuple.Tuple]
 	// freePorts is the global free list of input-port IDs: FIFO by
 	// default (approximately LRU scheduling), a LIFO stack under the
-	// FreeListLIFO ablation.
+	// FreeListLIFO ablation. Under the sharded design it holds the
+	// initial port population, shard spills, and the hints flushed by
+	// suspending or exiting threads.
 	freePorts freeList
+	// shards are the per-thread free-port caches (nil entries never
+	// exist; one deque per thread-table slot). Only the owning thread
+	// pushes to or pops the bottom of its shard; any thread may steal.
+	// Unused when useShards is false.
+	shards []*lfq.WSDeque
+	// useShards selects the sharded free list: the default, reversed by
+	// the GlobalFreeList ablation (and by FreeListLIFO and
+	// BlockOnFullQueue, which are only well-defined on the single
+	// global list — see their Config docs).
+	useShards bool
 
 	// seqs[node][outPort] stamps stream sequence numbers for the
 	// ordering tests. When several threads execute one multi-input-port
@@ -167,6 +213,7 @@ type Scheduler struct {
 	sinkDeliver *metrics.Counter // tuples that reached sink operators
 	reschedules *metrics.Counter
 	findFails   *metrics.Counter
+	contention  *metrics.Contention // free-list push/pop failures, steals, spills
 	perNode     []atomic.Uint64
 
 	done chan struct{} // closed when portsClosed goes global
@@ -188,6 +235,13 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 	} else {
 		fl = lfq.NewMPMC[int32](listCap)
 	}
+	shardCap := cfg.ShardCap
+	if shardCap == 0 {
+		shardCap = listCap
+		if shardCap > 256 {
+			shardCap = 256
+		}
+	}
 	batchCap := cfg.QueueCap
 	if batchCap > 32 {
 		batchCap = 32
@@ -195,6 +249,7 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 	s := &Scheduler{
 		g:                  g,
 		cfg:                cfg,
+		useShards:          !cfg.GlobalFreeList && !cfg.FreeListLIFO && !cfg.BlockOnFullQueue,
 		batchCap:           batchCap,
 		queues:             make([]*lfq.Enforcer[tuple.Tuple], nPorts),
 		freePorts:          fl,
@@ -208,6 +263,7 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		sinkDeliver:        metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
 		reschedules:        metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
 		findFails:          metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
+		contention:         metrics.NewContention(cfg.MaxThreads + cfg.SourceThreads),
 		perNode:            make([]atomic.Uint64, len(g.Nodes)),
 		done:               make(chan struct{}),
 	}
@@ -215,8 +271,15 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		b := make([]tuple.Tuple, batchCap)
 		return &b
 	}
+	if s.useShards {
+		s.shards = make([]*lfq.WSDeque, cfg.MaxThreads)
+	}
 	for i := range s.threads {
 		s.threads[i] = newThread(i, batchCap)
+		if s.useShards {
+			s.shards[i] = lfq.NewWSDeque(shardCap)
+			s.threads[i].shard = s.shards[i]
+		}
 	}
 	for _, p := range g.Ports {
 		s.queues[p.ID] = lfq.NewEnforcer[tuple.Tuple](cfg.QueueCap)
@@ -263,6 +326,12 @@ func (s *Scheduler) Reschedules() uint64 { return s.reschedules.Total() }
 
 // FindFailures returns how many findWorkNonBlocking calls found nothing.
 func (s *Scheduler) FindFailures() uint64 { return s.findFails.Total() }
+
+// Contention returns a snapshot of the free-list contention meters:
+// global push/pop failures, shard steals and steal misses, and shard
+// overflow spills. All zero except PushFail/PopFail under the
+// GlobalFreeList and FreeListLIFO ablations.
+func (s *Scheduler) Contention() metrics.ContentionSnapshot { return s.contention.Snapshot() }
 
 // OperatorCounts returns per-operator execution counts keyed by operator
 // name (the product's per-operator metrics). Nodes sharing a name (for
@@ -787,6 +856,9 @@ func (s *Scheduler) Wait() {
 // the queue indices and metric shards — one acquire refresh, one release
 // store and one counter add per batch of up to batchCap tuples.
 func (s *Scheduler) schedule(thr *Thread) {
+	// Whatever ends the loop — shutdown or ports closing — flush the
+	// thread's shard so no port hint leaves the reachable set with it.
+	defer s.drainShard(thr)
 	var t tuple.Tuple
 	for s.findWorkBlocking(&t, thr) {
 		q := s.queues[t.Port]
@@ -811,11 +883,7 @@ func (s *Scheduler) schedule(thr *Thread) {
 		ec.endCoalesce()
 		q.ConsUnlock()
 		s.releaseCtx(ec)
-		if !s.portClosed[port].Load() {
-			for !s.freePorts.Push(port) {
-				runtime.Gosched() // transient contention; capacity cannot be exceeded
-			}
-		}
+		s.makePortFree(port, thr)
 	}
 }
 
@@ -835,7 +903,7 @@ func (s *Scheduler) stopRequested(thr *Thread) bool {
 func (s *Scheduler) findWorkBlocking(t *tuple.Tuple, thr *Thread) bool {
 	delay := time.Microsecond
 	for !s.stopRequested(thr) {
-		thr.suspendIfAsked()
+		s.parkIfAsked(thr)
 		if s.stopRequested(thr) {
 			return false
 		}
@@ -851,36 +919,245 @@ func (s *Scheduler) findWorkBlocking(t *tuple.Tuple, thr *Thread) bool {
 	return false
 }
 
-// findWorkNonBlocking is the paper's Figure 5 free-list walk. It looks
-// for a port that (1) is on the free list, (2) is not taken by another
-// thread and (3) has a tuple queued. The walk does a priming read to
-// remember the first port it saw, pushes unusable ports to the back, and
-// abandons the search on any contention or on seeing the first port
-// again. On success the caller holds the port's consumer lock and *t is
-// the first tuple.
+// findWorkNonBlocking looks for a port that (1) is in the free
+// structure, (2) is not taken by another thread and (3) has a tuple
+// queued. On success the caller holds the port's consumer lock and *t
+// is the first tuple. The sharded design searches the thread's own
+// cache, then steals, then polls the global list; the GlobalFreeList
+// and FreeListLIFO ablations walk the single global list the paper's
+// way.
 func (s *Scheduler) findWorkNonBlocking(t *tuple.Tuple, thr *Thread) bool {
+	if s.useShards {
+		return s.findWorkSharded(t, thr)
+	}
 	if s.cfg.FreeListLIFO {
 		return s.findWorkLIFO(t, thr)
 	}
+	return s.findWorkFIFO(t, thr)
+}
+
+// findWorkFIFO is the paper's Figure 5 free-list walk. It does a
+// priming read to remember the first port it saw, pushes unusable ports
+// to the back, and abandons the search on any contention or on seeing
+// the first port again.
+func (s *Scheduler) findWorkFIFO(t *tuple.Tuple, thr *Thread) bool {
 	var first int32
-	if !s.popFree(&first) {
+	if !s.popFree(&first, thr.id) {
 		return false
 	}
 	if s.tryTake(first, t) {
 		return true
 	}
-	s.requeue(first)
+	s.requeue(first, thr.id)
 	var port int32
-	for s.popFree(&port) {
+	for s.popFree(&port, thr.id) {
 		if s.tryTake(port, t) {
 			return true
 		}
-		s.requeue(port)
+		s.requeue(port, thr.id)
 		if port == first {
 			break
 		}
 	}
 	return false
+}
+
+// Sharded free-list tuning knobs.
+const (
+	// globalPollEvery forces a look at the global spill list every Nth
+	// find even while the local shard keeps producing work, so a
+	// spilled port cannot starve indefinitely behind a busy shard.
+	globalPollEvery = 32
+	// globalPollBatch bounds how many global-list ports one find
+	// inspects; unusable ones migrate into the local shard, spreading
+	// the initial population and the spills across the threads.
+	globalPollBatch = 8
+	// freePushSpins bounds busy-spinning on a contended global push
+	// before falling back to the paper's exponential back-off.
+	freePushSpins = 8
+)
+
+// findWorkSharded is the sharded work search: the thread's own LIFO
+// cache first (no shared cache lines and no CAS in the common case),
+// then the other shards in randomized order (work stealing, oldest hint
+// first), then the global spill list. The periodic global poll keeps
+// spilled ports from starving while local work is plentiful.
+func (s *Scheduler) findWorkSharded(t *tuple.Tuple, thr *Thread) bool {
+	if thr.findTick++; thr.findTick >= globalPollEvery {
+		thr.findTick = 0
+		if s.pollGlobal(t, thr) {
+			return true
+		}
+	}
+	if s.popLocal(t, thr) {
+		return true
+	}
+	if s.steal(t, thr) {
+		return true
+	}
+	return s.pollGlobal(t, thr)
+}
+
+// popLocal walks the thread's own shard top-down: pop, try to take, and
+// buffer unusable ports in scratch, restoring them in reverse so the
+// stacking order survives — the findWorkLIFO walk shape, but on a
+// structure only this thread pushes to. The walk terminates within the
+// shard's capacity because nobody refills the shard while its owner
+// walks it.
+func (s *Scheduler) popLocal(t *tuple.Tuple, thr *Thread) bool {
+	scratch := thr.scratch[:0]
+	found := false
+	var port int32
+	for thr.shard.PopBottom(&port) {
+		if s.tryTake(port, t) {
+			found = true
+			break
+		}
+		if !s.portClosed[port].Load() {
+			scratch = append(scratch, port)
+		}
+	}
+	for i := len(scratch) - 1; i >= 0; i-- {
+		s.makePortFree(scratch[i], thr)
+	}
+	if cap(scratch) > maxScratchCap {
+		thr.scratch = make([]int32, 0, maxScratchCap)
+	} else {
+		thr.scratch = scratch[:0]
+	}
+	return found
+}
+
+// steal tries every other shard once, starting at a random victim and
+// wrapping, taking the oldest hint from each non-empty shard it visits.
+// A lost ticket race abandons that victim rather than retrying (the
+// paper's contention principle). Stolen-but-unusable hints recirculate
+// through the stealer's own shard, which also migrates ports away from
+// suspended threads' shards while the owners are not flushing them.
+func (s *Scheduler) steal(t *tuple.Tuple, thr *Thread) bool {
+	n := len(s.shards)
+	if n <= 1 {
+		return false
+	}
+	off := int(thr.nextRand() % uint32(n))
+	stole := false
+	var port int32
+	for i := 0; i < n; i++ {
+		v := off + i
+		if v >= n {
+			v -= n
+		}
+		if v == thr.id {
+			continue
+		}
+		if !s.shards[v].Steal(&port) {
+			continue
+		}
+		s.contention.Steal.Add(thr.id, 1)
+		stole = true
+		if s.tryTake(port, t) {
+			return true
+		}
+		s.makePortFree(port, thr)
+	}
+	if stole {
+		s.contention.StealMiss.Add(thr.id, 1)
+	}
+	return false
+}
+
+// pollGlobal pops a bounded number of ports from the global list —
+// initial ports, shard spills, and suspended threads' flushed hints
+// land there — and migrates the unusable ones into the local shard.
+func (s *Scheduler) pollGlobal(t *tuple.Tuple, thr *Thread) bool {
+	var port int32
+	for i := 0; i < globalPollBatch; i++ {
+		if !s.popFree(&port, thr.id) {
+			return false
+		}
+		if s.tryTake(port, t) {
+			return true
+		}
+		s.makePortFree(port, thr)
+	}
+	return false
+}
+
+// makePortFree returns a port hint to the free structure: the calling
+// thread's own shard under the sharded design (overflow spills to the
+// global list), the global list otherwise. Closed ports are dropped.
+func (s *Scheduler) makePortFree(port int32, thr *Thread) {
+	if s.portClosed[port].Load() {
+		return
+	}
+	tid := 0
+	if thr != nil {
+		tid = thr.id
+		if s.useShards {
+			if thr.shard.PushBottom(port) {
+				return
+			}
+			s.contention.Spill.Add(tid, 1)
+		}
+	}
+	s.pushGlobalFree(port, tid)
+}
+
+// pushGlobalFree pushes a port onto the global free list. The list is
+// sized to hold every port, so a failed push is almost always a slot in
+// transit (a consumer mid-pop): spin briefly, then fall back to the
+// paper's exponential back-off instead of busy-spinning forever on a
+// contended CAS. The push itself can never be abandoned — dropping the
+// hint would strand the port.
+func (s *Scheduler) pushGlobalFree(port int32, tid int) {
+	delay := time.Microsecond
+	for spins := 0; ; spins++ {
+		st := s.freePorts.PushEx(port)
+		if st == lfq.PushOK {
+			return
+		}
+		s.contention.PushFail.Add(tid, 1)
+		if st == lfq.PushBusy && spins < freePushSpins {
+			runtime.Gosched() // the consumer's seq store lands imminently
+			continue
+		}
+		// Still contended after the spin budget, or (unreachable by
+		// sizing) genuinely full: back off like a failed find does.
+		block(delay)
+		if delay < s.cfg.DelayThreshold {
+			delay *= 10
+		}
+	}
+}
+
+// parkIfAsked flushes the thread's shard to the global free list and
+// parks when suspension is requested. The flush is the elastic-resize
+// protocol: only the owner pushes to a shard, so a parked thread's
+// shard is empty and stays empty — no port hint is ever stranded where
+// only a suspended thread would look for it. (Thieves may still steal
+// concurrently with the flush; the deque handles the race.)
+func (s *Scheduler) parkIfAsked(thr *Thread) {
+	if !thr.suspended.Load() {
+		return
+	}
+	s.drainShard(thr)
+	thr.suspendIfAsked()
+}
+
+// drainShard moves every hint in thr's shard to the global list,
+// dropping closed ports. PopBottom is owner-only, so this must run on
+// thr's own goroutine (it does: parkIfAsked and schedule's exit).
+func (s *Scheduler) drainShard(thr *Thread) {
+	if !s.useShards {
+		return
+	}
+	var port int32
+	for thr.shard.PopBottom(&port) {
+		if s.portClosed[port].Load() {
+			continue
+		}
+		s.pushGlobalFree(port, thr.id)
+	}
 }
 
 // maxScratchCap bounds the backing array a thread retains for the LIFO
@@ -900,7 +1177,7 @@ func (s *Scheduler) findWorkLIFO(t *tuple.Tuple, thr *Thread) bool {
 	scratch := thr.scratch[:0]
 	found := false
 	var port int32
-	for len(scratch) < len(s.queues) && s.popFree(&port) {
+	for len(scratch) < len(s.queues) && s.popFree(&port, thr.id) {
 		if s.tryTake(port, t) {
 			found = true
 			break
@@ -909,7 +1186,7 @@ func (s *Scheduler) findWorkLIFO(t *tuple.Tuple, thr *Thread) bool {
 	}
 	// Restore in reverse so the original stacking order survives.
 	for i := len(scratch) - 1; i >= 0; i-- {
-		s.requeue(scratch[i])
+		s.requeue(scratch[i], thr.id)
 	}
 	if cap(scratch) > maxScratchCap {
 		// A long walk grew the backing array; keep only a bounded buffer
@@ -922,13 +1199,16 @@ func (s *Scheduler) findWorkLIFO(t *tuple.Tuple, thr *Thread) bool {
 	return found
 }
 
-// popFree pops the free list once, or — under the RetryOnContention
-// ablation — keeps retrying a failed pop instead of abandoning the
-// search to the back-off path.
-func (s *Scheduler) popFree(v *int32) bool {
+// popFree pops the global free list once, or — under the
+// RetryOnContention ablation — keeps retrying a failed pop instead of
+// abandoning the search to the back-off path. A false return covers
+// both empty and contended (the MPMC cannot tell them apart), so the
+// PopFail meter counts the union.
+func (s *Scheduler) popFree(v *int32, tid int) bool {
 	if s.freePorts.Pop(v) {
 		return true
 	}
+	s.contention.PopFail.Add(tid, 1)
 	if !s.cfg.RetryOnContention {
 		return false
 	}
@@ -954,13 +1234,11 @@ func (s *Scheduler) tryTake(port int32, t *tuple.Tuple) bool {
 	return false
 }
 
-// requeue returns a port to the back of the free list unless it has
-// closed.
-func (s *Scheduler) requeue(port int32) {
+// requeue returns a port to the back of the global free list unless it
+// has closed.
+func (s *Scheduler) requeue(port int32, tid int) {
 	if s.portClosed[port].Load() {
 		return
 	}
-	for !s.freePorts.Push(port) {
-		runtime.Gosched()
-	}
+	s.pushGlobalFree(port, tid)
 }

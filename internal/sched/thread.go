@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streams/internal/lfq"
 	"streams/internal/tuple"
 )
 
@@ -62,6 +63,18 @@ type Thread struct {
 	// contexts (Scheduler.acquireCtx/releaseCtx); touched only by the
 	// thread's own goroutine.
 	ctxCache *ctx
+
+	// shard is the thread's local free-port cache under the sharded free
+	// list (nil under the GlobalFreeList/FreeListLIFO ablations). Only
+	// this thread pushes to or pops the bottom; other threads steal from
+	// the top.
+	shard *lfq.WSDeque
+	// findTick counts findWorkSharded calls to pace the periodic global
+	// poll; thread-local, no synchronization.
+	findTick int
+	// rng is the thread's xorshift state for randomizing steal order;
+	// thread-local, never zero.
+	rng uint32
 }
 
 func newThread(id, batchCap int) *Thread {
@@ -70,9 +83,22 @@ func newThread(id, batchCap int) *Thread {
 		id:    id,
 		batch: make([]tuple.Tuple, batchCap),
 		spare: &spare,
+		rng:   uint32(id)*2654435761 + 1, // distinct, nonzero xorshift seeds
 	}
 	t.cond = sync.NewCond(&t.mu)
 	return t
+}
+
+// nextRand advances the thread's xorshift32 state; used to randomize
+// steal victim order so concurrent thieves fan out instead of
+// convoying on shard 0.
+func (t *Thread) nextRand() uint32 {
+	x := t.rng
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	t.rng = x
+	return x
 }
 
 // ID returns the thread's slot index.
