@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check bench bench-contention
+.PHONY: all vet build test race check chaos bench bench-contention
 
 all: check
 
@@ -17,6 +17,13 @@ race:
 	$(GO) test -race ./...
 
 check: vet build test race
+
+# chaos runs the deterministic fault-injection soak under the race
+# detector: seeded panics, slowdowns and queue stalls inside the
+# scheduler, and connection drops across PE boundaries. The seeds are
+# fixed in the tests, so failures reproduce exactly.
+chaos:
+	$(GO) test -race -count=1 -run Chaos -v ./internal/sched ./internal/pe ./internal/fuse ./internal/xport
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

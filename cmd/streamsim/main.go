@@ -8,6 +8,7 @@
 //	streamsim -all                       # every panel
 //	streamsim -panel fig11-xeon-w1-d1000-cost1 -runs 3   # traces
 //	streamsim -native -w 2 -d 8 -cost 100 -threads 2     # real runtime
+//	streamsim -native -chaos panic=0.001,slow=0.001:20us # runtime under chaos
 //	streamsim -verbose                   # adds §5.1 context-switch estimates
 //
 // Static panels print the four series of Figures 9 and 10 (manual,
@@ -24,7 +25,9 @@ import (
 	"strings"
 	"time"
 
+	"streams/internal/fault"
 	"streams/internal/fig"
+	"streams/internal/metrics"
 	"streams/internal/pe"
 	"streams/internal/sim"
 )
@@ -47,6 +50,10 @@ func main() {
 		threads  = flag.Int("threads", 2, "native: dynamic thread count")
 		dur      = flag.Duration("dur", 2*time.Second, "native: measurement duration")
 		globalfl = flag.Bool("globalfl", false, "native: use the paper's single global free list instead of the sharded per-thread caches")
+
+		chaos      = flag.String("chaos", "", "native: chaos spec, e.g. panic=0.001,slow=0.001:20us,stall=0.001:20us (see internal/fault)")
+		chaosSeed  = flag.Uint64("chaos-seed", 42, "native: chaos injector seed (deterministic per seed)")
+		quarantine = flag.Int("quarantine", 3, "native: panic strikes before an operator is quarantined; 0 or less never quarantines")
 	)
 	flag.Parse()
 
@@ -65,14 +72,31 @@ func main() {
 		if *globalfl {
 			freeList = "global"
 		}
+		inj, err := fault.ParseSpec(*chaos, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("native run on this host: %s, model %s, threads %d, free list %s\n", w, m, *threads, freeList)
+		if inj != nil {
+			fmt.Printf("chaos armed: %s (seed %d)\n", *chaos, *chaosSeed)
+		}
+		qa := *quarantine
+		if qa <= 0 {
+			qa = 1 << 30 // effectively never
+		}
 		res, err := fig.RunNative(w, fig.NativeConfig{
 			Model: m, Threads: *threads, Duration: *dur, GlobalFreeList: *globalfl,
+			Fault: inj, QuarantineAfter: qa,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("sink throughput: %.4g tuples/s\n", res.Throughput)
+		if inj != nil || res.Faults != (metrics.FaultsSnapshot{}) {
+			f := res.Faults
+			fmt.Printf("faults: op panics %d, dead letters %d, quarantines %d, watchdog stalls %d\n",
+				f.OpPanics, f.DeadLetters, f.Quarantines, f.WatchdogStalls)
+		}
 		if m == pe.Dynamic {
 			st := res.Stats
 			fmt.Printf("scheduler: reschedules %d, find failures %d\n", st.Reschedules, st.FindFailures)

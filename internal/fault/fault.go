@@ -1,0 +1,342 @@
+// Package fault provides deterministic, seeded fault injection for the
+// runtime's chaos tests and the fault-containment layer they exercise.
+//
+// The runtime's hot-path seams (operator execution in the scheduler,
+// queue pushes, transport writes) each consult an injector site before
+// doing their real work. When no injector is installed the check is a
+// nil-pointer test; when an injector is installed but disabled it is a
+// single atomic load. Only an enabled site pays for the decision — an
+// atomic counter increment and one splitmix64 hash — so production
+// configurations are unaffected by the seams' existence (the chaos soak
+// acceptance test pins this down by benchmarking with injection absent).
+//
+// Decisions are deterministic in sequence: the n-th consultation of a
+// site under a given seed always makes the same choice, regardless of
+// which thread performs it. Thread interleaving still varies between
+// runs, so chaos runs are reproducible in *dose* (how many faults of
+// each kind fire, to within scheduling-dependent call totals) rather
+// than in exact placement — enough for the soak test's conservation
+// assertions to be meaningful under a fixed seed.
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies one class of injected fault, corresponding to one seam
+// in the runtime.
+type Site uint8
+
+const (
+	// OpPanic panics at the operator-execution seam, immediately before
+	// the operator's Process runs — the tuple has left its queue but has
+	// not been forwarded, so containment can account it exactly once.
+	OpPanic Site = iota
+	// OpSlow sleeps at the operator-execution seam, modeling an operator
+	// that wedges on a slow dependency.
+	OpSlow
+	// QueueStall sleeps at the queue-push seam, inflating queue occupancy
+	// to drive producers into the back-pressure (reSchedule) path.
+	QueueStall
+	// ConnDrop closes the transport connection at the write seam,
+	// simulating a peer reset mid-stream.
+	ConnDrop
+	// ConnLatency sleeps at the transport write seam.
+	ConnLatency
+
+	// NumSites is the number of injection sites.
+	NumSites
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	switch s {
+	case OpPanic:
+		return "panic"
+	case OpSlow:
+		return "slow"
+	case QueueStall:
+		return "stall"
+	case ConnDrop:
+		return "drop"
+	case ConnLatency:
+		return "lat"
+	default:
+		return fmt.Sprintf("Site(%d)", uint8(s))
+	}
+}
+
+// InjectedPanic is the value an injected OpPanic carries, so containment
+// layers and logs can tell injected faults from genuine operator bugs.
+type InjectedPanic struct{}
+
+// Error implements error.
+func (InjectedPanic) Error() string { return "fault: injected operator panic" }
+
+// Config parametrizes an Injector. Rates are per-consultation firing
+// probabilities in [0, 1]; a zero rate disables the site. Durations
+// default to small values chosen to perturb scheduling without making
+// chaos runs crawl.
+type Config struct {
+	// Seed makes the firing sequence reproducible.
+	Seed uint64
+	// PanicRate fires OpPanic.
+	PanicRate float64
+	// SlowRate fires OpSlow, sleeping SlowFor (default 100µs).
+	SlowRate float64
+	SlowFor  time.Duration
+	// StallRate fires QueueStall, sleeping StallFor (default 100µs).
+	StallRate float64
+	StallFor  time.Duration
+	// DropRate fires ConnDrop.
+	DropRate float64
+	// LatencyRate fires ConnLatency, sleeping LatencyFor (default 1ms).
+	LatencyRate float64
+	LatencyFor  time.Duration
+}
+
+// cacheLine spaces the per-site call counters so concurrent sites do not
+// false-share (the counters are only touched when injection is enabled,
+// but a chaos soak still benefits from not convoying on one line).
+const cacheLine = 8 // uint64s
+
+// Injector is a set of seeded fault sites. The zero of *Injector (nil)
+// is a valid "no injection" value: every method on a nil receiver is a
+// no-op, so call sites need no separate configuration flag.
+type Injector struct {
+	enabled atomic.Bool
+	seed    uint64
+	// thresh[s] is the firing threshold: the site fires when the hash of
+	// its next sequence number falls below it. rate 1 maps to ^uint64(0).
+	thresh [NumSites]uint64
+	delay  [NumSites]time.Duration
+	// calls[s*cacheLine] sequences consultations of site s; the sequence
+	// number, not the caller, determines the decision.
+	calls [NumSites * cacheLine]atomic.Uint64
+	// fired[s*cacheLine] counts decisions that came up "inject".
+	fired [NumSites * cacheLine]atomic.Uint64
+}
+
+// New builds an enabled injector. Rates outside [0, 1] are clamped.
+func New(cfg Config) *Injector {
+	in := &Injector{seed: splitmix64(cfg.Seed ^ 0x6c617563)}
+	set := func(s Site, rate float64, d time.Duration, dflt time.Duration) {
+		if rate < 0 {
+			rate = 0
+		}
+		if rate >= 1 {
+			in.thresh[s] = ^uint64(0)
+		} else {
+			in.thresh[s] = uint64(rate * float64(1<<63) * 2)
+		}
+		if d == 0 {
+			d = dflt
+		}
+		in.delay[s] = d
+	}
+	set(OpPanic, cfg.PanicRate, 0, 0)
+	set(OpSlow, cfg.SlowRate, cfg.SlowFor, 100*time.Microsecond)
+	set(QueueStall, cfg.StallRate, cfg.StallFor, 100*time.Microsecond)
+	set(ConnDrop, cfg.DropRate, 0, 0)
+	set(ConnLatency, cfg.LatencyRate, cfg.LatencyFor, time.Millisecond)
+	in.enabled.Store(true)
+	return in
+}
+
+// Enabled reports whether the injector is firing. Nil receivers report
+// false.
+func (in *Injector) Enabled() bool { return in != nil && in.enabled.Load() }
+
+// SetEnabled toggles the injector without losing its counters; a
+// disabled injector costs its callers one atomic load.
+func (in *Injector) SetEnabled(v bool) {
+	if in != nil {
+		in.enabled.Store(v)
+	}
+}
+
+// Should decides whether site s fires on this consultation. The decision
+// is a pure function of (seed, site, consultation ordinal), so a fixed
+// seed yields the same firing pattern across runs up to call-count
+// differences from thread interleaving.
+func (in *Injector) Should(s Site) bool {
+	if in == nil || !in.enabled.Load() {
+		return false
+	}
+	th := in.thresh[s]
+	if th == 0 {
+		return false
+	}
+	n := in.calls[int(s)*cacheLine].Add(1)
+	h := splitmix64(in.seed ^ (uint64(s)+1)*0x9e3779b97f4a7c15 ^ n)
+	if h >= th {
+		return false
+	}
+	in.fired[int(s)*cacheLine].Add(1)
+	return true
+}
+
+// Delay returns the configured sleep for a timing site.
+func (in *Injector) Delay(s Site) time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.delay[s]
+}
+
+// OpFault is the operator-execution seam: it may sleep (OpSlow) and may
+// panic (OpPanic). Callers invoke it immediately before running operator
+// code, under their panic-containment scope.
+func (in *Injector) OpFault() {
+	if in == nil || !in.enabled.Load() {
+		return
+	}
+	if in.Should(OpSlow) {
+		time.Sleep(in.delay[OpSlow])
+	}
+	if in.Should(OpPanic) {
+		panic(InjectedPanic{})
+	}
+}
+
+// StallFault is the queue-push seam: it may sleep, letting queues run
+// full so producers exercise the back-pressure path.
+func (in *Injector) StallFault() {
+	if in == nil || !in.enabled.Load() {
+		return
+	}
+	if in.Should(QueueStall) {
+		time.Sleep(in.delay[QueueStall])
+	}
+}
+
+// Fired returns how many times site s has fired.
+func (in *Injector) Fired(s Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.fired[int(s)*cacheLine].Load()
+}
+
+// Calls returns how many times site s has been consulted.
+func (in *Injector) Calls(s Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.calls[int(s)*cacheLine].Load()
+}
+
+// String summarizes fired/consulted counts per site.
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault: none"
+	}
+	var sb strings.Builder
+	sb.WriteString("fault:")
+	for s := Site(0); s < NumSites; s++ {
+		fmt.Fprintf(&sb, " %s %d/%d", s, in.Fired(s), in.Calls(s))
+	}
+	return sb.String()
+}
+
+// ParseSpec builds an injector from a comma-separated spec of
+// site=rate[:duration] entries, e.g.
+//
+//	panic=0.01,slow=0.01:1ms,stall=0.02,drop=0.005,lat=0.01:500us
+//
+// The pseudo-site "all" applies one rate to every site. An empty spec
+// returns nil (no injection).
+func ParseSpec(spec string, seed uint64) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := Config{Seed: seed}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: entry %q is not site=rate[:duration]", part)
+		}
+		rateStr, durStr, hasDur := strings.Cut(rest, ":")
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("fault: rate %q for site %q is not in [0, 1]", rateStr, name)
+		}
+		var dur time.Duration
+		if hasDur {
+			dur, err = time.ParseDuration(durStr)
+			if err != nil {
+				return nil, fmt.Errorf("fault: duration %q for site %q: %v", durStr, name, err)
+			}
+		}
+		apply := func(s Site) error {
+			switch s {
+			case OpPanic:
+				cfg.PanicRate = rate
+			case OpSlow:
+				cfg.SlowRate, cfg.SlowFor = rate, dur
+			case QueueStall:
+				cfg.StallRate, cfg.StallFor = rate, dur
+			case ConnDrop:
+				cfg.DropRate = rate
+			case ConnLatency:
+				cfg.LatencyRate, cfg.LatencyFor = rate, dur
+			}
+			return nil
+		}
+		switch strings.ToLower(name) {
+		case "all":
+			for s := Site(0); s < NumSites; s++ {
+				_ = apply(s)
+			}
+		case "panic":
+			_ = apply(OpPanic)
+		case "slow":
+			_ = apply(OpSlow)
+		case "stall":
+			_ = apply(QueueStall)
+		case "drop":
+			_ = apply(ConnDrop)
+		case "lat", "latency":
+			_ = apply(ConnLatency)
+		default:
+			return nil, fmt.Errorf("fault: unknown site %q (panic, slow, stall, drop, lat, all)", name)
+		}
+	}
+	return New(cfg), nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash of a
+// 64-bit state, enough to turn (seed, site, ordinal) into an unbiased
+// firing decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// GoroutineDump returns the stacks of every goroutine, truncated to
+// limit bytes (minimum 4 KiB). The containment layer attaches it to
+// shutdown-deadline and drain-deadline errors so a wedged thread's
+// whereabouts survive into the diagnostic.
+func GoroutineDump(limit int) string {
+	if limit < 4096 {
+		limit = 4096
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	if n > limit {
+		return string(buf[:limit]) + "\n... (goroutine dump truncated)"
+	}
+	return string(buf[:n])
+}

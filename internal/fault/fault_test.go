@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterministicSequence: the same seed must produce the identical
+// firing sequence for a site, call for call.
+func TestDeterministicSequence(t *testing.T) {
+	const n = 10000
+	run := func() []bool {
+		in := New(Config{Seed: 7, PanicRate: 0.1})
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = in.Should(OpPanic)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: decisions diverged under one seed", i)
+		}
+	}
+	in := New(Config{Seed: 8, PanicRate: 0.1})
+	diff := 0
+	for i := range a {
+		if in.Should(OpPanic) != a[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestRateIsHonored: over many consultations the empirical rate must be
+// close to the configured one.
+func TestRateIsHonored(t *testing.T) {
+	const n = 200000
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		in := New(Config{Seed: 3, StallRate: rate})
+		for i := 0; i < n; i++ {
+			in.Should(QueueStall)
+		}
+		got := float64(in.Fired(QueueStall)) / n
+		if math.Abs(got-rate) > rate*0.2+0.001 {
+			t.Errorf("rate %g: fired at %g", rate, got)
+		}
+	}
+}
+
+// TestDisabledAndNil: disabled and nil injectors never fire and never
+// panic.
+func TestDisabledAndNil(t *testing.T) {
+	var nilIn *Injector
+	nilIn.OpFault()
+	nilIn.StallFault()
+	if nilIn.Enabled() || nilIn.Should(OpPanic) || nilIn.Fired(OpPanic) != 0 {
+		t.Fatal("nil injector is not inert")
+	}
+	if nilIn.String() != "fault: none" {
+		t.Fatalf("nil String: %q", nilIn.String())
+	}
+	in := New(Config{Seed: 1, PanicRate: 1})
+	in.SetEnabled(false)
+	for i := 0; i < 100; i++ {
+		if in.Should(OpPanic) {
+			t.Fatal("disabled injector fired")
+		}
+		in.OpFault() // must not panic
+	}
+	in.SetEnabled(true)
+	if !in.Should(OpPanic) {
+		t.Fatal("re-enabled rate-1 injector did not fire")
+	}
+}
+
+// TestOpFaultPanicsWithSentinel: injected panics carry InjectedPanic.
+func TestOpFaultPanicsWithSentinel(t *testing.T) {
+	in := New(Config{Seed: 1, PanicRate: 1})
+	defer func() {
+		if _, ok := recover().(InjectedPanic); !ok {
+			t.Fatal("injected panic did not carry the InjectedPanic sentinel")
+		}
+	}()
+	in.OpFault()
+	t.Fatal("rate-1 OpFault did not panic")
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("panic=0.25,slow=0.5:2ms, lat=1:3ms ,stall=0,drop=0.125", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil || !in.Enabled() {
+		t.Fatal("spec produced no enabled injector")
+	}
+	if got := in.Delay(OpSlow); got != 2*time.Millisecond {
+		t.Fatalf("slow delay %v, want 2ms", got)
+	}
+	if got := in.Delay(ConnLatency); got != 3*time.Millisecond {
+		t.Fatalf("lat delay %v, want 3ms", got)
+	}
+	if in.Should(QueueStall) {
+		t.Fatal("rate-0 site fired")
+	}
+	if !in.Should(ConnLatency) {
+		t.Fatal("rate-1 site did not fire")
+	}
+
+	if in, err := ParseSpec("", 1); err != nil || in != nil {
+		t.Fatalf("empty spec: %v, %v (want nil, nil)", in, err)
+	}
+	if in, err := ParseSpec("all=0.5", 1); err != nil || in == nil {
+		t.Fatalf("all= spec rejected: %v", err)
+	} else {
+		for s := Site(0); s < NumSites; s++ {
+			fired := false
+			for i := 0; i < 64 && !fired; i++ {
+				fired = in.Should(s)
+			}
+			if !fired {
+				t.Errorf("all=0.5 left site %s cold over 64 draws", s)
+			}
+		}
+	}
+	for _, bad := range []string{"panic", "panic=2", "panic=x", "wat=0.1", "slow=0.1:zzz"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestGoroutineDump(t *testing.T) {
+	d := GoroutineDump(1 << 16)
+	if !strings.Contains(d, "goroutine") {
+		t.Fatalf("dump looks wrong: %.80q", d)
+	}
+	if len(GoroutineDump(0)) == 0 {
+		t.Fatal("minimum-limit dump empty")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"streams/internal/fault"
 	"streams/internal/metrics"
 	"streams/internal/ops"
 	"streams/internal/pe"
@@ -231,6 +232,12 @@ type NativeConfig struct {
 	// global free list instead of the default sharded per-thread caches,
 	// for global-vs-sharded comparisons (EXPERIMENTS.md).
 	GlobalFreeList bool
+	// Fault, if non-nil, arms chaos injection at the runtime's operator
+	// and queue seams for the whole run (streamsim -chaos).
+	Fault *fault.Injector
+	// QuarantineAfter overrides the per-operator panic budget before
+	// quarantine (0 keeps the runtime default of 3).
+	QuarantineAfter int
 }
 
 // NativeResult reports a native run: measured sink throughput plus the
@@ -243,6 +250,9 @@ type NativeResult struct {
 	// Stats carries the scheduler's reschedule/find-failure/contention
 	// counters (zero under the manual and dedicated models).
 	Stats pe.SchedStats
+	// Faults carries the fault-containment meters (all models); all-zero
+	// unless operators misbehaved or chaos injection was armed.
+	Faults metrics.FaultsSnapshot
 }
 
 // RunNative executes a (scaled-down) workload on the real runtime of
@@ -260,10 +270,12 @@ func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 		cfg.Duration = time.Second
 	}
 	p, err := pe.New(g, pe.Config{
-		Model:      cfg.Model,
-		Threads:    cfg.Threads,
-		MaxThreads: max(cfg.Threads, 1),
-		Sched:      sched.Config{GlobalFreeList: cfg.GlobalFreeList},
+		Model:           cfg.Model,
+		Threads:         cfg.Threads,
+		MaxThreads:      max(cfg.Threads, 1),
+		Sched:           sched.Config{GlobalFreeList: cfg.GlobalFreeList},
+		Fault:           cfg.Fault,
+		QuarantineAfter: cfg.QuarantineAfter,
 	})
 	if err != nil {
 		return NativeResult{}, err
@@ -282,6 +294,7 @@ func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 	return NativeResult{
 		Throughput: float64(delta) / elapsed,
 		Stats:      p.SchedStats(),
+		Faults:     p.FaultStats(),
 	}, nil
 }
 

@@ -1,0 +1,61 @@
+package fuse
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streams/internal/fault"
+	"streams/internal/pe"
+)
+
+// TestChaosDeploymentConnDrop splits a pipeline across three PEs and
+// injects deterministic connection drops and write latency at every TCP
+// boundary. The exports must reconnect and replay under their retry
+// budget so the deployment still delivers every tuple exactly once, and
+// each boundary transport must carry its PE pair in its name so a fault
+// report identifies the failing link.
+func TestChaosDeploymentConnDrop(t *testing.T) {
+	const n = 8000
+	inj := fault.New(fault.Config{
+		Seed:        42,
+		DropRate:    0.005,
+		LatencyRate: 0.005, LatencyFor: 50 * time.Microsecond,
+	})
+	g, snk := pipelineGraph(t, 9, n)
+	d, err := Plan(g, 3, pe.Config{Model: pe.Dynamic, Threads: 2, MaxThreads: 2, Fault: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Exports) != 2 {
+		t.Fatalf("planned %d boundaries, want 2", len(d.Exports))
+	}
+	if name := d.Exports[0].Name(); !strings.Contains(name, "pe0→pe1") {
+		t.Errorf("first boundary name %q does not identify the PE pair", name)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitTimeout(120 * time.Second); err != nil {
+		t.Fatalf("chaos deployment failed: %v", err)
+	}
+	var reconnects, dropped uint64
+	for _, e := range d.Exports {
+		reconnects += e.Reconnects()
+		dropped += e.Dropped()
+	}
+	if fired := inj.Fired(fault.ConnDrop); fired == 0 {
+		t.Fatal("injector never dropped a connection")
+	}
+	if reconnects == 0 {
+		t.Error("exports never reconnected despite injected drops")
+	}
+	if dropped != 0 {
+		t.Errorf("exports gave up on %d frames; retry budget should cover injected drops", dropped)
+	}
+	if snk.Count() != n {
+		t.Fatalf("sink saw %d of %d tuples after reconnects", snk.Count(), n)
+	}
+	t.Logf("chaos deployment: %d drops fired, %d reconnects, all %d tuples delivered",
+		inj.Fired(fault.ConnDrop), reconnects, n)
+}

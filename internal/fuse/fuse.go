@@ -96,15 +96,21 @@ func Plan(g *graph.Graph, parts int, cfg pe.Config) (*Deployment, error) {
 				if !ok {
 					ln, err := net.Listen("tcp", "127.0.0.1:0")
 					if err != nil {
-						return nil, fmt.Errorf("fuse: boundary listener: %w", err)
+						return nil, fmt.Errorf("fuse: boundary listener for %s:%d pe%d→pe%d: %w",
+							n.Op.Name(), outPort, srcPart, dstPart, err)
 					}
 					addr := ln.Addr().String()
-					exp := xport.NewExport(
-						fmt.Sprintf("Export[%s:%d→pe%d]", n.Op.Name(), outPort, dstPart),
-						func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 10*time.Second) },
+					// The name carries the PE pair so a failed boundary is
+					// identifiable from Err alone. The dial is one bounded
+					// attempt; the Export retries it under its own jittered
+					// backoff and retry budget.
+					exp := xport.NewExportWith(
+						fmt.Sprintf("Export[%s:%d pe%d→pe%d]", n.Op.Name(), outPort, srcPart, dstPart),
+						func() (net.Conn, error) { return net.DialTimeout("tcp", addr, 2*time.Second) },
+						xport.Options{Fault: cfg.Fault},
 					)
 					imp := xport.NewImport(
-						fmt.Sprintf("Import[%s:%d→pe%d]", n.Op.Name(), outPort, dstPart), ln)
+						fmt.Sprintf("Import[%s:%d pe%d→pe%d]", n.Op.Name(), outPort, srcPart, dstPart), ln)
 					expNode := builders[srcPart].AddNode(exp, 1, 0)
 					builders[srcPart].Connect(newID[n.ID], outPort, expNode, 0)
 					impNode := builders[dstPart].AddNode(imp, 0, 1)
@@ -152,6 +158,24 @@ func (d *Deployment) Wait() {
 	for _, p := range d.PEs {
 		p.Wait()
 	}
+}
+
+// WaitTimeout drains the deployment front to back with one deadline over
+// the whole drain. The returned error names the PE that failed to drain
+// (with its diagnostic goroutine dump), or reports the first transport
+// error — which names the boundary's PE pair — after a complete drain.
+func (d *Deployment) WaitTimeout(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i, p := range d.PEs {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			remain = time.Millisecond
+		}
+		if err := p.WaitTimeout(remain); err != nil {
+			return fmt.Errorf("fuse: PE %d: %w", i, err)
+		}
+	}
+	return d.Err()
 }
 
 // Stop asks the source PE's sources to stop, then drains the rest.

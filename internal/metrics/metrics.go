@@ -114,6 +114,54 @@ func (c *Contention) Snapshot() ContentionSnapshot {
 	}
 }
 
+// Faults bundles the runtime's fault-containment meters, one sharded
+// Counter per event kind. Like Contention, these are charged only on
+// slow paths (a recovered panic, a dead-lettered tuple, a watchdog
+// report); the fault-free hot path never touches them.
+type Faults struct {
+	// OpPanics counts operator panics recovered by the containment layer
+	// (injected panics included).
+	OpPanics *Counter
+	// DeadLetters counts data tuples that were consumed from a queue but
+	// not processed: the tuple whose execution panicked, and every tuple
+	// subsequently routed to a quarantined operator. Tuple conservation
+	// is delivered + dead-lettered == generated.
+	DeadLetters *Counter
+	// Quarantines counts operators quarantined after accumulating their
+	// strike budget.
+	Quarantines *Counter
+	// WatchdogStalls counts watchdog reports of a scheduler thread stuck
+	// in operator code past the stall threshold.
+	WatchdogStalls *Counter
+}
+
+// NewFaults returns a Faults set sized for the given number of executing
+// threads (see NewCounter).
+func NewFaults(shards int) *Faults {
+	return &Faults{
+		OpPanics:       NewCounter(shards),
+		DeadLetters:    NewCounter(shards),
+		Quarantines:    NewCounter(shards),
+		WatchdogStalls: NewCounter(shards),
+	}
+}
+
+// FaultsSnapshot is a point-in-time reading of a Faults set, with the
+// same lower-bound semantics as Counter.Total.
+type FaultsSnapshot struct {
+	OpPanics, DeadLetters, Quarantines, WatchdogStalls uint64
+}
+
+// Snapshot sums every meter.
+func (f *Faults) Snapshot() FaultsSnapshot {
+	return FaultsSnapshot{
+		OpPanics:       f.OpPanics.Total(),
+		DeadLetters:    f.DeadLetters.Total(),
+		Quarantines:    f.Quarantines.Total(),
+		WatchdogStalls: f.WatchdogStalls.Total(),
+	}
+}
+
 // Welford accumulates streaming mean and standard deviation (Welford's
 // algorithm). The zero value is ready to use.
 type Welford struct {

@@ -1,0 +1,124 @@
+package pe
+
+import (
+	"testing"
+	"time"
+
+	"streams/internal/fault"
+	"streams/internal/graph"
+	"streams/internal/ops"
+)
+
+// mixedGraphWithSource is mixedGraph with a caller-supplied generator, so
+// chaos tests can compare against the exact produced count.
+func mixedGraphWithSource(t *testing.T, gen *ops.Generator, width, depth int, snk *ops.Sink) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	src := b.AddNode(gen, 0, 1)
+	split := b.AddNode(&ops.RoundRobinSplit{Width: width}, 1, width)
+	b.Connect(src, 0, split, 0)
+	sn := b.AddNode(snk, 1, 0)
+	for w := 0; w < width; w++ {
+		prev, prevPort := split, w
+		for d := 0; d < depth; d++ {
+			n := b.AddNode(&ops.Worker{}, 1, 1)
+			b.Connect(prev, prevPort, n, 0)
+			prev, prevPort = n, 0
+		}
+		b.Connect(prev, prevPort, sn, 0)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestChaosSoakMixed is the chaos soak: a mixed 10-wide, 100-deep
+// topology under the dynamic scheduler with every operator- and
+// queue-seam injector armed — deterministic seeded panics, slowdowns and
+// queue stalls — plus the stall watchdog. The invariants are exactly the
+// issue's: the process survives, the PE drains cleanly within a bounded
+// wait, and tuple conservation is exact (delivered + dead-lettered ==
+// generated).
+//
+// Run it under -race: `make chaos` pins the seed used here.
+func TestChaosSoakMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	const n = 20000
+	inj := fault.New(fault.Config{
+		Seed:      42,
+		PanicRate: 0.002,
+		SlowRate:  0.002, SlowFor: 20 * time.Microsecond,
+		StallRate: 0.002, StallFor: 20 * time.Microsecond,
+	})
+	gen := &ops.Generator{Limit: n}
+	snk := &ops.Sink{}
+	g := mixedGraphWithSource(t, gen, 10, 100, snk)
+	p, err := New(g, Config{
+		Model:            Dynamic,
+		Threads:          4,
+		MaxThreads:       4,
+		Fault:            inj,
+		QuarantineAfter:  1 << 30, // panics everywhere; quarantine would be noise
+		WatchdogInterval: 10 * time.Millisecond,
+		StallThreshold:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitTimeout(120 * time.Second); err != nil {
+		t.Fatalf("chaos soak did not drain: %v", err)
+	}
+	fs := p.FaultStats()
+	if fs.OpPanics == 0 {
+		t.Fatal("injector never fired a panic over ~2M seam consultations")
+	}
+	if fired := inj.Fired(fault.OpPanic); fired != fs.OpPanics {
+		t.Errorf("injector fired %d panics, containment recovered %d", fired, fs.OpPanics)
+	}
+	if fs.OpPanics != fs.DeadLetters {
+		t.Errorf("OpPanics %d != DeadLetters %d with quarantine disabled", fs.OpPanics, fs.DeadLetters)
+	}
+	if got := snk.Count() + fs.DeadLetters; got != gen.Produced() {
+		t.Errorf("delivered %d + dead-lettered %d = %d, want %d (conservation broken)",
+			snk.Count(), fs.DeadLetters, got, gen.Produced())
+	}
+	t.Logf("soak: %d delivered, %d dead-lettered, %d panics, %d slowdowns, %d stalls, %d watchdog reports",
+		snk.Count(), fs.DeadLetters, fs.OpPanics,
+		inj.Fired(fault.OpSlow), inj.Fired(fault.QueueStall), fs.WatchdogStalls)
+}
+
+// TestChaosQuarantineUnderInjection re-runs a smaller soak with the
+// default strike budget so injected panics drive real quarantines, and
+// checks conservation still holds when whole operators go dark.
+func TestChaosQuarantineUnderInjection(t *testing.T) {
+	const n = 10000
+	inj := fault.New(fault.Config{Seed: 7, PanicRate: 0.01})
+	gen := &ops.Generator{Limit: n}
+	snk := &ops.Sink{}
+	g := mixedGraphWithSource(t, gen, 4, 25, snk)
+	p, err := New(g, Config{Model: Dynamic, Threads: 2, MaxThreads: 4, Fault: inj, QuarantineAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WaitTimeout(60 * time.Second); err != nil {
+		t.Fatalf("drain failed with quarantined operators: %v", err)
+	}
+	fs := p.FaultStats()
+	if fs.Quarantines == 0 {
+		t.Errorf("no quarantines at 1%% panic rate over ~%d executions", n*26)
+	}
+	if got := snk.Count() + fs.DeadLetters; got != gen.Produced() {
+		t.Errorf("delivered %d + dead-lettered %d = %d, want %d (conservation broken)",
+			snk.Count(), fs.DeadLetters, got, gen.Produced())
+	}
+}

@@ -1,0 +1,124 @@
+package pe
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"streams/internal/fault"
+	"streams/internal/graph"
+	"streams/internal/metrics"
+	"streams/internal/sched"
+	"streams/internal/tuple"
+)
+
+// containment is the fault-containment state shared by the manual and
+// dedicated runners (the dynamic runner has its own copy inside the
+// scheduler, wired to the same config): recovered-panic accounting,
+// per-operator strike counts, and the quarantine set. An operator that
+// panics quarantineAfter times is quarantined — its subsequent data
+// tuples are dead-lettered instead of executed, while punctuation keeps
+// flowing past it so the PE still drains.
+type containment struct {
+	after  int
+	inj    *fault.Injector
+	faults *metrics.Faults
+	// seen gates the quarantine lookup: until the first panic, the data
+	// path pays one atomic load here and nothing else.
+	seen        atomic.Bool
+	strikes     []atomic.Int32
+	quarantined []atomic.Bool
+	lastFault   atomic.Value // string
+}
+
+func newContainment(g *graph.Graph, inj *fault.Injector, after, shards int) *containment {
+	if after <= 0 {
+		after = 3
+	}
+	return &containment{
+		after:       after,
+		inj:         inj,
+		faults:      metrics.NewFaults(shards),
+		strikes:     make([]atomic.Int32, len(g.Nodes)),
+		quarantined: make([]atomic.Bool, len(g.Nodes)),
+	}
+}
+
+func (c *containment) isQuarantined(n *graph.Node) bool {
+	return c.seen.Load() && c.quarantined[n.ID].Load()
+}
+
+// contain records a recovered panic from node n; deadLetter says a data
+// tuple was consumed by the panicking call and must be accounted.
+func (c *containment) contain(tid int, n *graph.Node, r any, deadLetter bool) {
+	c.seen.Store(true)
+	c.faults.OpPanics.Add(tid, 1)
+	if deadLetter {
+		c.faults.DeadLetters.Add(tid, 1)
+	}
+	if int(c.strikes[n.ID].Add(1)) == c.after {
+		c.quarantined[n.ID].Store(true)
+		c.faults.Quarantines.Add(tid, 1)
+	}
+	c.lastFault.Store(fmt.Sprintf("pe: operator %s (node %d) panicked: %v", n.Op.Name(), n.ID, r))
+}
+
+// runData executes one data tuple at node n under containment and
+// reports whether the tuple counts as executed; false means it was
+// dead-lettered (quarantined operator, or the call panicked).
+func (c *containment) runData(tid int, n *graph.Node, ec graph.Submitter, t tuple.Tuple, idx int) (ok bool) {
+	if c.isQuarantined(n) {
+		c.faults.DeadLetters.Add(tid, 1)
+		return false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.contain(tid, n, r, true)
+			ok = false
+		}
+	}()
+	// The injected fault fires before Process, so a panicking tuple has
+	// not been partially forwarded and dead-lettering it keeps exact
+	// conservation.
+	c.inj.OpFault()
+	n.Op.Process(ec, t, idx)
+	return true
+}
+
+// runPunct delivers punctuation k to node n's operator callback under
+// containment; quarantined operators are skipped. The runtime side of
+// punctuation — drain bookkeeping, forwarding downstream — stays with
+// the caller and always runs, which is what lets a PE drain past a
+// quarantined operator.
+func (c *containment) runPunct(tid int, n *graph.Node, ec graph.Submitter, k tuple.Kind, idx int) {
+	ph, ok := n.Op.(graph.Puncts)
+	if !ok || c.isQuarantined(n) {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.contain(tid, n, r, false)
+		}
+	}()
+	ph.OnPunct(ec, k, idx)
+}
+
+// runFinish flushes node n's Finalizer (if any) under containment.
+func (c *containment) runFinish(tid int, n *graph.Node, out graph.Submitter) {
+	f, ok := n.Op.(sched.Finalizer)
+	if !ok || c.isQuarantined(n) {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c.contain(tid, n, r, false)
+		}
+	}()
+	f.Finish(out)
+}
+
+func (c *containment) snapshot() metrics.FaultsSnapshot { return c.faults.Snapshot() }
+
+func (c *containment) last() string {
+	v, _ := c.lastFault.Load().(string)
+	return v
+}

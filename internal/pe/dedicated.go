@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streams/internal/fault"
 	"streams/internal/graph"
 	"streams/internal/lfq"
 	"streams/internal/metrics"
@@ -22,11 +23,12 @@ import (
 // exactly why the model over-subscribes the machine when operators
 // outnumber cores.
 type dedicatedRunner struct {
-	g      *graph.Graph
-	queues []*lfq.Enforcer[tuple.Tuple]
-	drain  *drainState
-	exec   *metrics.Counter
-	sink   *metrics.Counter
+	g       *graph.Graph
+	queues  []*lfq.Enforcer[tuple.Tuple]
+	drain   *drainState
+	contain *containment
+	exec    *metrics.Counter
+	sink    *metrics.Counter
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -34,16 +36,18 @@ type dedicatedRunner struct {
 
 const dedicatedBackoffMax = 10 * time.Millisecond
 
-func newDedicatedRunner(g *graph.Graph, queueCap int) *dedicatedRunner {
+func newDedicatedRunner(g *graph.Graph, queueCap int, inj *fault.Injector, quarantineAfter int) *dedicatedRunner {
 	if queueCap == 0 {
 		queueCap = 64
 	}
+	shards := len(g.Ports) + len(g.SourceNodes)
 	r := &dedicatedRunner{
-		g:      g,
-		queues: make([]*lfq.Enforcer[tuple.Tuple], len(g.Ports)),
-		drain:  newDrainState(g),
-		exec:   metrics.NewCounter(len(g.Ports) + len(g.SourceNodes)),
-		sink:   metrics.NewCounter(len(g.Ports) + len(g.SourceNodes)),
+		g:       g,
+		queues:  make([]*lfq.Enforcer[tuple.Tuple], len(g.Ports)),
+		drain:   newDrainState(g),
+		contain: newContainment(g, inj, quarantineAfter, shards),
+		exec:    metrics.NewCounter(shards),
+		sink:    metrics.NewCounter(shards),
 	}
 	for i := range r.queues {
 		r.queues[i] = lfq.NewEnforcer[tuple.Tuple](queueCap)
@@ -137,22 +141,19 @@ func (r *dedicatedRunner) deliverBatch(p *graph.InPort, batch []tuple.Tuple) boo
 func (r *dedicatedRunner) deliver(ec *dedicatedCtx, p *graph.InPort, t tuple.Tuple, data *int) bool {
 	switch t.Kind {
 	case tuple.Data:
-		p.Node.Op.Process(ec, t, p.Index)
-		*data++
-	case tuple.WindowMark:
-		if ph, ok := p.Node.Op.(graph.Puncts); ok {
-			ph.OnPunct(ec, tuple.WindowMark, p.Index)
+		if r.contain.runData(p.ID, p.Node, ec, t, p.Index) {
+			*data++
 		}
+	case tuple.WindowMark:
+		r.contain.runPunct(p.ID, p.Node, ec, tuple.WindowMark, p.Index)
 		for out := 0; out < p.Node.NumOut; out++ {
 			ec.Submit(tuple.Window(), out)
 		}
 	case tuple.FinalMark:
-		if ph, ok := p.Node.Op.(graph.Puncts); ok {
-			ph.OnPunct(ec, tuple.FinalMark, p.Index)
-		}
+		r.contain.runPunct(p.ID, p.Node, ec, tuple.FinalMark, p.Index)
 		portClosed, nodeClosed := r.drain.onFinal(p)
 		if nodeClosed {
-			finishNode(p.Node, ec)
+			finishNode(r.contain, p.ID, p.Node, ec)
 		}
 		return portClosed
 	}
@@ -179,6 +180,7 @@ func (c *dedicatedCtx) Submit(t tuple.Tuple, outPort int) {
 // the dedicated model's back-pressure. It yields between attempts so the
 // (usually oversubscribed) consumer threads can drain.
 func (c *dedicatedRunner) blockingPush(pid int, t tuple.Tuple) {
+	c.contain.inj.StallFault()
 	q := c.queues[pid]
 	spins := 0
 	for !q.Push(t) {
@@ -206,11 +208,14 @@ func (r *dedicatedRunner) sourceDone(i int) {
 	}
 }
 
-func (r *dedicatedRunner) executed() uint64      { return r.exec.Total() }
-func (r *dedicatedRunner) sinkDelivered() uint64 { return r.sink.Total() }
-func (r *dedicatedRunner) done() <-chan struct{} { return r.drain.doneCh }
+func (r *dedicatedRunner) executed() uint64               { return r.exec.Total() }
+func (r *dedicatedRunner) sinkDelivered() uint64          { return r.sink.Total() }
+func (r *dedicatedRunner) done() <-chan struct{}          { return r.drain.doneCh }
+func (r *dedicatedRunner) faults() metrics.FaultsSnapshot { return r.contain.snapshot() }
+func (r *dedicatedRunner) lastFault() string              { return r.contain.last() }
 
-func (r *dedicatedRunner) shutdown() {
+func (r *dedicatedRunner) shutdown() error {
 	r.stop.Store(true)
 	r.wg.Wait()
+	return nil
 }

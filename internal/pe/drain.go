@@ -4,7 +4,6 @@ import (
 	"sync/atomic"
 
 	"streams/internal/graph"
-	"streams/internal/sched"
 	"streams/internal/tuple"
 )
 
@@ -55,12 +54,12 @@ func (d *drainState) onFinal(p *graph.InPort) (portClosed, nodeClosed bool) {
 	return true, nodeClosed
 }
 
-// finishNode runs the node's Finalizer (if any) and forwards final
-// punctuation on every output port via out.
-func finishNode(n *graph.Node, out graph.Submitter) {
-	if f, ok := n.Op.(sched.Finalizer); ok {
-		f.Finish(out)
-	}
+// finishNode runs the node's Finalizer (if any) under containment and
+// forwards final punctuation on every output port via out. The forward
+// runs even when the finalizer is quarantined or panics, so downstream
+// drain progress never depends on a faulty operator.
+func finishNode(c *containment, tid int, n *graph.Node, out graph.Submitter) {
+	c.runFinish(tid, n, out)
 	for port := 0; port < n.NumOut; port++ {
 		out.Submit(tuple.Final(), port)
 	}

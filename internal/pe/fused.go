@@ -1,6 +1,7 @@
 package pe
 
 import (
+	"streams/internal/fault"
 	"streams/internal/graph"
 	"streams/internal/metrics"
 	"streams/internal/tuple"
@@ -14,18 +15,20 @@ import (
 // lowest latency of the three models and exactly one thread per source
 // (§2.2).
 type fusedRunner struct {
-	g     *graph.Graph
-	drain *drainState
-	exec  *metrics.Counter
-	sink  *metrics.Counter
+	g       *graph.Graph
+	drain   *drainState
+	contain *containment
+	exec    *metrics.Counter
+	sink    *metrics.Counter
 }
 
-func newFusedRunner(g *graph.Graph) *fusedRunner {
+func newFusedRunner(g *graph.Graph, inj *fault.Injector, quarantineAfter int) *fusedRunner {
 	return &fusedRunner{
-		g:     g,
-		drain: newDrainState(g),
-		exec:  metrics.NewCounter(len(g.SourceNodes)),
-		sink:  metrics.NewCounter(len(g.SourceNodes)),
+		g:       g,
+		drain:   newDrainState(g),
+		contain: newContainment(g, inj, quarantineAfter, len(g.SourceNodes)),
+		exec:    metrics.NewCounter(len(g.SourceNodes)),
+		sink:    metrics.NewCounter(len(g.SourceNodes)),
 	}
 }
 
@@ -52,24 +55,21 @@ func (f *fusedRunner) deliver(p *graph.InPort, t tuple.Tuple, tid int) {
 	ec := &fusedCtx{r: f, node: p.Node, tid: tid}
 	switch t.Kind {
 	case tuple.Data:
-		p.Node.Op.Process(ec, t, p.Index)
-		f.exec.Add(tid, 1)
-		if p.Node.NumOut == 0 {
-			f.sink.Add(tid, 1)
+		if f.contain.runData(tid, p.Node, ec, t, p.Index) {
+			f.exec.Add(tid, 1)
+			if p.Node.NumOut == 0 {
+				f.sink.Add(tid, 1)
+			}
 		}
 	case tuple.WindowMark:
-		if ph, ok := p.Node.Op.(graph.Puncts); ok {
-			ph.OnPunct(ec, tuple.WindowMark, p.Index)
-		}
+		f.contain.runPunct(tid, p.Node, ec, tuple.WindowMark, p.Index)
 		for out := 0; out < p.Node.NumOut; out++ {
 			ec.Submit(tuple.Window(), out)
 		}
 	case tuple.FinalMark:
-		if ph, ok := p.Node.Op.(graph.Puncts); ok {
-			ph.OnPunct(ec, tuple.FinalMark, p.Index)
-		}
+		f.contain.runPunct(tid, p.Node, ec, tuple.FinalMark, p.Index)
 		if _, nodeClosed := f.drain.onFinal(p); nodeClosed {
-			finishNode(p.Node, ec)
+			finishNode(f.contain, tid, p.Node, ec)
 		}
 	}
 }
@@ -86,7 +86,9 @@ func (f *fusedRunner) sourceDone(i int) {
 	}
 }
 
-func (f *fusedRunner) executed() uint64      { return f.exec.Total() }
-func (f *fusedRunner) sinkDelivered() uint64 { return f.sink.Total() }
-func (f *fusedRunner) done() <-chan struct{} { return f.drain.doneCh }
-func (f *fusedRunner) shutdown()             {}
+func (f *fusedRunner) executed() uint64               { return f.exec.Total() }
+func (f *fusedRunner) sinkDelivered() uint64          { return f.sink.Total() }
+func (f *fusedRunner) done() <-chan struct{}          { return f.drain.doneCh }
+func (f *fusedRunner) faults() metrics.FaultsSnapshot { return f.contain.snapshot() }
+func (f *fusedRunner) lastFault() string              { return f.contain.last() }
+func (f *fusedRunner) shutdown() error                { return nil }

@@ -24,6 +24,7 @@ import (
 
 	"streams/internal/cpuutil"
 	"streams/internal/elastic"
+	"streams/internal/fault"
 	"streams/internal/graph"
 	"streams/internal/metrics"
 	"streams/internal/sched"
@@ -97,6 +98,23 @@ type Config struct {
 	Trace func(Sample)
 	// QueueCap tunes the dedicated model's per-port queues. Default 64.
 	QueueCap int
+	// Fault installs a chaos injector, consulted at the operator and
+	// queue seams of whichever runner executes the graph. Nil (the
+	// default) means no injection and no injection cost.
+	Fault *fault.Injector
+	// QuarantineAfter is the per-operator panic budget before the
+	// containment layer quarantines it. Default 3.
+	QuarantineAfter int
+	// ShutdownTimeout bounds the dynamic scheduler's wait for its threads
+	// to exit on shutdown. Default 60s; negative waits forever.
+	ShutdownTimeout time.Duration
+	// WatchdogInterval enables the dynamic scheduler's stall watchdog at
+	// the given sweep period. 0 (the default) disables it.
+	WatchdogInterval time.Duration
+	// StallThreshold is how long a scheduler thread may sit inside
+	// operator code without progress before the watchdog reports it.
+	// Default 2×WatchdogInterval.
+	StallThreshold time.Duration
 }
 
 // PE is a processing element executing one graph. Create with New, run
@@ -114,6 +132,9 @@ type PE struct {
 	adaptStop   chan struct{}
 	started     atomic.Bool
 	stopped     atomic.Bool
+
+	errMu sync.Mutex
+	err   error
 
 	level atomic.Int64
 }
@@ -133,8 +154,13 @@ type runner interface {
 	sinkDelivered() uint64
 	// done is closed when the graph has drained.
 	done() <-chan struct{}
-	// shutdown stops all execution threads.
-	shutdown()
+	// faults snapshots the fault-containment meters.
+	faults() metrics.FaultsSnapshot
+	// lastFault describes the most recent contained fault ("" if none).
+	lastFault() string
+	// shutdown stops all execution threads, bounded by the configured
+	// shutdown deadline where the model has one.
+	shutdown() error
 }
 
 // New validates the configuration and builds a PE.
@@ -162,13 +188,28 @@ func New(g *graph.Graph, cfg Config) (*PE, error) {
 	}
 	switch cfg.Model {
 	case Manual:
-		pe.runner = newFusedRunner(g)
+		pe.runner = newFusedRunner(g, cfg.Fault, cfg.QuarantineAfter)
 	case Dedicated:
-		pe.runner = newDedicatedRunner(g, cfg.QueueCap)
+		pe.runner = newDedicatedRunner(g, cfg.QueueCap, cfg.Fault, cfg.QuarantineAfter)
 	case Dynamic:
 		sc := cfg.Sched
 		if sc.MaxThreads == 0 {
 			sc.MaxThreads = max(cfg.MaxThreads, cfg.Threads)
+		}
+		if cfg.Fault != nil {
+			sc.Fault = cfg.Fault
+		}
+		if cfg.QuarantineAfter != 0 {
+			sc.QuarantineAfter = cfg.QuarantineAfter
+		}
+		if cfg.ShutdownTimeout != 0 {
+			sc.ShutdownTimeout = cfg.ShutdownTimeout
+		}
+		if cfg.WatchdogInterval != 0 {
+			sc.WatchdogInterval = cfg.WatchdogInterval
+		}
+		if cfg.StallThreshold != 0 {
+			sc.StallThreshold = cfg.StallThreshold
 		}
 		pe.runner = newDynamicRunner(g, sc, cfg.Threads)
 	default:
@@ -299,6 +340,9 @@ type SchedStats struct {
 	// Contention snapshots the free-list meters: global push/pop
 	// failures, shard steals and misses, and shard overflow spills.
 	Contention metrics.ContentionSnapshot
+	// Faults snapshots the fault-containment meters: recovered operator
+	// panics, dead-lettered tuples, quarantines and watchdog reports.
+	Faults metrics.FaultsSnapshot
 }
 
 // SchedStats returns the dynamic scheduler's slow-path meters (zero
@@ -312,6 +356,30 @@ func (pe *PE) SchedStats() SchedStats {
 		Reschedules:  d.s.Reschedules(),
 		FindFailures: d.s.FindFailures(),
 		Contention:   d.s.Contention(),
+		Faults:       d.s.Faults(),
+	}
+}
+
+// FaultStats snapshots the fault-containment meters under every
+// threading model.
+func (pe *PE) FaultStats() metrics.FaultsSnapshot { return pe.runner.faults() }
+
+// LastFault describes the most recent contained fault ("" if none).
+func (pe *PE) LastFault() string { return pe.runner.lastFault() }
+
+// Err returns the first error recorded while stopping the PE (for
+// example a shutdown-deadline expiry naming a stuck scheduler thread).
+func (pe *PE) Err() error {
+	pe.errMu.Lock()
+	defer pe.errMu.Unlock()
+	return pe.err
+}
+
+func (pe *PE) setErr(err error) {
+	pe.errMu.Lock()
+	defer pe.errMu.Unlock()
+	if pe.err == nil {
+		pe.err = err
 	}
 }
 
@@ -324,6 +392,25 @@ func (pe *PE) Done() <-chan struct{} { return pe.runner.done() }
 func (pe *PE) Wait() {
 	<-pe.runner.done()
 	pe.finish()
+}
+
+// WaitTimeout is Wait with a deadline on the drain itself: if the graph
+// has not drained within d — a wedged operator, a stalled thread — it
+// returns an error carrying the last contained fault and a goroutine
+// dump instead of blocking forever. On a successful drain it returns any
+// shutdown error (see Err).
+func (pe *PE) WaitTimeout(d time.Duration) error {
+	select {
+	case <-pe.runner.done():
+	case <-time.After(d):
+		last := ""
+		if lf := pe.runner.lastFault(); lf != "" {
+			last = " (last fault: " + lf + ")"
+		}
+		return fmt.Errorf("pe: drain deadline %v expired%s\n%s", d, last, fault.GoroutineDump(64<<10))
+	}
+	pe.finish()
+	return pe.Err()
 }
 
 // Stop asks sources to stop, waits for the graph to drain, and releases
@@ -347,7 +434,9 @@ func (pe *PE) finish() {
 		}
 		pe.adaptWG.Wait()
 	}
-	pe.runner.shutdown()
+	if err := pe.runner.shutdown(); err != nil {
+		pe.setErr(err)
+	}
 	pe.sourcesWG.Wait()
 }
 
@@ -371,8 +460,10 @@ func (d *dynamicRunner) sourceSubmitter(i int) graph.Submitter {
 	return d.s.SourceSubmitter(d.g.SourceNodes[i], i)
 }
 
-func (d *dynamicRunner) sourceDone(i int)      { d.s.SourceDone(d.g.SourceNodes[i], i) }
-func (d *dynamicRunner) executed() uint64      { return d.s.Executed() }
-func (d *dynamicRunner) sinkDelivered() uint64 { return d.s.SinkDelivered() }
-func (d *dynamicRunner) done() <-chan struct{} { return d.s.Done() }
-func (d *dynamicRunner) shutdown()             { d.s.Shutdown() }
+func (d *dynamicRunner) sourceDone(i int)               { d.s.SourceDone(d.g.SourceNodes[i], i) }
+func (d *dynamicRunner) executed() uint64               { return d.s.Executed() }
+func (d *dynamicRunner) sinkDelivered() uint64          { return d.s.SinkDelivered() }
+func (d *dynamicRunner) done() <-chan struct{}          { return d.s.Done() }
+func (d *dynamicRunner) faults() metrics.FaultsSnapshot { return d.s.Faults() }
+func (d *dynamicRunner) lastFault() string              { return d.s.LastFault() }
+func (d *dynamicRunner) shutdown() error                { return d.s.Shutdown() }

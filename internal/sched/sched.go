@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streams/internal/fault"
 	"streams/internal/graph"
 	"streams/internal/lfq"
 	"streams/internal/metrics"
@@ -65,6 +66,33 @@ type Config struct {
 	// typical graphs never spill, small enough that a thread cannot pin
 	// memory proportional to a huge port set.
 	ShardCap int
+
+	// Fault optionally installs a chaos injector at the scheduler's
+	// seams (operator execution, queue pushes). Nil — the default —
+	// keeps the seams at a nil-pointer check; see internal/fault.
+	Fault *fault.Injector
+	// QuarantineAfter is how many recovered panics an operator may
+	// accumulate before the scheduler quarantines it: data tuples routed
+	// to a quarantined operator are dead-lettered (counted, dropped)
+	// instead of executed, while punctuation continues to propagate so
+	// the graph still drains. Default 3.
+	QuarantineAfter int
+	// ShutdownTimeout bounds how long Shutdown waits for scheduler
+	// threads to exit before returning a diagnostic error naming the
+	// stuck threads (with a goroutine dump). Default 60s; negative
+	// waits forever (the pre-containment behavior).
+	ShutdownTimeout time.Duration
+	// WatchdogInterval enables the scheduler watchdog: every interval it
+	// checks each running thread's heartbeat epoch and reports threads
+	// stuck inside operator code without progress for longer than
+	// StallThreshold. Zero (the default) disables the watchdog.
+	WatchdogInterval time.Duration
+	// StallThreshold is how long a thread may go without a heartbeat
+	// before the watchdog reports it. Default 2×WatchdogInterval.
+	StallThreshold time.Duration
+	// OnStall, if set, observes every watchdog report (thread ID and how
+	// long it has been stuck). Reports are also counted in Faults.
+	OnStall func(tid int, stuckFor time.Duration)
 
 	// The remaining options reverse individual design decisions from the
 	// paper so the benchmark suite can measure what each one buys
@@ -127,6 +155,15 @@ func (c Config) withDefaults(g *graph.Graph) Config {
 	}
 	if c.ShardCap != 0 && (c.ShardCap < 1 || c.ShardCap&(c.ShardCap-1) != 0) {
 		panic(fmt.Sprintf("sched: ShardCap %d is not a positive power of two", c.ShardCap))
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = 60 * time.Second
+	}
+	if c.StallThreshold == 0 {
+		c.StallThreshold = 2 * c.WatchdogInterval
 	}
 	return c
 }
@@ -216,6 +253,25 @@ type Scheduler struct {
 	contention  *metrics.Contention // free-list push/pop failures, steals, spills
 	perNode     []atomic.Uint64
 
+	// Fault containment. inj is the chaos injector (nil when disabled —
+	// the seams then cost a nil check). faultsSeen flips true on the
+	// first recovered panic and gates the per-span quarantine lookup, so
+	// fault-free runs never read the quarantine table. strikes and
+	// quarantined are per-node; faults holds the sharded meters.
+	inj         *fault.Injector
+	faults      *metrics.Faults
+	faultsSeen  atomic.Bool
+	strikes     []atomic.Int32
+	quarantined []atomic.Bool
+	lastFault   atomic.Value // string: most recent panic/stall description
+
+	// Watchdog bookkeeping: the goroutine is started with the first
+	// scheduler thread (when WatchdogInterval > 0) and stopped by
+	// Shutdown or the PE draining.
+	watchdogOnce sync.Once
+	watchdogStop chan struct{}
+	watchdogWG   sync.WaitGroup
+
 	done chan struct{} // closed when portsClosed goes global
 }
 
@@ -265,6 +321,11 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		findFails:          metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
 		contention:         metrics.NewContention(cfg.MaxThreads + cfg.SourceThreads),
 		perNode:            make([]atomic.Uint64, len(g.Nodes)),
+		inj:                cfg.Fault,
+		faults:             metrics.NewFaults(cfg.MaxThreads + cfg.SourceThreads),
+		strikes:            make([]atomic.Int32, len(g.Nodes)),
+		quarantined:        make([]atomic.Bool, len(g.Nodes)),
+		watchdogStop:       make(chan struct{}),
 		done:               make(chan struct{}),
 	}
 	s.bufPool.New = func() any {
@@ -332,6 +393,24 @@ func (s *Scheduler) FindFailures() uint64 { return s.findFails.Total() }
 // overflow spills. All zero except PushFail/PopFail under the
 // GlobalFreeList and FreeListLIFO ablations.
 func (s *Scheduler) Contention() metrics.ContentionSnapshot { return s.contention.Snapshot() }
+
+// Faults returns a snapshot of the fault-containment meters: recovered
+// operator panics, dead-lettered tuples, quarantined operators, and
+// watchdog stall reports. All zero on a healthy PE.
+func (s *Scheduler) Faults() metrics.FaultsSnapshot { return s.faults.Snapshot() }
+
+// LastFault describes the most recent contained fault (a recovered
+// panic or a watchdog stall report), or "" when none has occurred.
+func (s *Scheduler) LastFault() string {
+	if v, ok := s.lastFault.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Quarantined reports whether the node has been quarantined (for tests
+// and diagnostics).
+func (s *Scheduler) Quarantined(nodeID int) bool { return s.quarantined[nodeID].Load() }
 
 // OperatorCounts returns per-operator execution counts keyed by operator
 // name (the product's per-operator metrics). Nodes sharing a name (for
@@ -451,6 +530,9 @@ func (c *ctx) flushCoalesce() {
 	if n == 0 {
 		return
 	}
+	if inj := c.s.inj; inj != nil {
+		inj.StallFault() // chaos seam: let the destination queue run full
+	}
 	c.coalLen = 0
 	buf := c.coal[:n]
 	pushed := c.s.queues[c.pendPort].PushN(buf)
@@ -519,6 +601,9 @@ func (c *ctx) suspendedNow() bool {
 // it fails (full queue or producer-lock contention — we do not
 // distinguish), fall into reSchedule.
 func (s *Scheduler) push(t tuple.Tuple, c *ctx) {
+	if inj := s.inj; inj != nil {
+		inj.StallFault() // chaos seam: let the destination queue run full
+	}
 	q := s.queues[t.Port]
 	if q.Push(t) {
 		return
@@ -650,8 +735,13 @@ func (s *Scheduler) releaseCtx(ec *ctx) {
 // shared by all the drain's batches. All tuples in the batch are executed
 // unconditionally: they have already left the queue, so stop and
 // suspension flags are only consulted between batches by the callers.
+//
+// Operator panics are contained at span granularity: a panic ends the
+// current span, the offending tuple is dead-lettered and charged as a
+// strike against its operator, and execution resumes with the next tuple
+// of the batch. The containment cost on the fault-free path is one defer
+// per span (up to batchCap tuples), not one per tuple.
 func (s *Scheduler) executeBatch(ec *ctx, p *graph.InPort, batch []tuple.Tuple) {
-	tid := ec.tid
 	if thr := ec.thr; thr != nil {
 		// Execution nests when operators drain downstream queues through
 		// reSchedule; restore rather than clear so the outermost frame
@@ -659,42 +749,132 @@ func (s *Scheduler) executeBatch(ec *ctx, p *graph.InPort, batch []tuple.Tuple) 
 		was := thr.active.Swap(true)
 		defer thr.active.Store(was)
 	}
-	data := 0
-	charge := func() {
-		if data == 0 {
-			return
-		}
-		s.executed.Add(tid, uint64(data))
-		s.perNode[p.Node.ID].Add(uint64(data))
-		if p.Node.NumOut == 0 {
-			s.sinkDeliver.Add(tid, uint64(data))
-		}
-		data = 0
+	for off := 0; off < len(batch); {
+		off += s.executeSpan(ec, p, batch[off:])
 	}
-	for i := range batch {
-		t := &batch[i]
+}
+
+// executeSpan runs tuples from span until it is exhausted or an operator
+// panics, returning how many tuples were consumed (a panicking tuple
+// counts: it already left its queue, and it is dead-lettered by the
+// recovery). Counters for tuples executed before a panic are settled by
+// the deferred handler, so the PE-close invariant — every executed tuple
+// visible in the counters before Done — survives containment.
+func (s *Scheduler) executeSpan(ec *ctx, p *graph.InPort, span []tuple.Tuple) (consumed int) {
+	data := 0
+	defer func() {
+		if data > 0 {
+			s.chargeExec(ec.tid, p, data)
+		}
+		if r := recover(); r != nil {
+			s.containPanic(ec.tid, p.Node, r, true)
+			consumed++ // the tuple that panicked
+		}
+	}()
+	// Quarantine state is read once per span, not per tuple: faultsSeen
+	// stays false forever on a healthy PE, so the fault-free hot loop
+	// pays one atomic load per span and never touches the table.
+	quarantined := s.faultsSeen.Load() && s.quarantined[p.Node.ID].Load()
+	inj := s.inj
+	for i := range span {
+		consumed = i
+		t := &span[i]
 		switch t.Kind {
 		case tuple.Data:
+			if quarantined {
+				s.faults.DeadLetters.Add(ec.tid, 1)
+				continue
+			}
+			if inj != nil {
+				inj.OpFault() // chaos seam: may sleep or panic
+			}
 			p.Node.Op.Process(ec, *t, p.Index)
 			data++
 		case tuple.WindowMark:
-			if ph, ok := p.Node.Op.(graph.Puncts); ok {
-				ph.OnPunct(ec, tuple.WindowMark, p.Index)
-			}
+			s.safeOnPunct(ec, p, tuple.WindowMark)
 			forwardPunct(ec, tuple.Window())
 		case tuple.FinalMark:
-			// Settle the batch's counts first: handleFinal can cascade
+			// Settle the span's counts first: handleFinal can cascade
 			// into closing the PE, and every tuple executed before the
 			// close must already be visible in the counters by then
 			// (Wait returns as soon as the PE closes). Coalesced tuples
 			// this node already submitted are unaffected: the forwarded
 			// final queues behind them in the same buffer, so downstream
 			// cannot process it before they flush.
-			charge()
+			if data > 0 {
+				s.chargeExec(ec.tid, p, data)
+				data = 0
+			}
 			s.handleFinal(p, ec)
 		}
 	}
-	charge()
+	return len(span)
+}
+
+// chargeExec settles n data executions at port p into the sharded
+// counters.
+func (s *Scheduler) chargeExec(tid int, p *graph.InPort, n int) {
+	s.executed.Add(tid, uint64(n))
+	s.perNode[p.Node.ID].Add(uint64(n))
+	if p.Node.NumOut == 0 {
+		s.sinkDeliver.Add(tid, uint64(n))
+	}
+}
+
+// containPanic records one recovered operator panic: a strike against
+// the node (quarantining it at the configured budget), a dead-letter for
+// the tuple when one was in flight, and a diagnostic for LastFault.
+func (s *Scheduler) containPanic(tid int, n *graph.Node, r any, deadLetter bool) {
+	s.faultsSeen.Store(true)
+	s.faults.OpPanics.Add(tid, 1)
+	if deadLetter {
+		s.faults.DeadLetters.Add(tid, 1)
+	}
+	if int(s.strikes[n.ID].Add(1)) == s.cfg.QuarantineAfter {
+		s.quarantined[n.ID].Store(true)
+		s.faults.Quarantines.Add(tid, 1)
+	}
+	s.lastFault.Store(fmt.Sprintf("operator %s panicked: %v", n.Op.Name(), r))
+}
+
+// safeOnPunct delivers a punctuation callback to the operator under
+// panic containment, skipping quarantined operators entirely. The
+// runtime's own forwarding (the caller's forwardPunct / handleFinal
+// bookkeeping) is outside this scope on purpose: a panicking or
+// quarantined operator must never stop punctuation from propagating, or
+// the PE could not drain past it.
+func (s *Scheduler) safeOnPunct(ec *ctx, p *graph.InPort, k tuple.Kind) {
+	ph, ok := p.Node.Op.(graph.Puncts)
+	if !ok {
+		return
+	}
+	if s.faultsSeen.Load() && s.quarantined[p.Node.ID].Load() {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.containPanic(ec.tid, p.Node, r, false)
+		}
+	}()
+	ph.OnPunct(ec, k, p.Index)
+}
+
+// safeFinish invokes a Finalizer under the same containment rules as
+// safeOnPunct.
+func (s *Scheduler) safeFinish(ec *ctx, n *graph.Node) {
+	f, ok := n.Op.(Finalizer)
+	if !ok {
+		return
+	}
+	if s.faultsSeen.Load() && s.quarantined[n.ID].Load() {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.containPanic(ec.tid, n, r, false)
+		}
+	}()
+	f.Finish(ec)
 }
 
 // forwardPunct submits a punctuation on every output port of the
@@ -713,19 +893,19 @@ type Finalizer interface {
 }
 
 // handleFinal accounts one final punctuation on port p and closes the
-// port, the node, and eventually the PE as the counts drain.
+// port, the node, and eventually the PE as the counts drain. The
+// operator-facing callbacks (OnPunct, Finish) run under containment and
+// are skipped for quarantined operators; the close bookkeeping and the
+// downstream forwarding always run, so punctuation propagates past a
+// faulty operator and the PE still drains.
 func (s *Scheduler) handleFinal(p *graph.InPort, ec *ctx) {
-	if ph, ok := p.Node.Op.(graph.Puncts); ok {
-		ph.OnPunct(ec, tuple.FinalMark, p.Index)
-	}
+	s.safeOnPunct(ec, p, tuple.FinalMark)
 	if s.remainingProducers[p.ID].Add(-1) > 0 {
 		return // more streams still feed this port
 	}
 	s.portClosed[p.ID].Store(true)
 	if s.nodeOpenIns[p.Node.ID].Add(-1) == 0 {
-		if f, ok := p.Node.Op.(Finalizer); ok {
-			f.Finish(ec)
-		}
+		s.safeFinish(ec, p.Node)
 		forwardPunct(ec, tuple.Final())
 	}
 	if s.openPorts.Add(-1) == 0 {
@@ -790,9 +970,12 @@ func (s *Scheduler) SetLevel(n int) int {
 		t := s.threads[i]
 		if !s.started[i] {
 			s.started[i] = true
+			s.startWatchdog()
+			t.launched.Store(true)
 			s.wg.Add(1)
 			go func(t *Thread) {
 				defer s.wg.Done()
+				defer t.exited.Store(true)
 				s.schedule(t)
 			}(t)
 		} else if t.suspended.Load() {
@@ -829,9 +1012,12 @@ func (s *Scheduler) SuspensionsEffective() bool {
 	return true
 }
 
-// Shutdown stops all scheduler threads and waits for them to exit. The
+// Shutdown stops all scheduler threads and waits for them to exit, up
+// to the configured ShutdownTimeout. On expiry it returns an error
+// naming the threads that have not exited, with a goroutine dump, so a
+// wedged operator is diagnosable instead of hanging the process. The
 // caller must already have stopped source threads.
-func (s *Scheduler) Shutdown() {
+func (s *Scheduler) Shutdown() error {
 	s.shutdownGlobal.Store(true)
 	s.levelMu.Lock()
 	for _, t := range s.threads {
@@ -839,7 +1025,104 @@ func (s *Scheduler) Shutdown() {
 		t.interrupt()
 	}
 	s.levelMu.Unlock()
-	s.wg.Wait()
+	s.stopWatchdog()
+	if s.cfg.ShutdownTimeout < 0 {
+		s.wg.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(s.cfg.ShutdownTimeout):
+	}
+	var stuck []int
+	for i, t := range s.threads {
+		if t.launched.Load() && !t.exited.Load() {
+			stuck = append(stuck, i)
+		}
+	}
+	last := ""
+	if lf := s.LastFault(); lf != "" {
+		last = " (last fault: " + lf + ")"
+	}
+	return fmt.Errorf("sched: shutdown deadline %v exceeded; scheduler threads %v have not exited%s\n%s",
+		s.cfg.ShutdownTimeout, stuck, last, fault.GoroutineDump(64<<10))
+}
+
+// startWatchdog launches the stall watchdog once, if configured. Caller
+// holds levelMu.
+func (s *Scheduler) startWatchdog() {
+	if s.cfg.WatchdogInterval <= 0 {
+		return
+	}
+	s.watchdogOnce.Do(func() {
+		s.watchdogWG.Add(1)
+		go s.watchdog()
+	})
+}
+
+// stopWatchdog ends the watchdog goroutine and waits for it.
+func (s *Scheduler) stopWatchdog() {
+	select {
+	case <-s.watchdogStop:
+	default:
+		close(s.watchdogStop)
+	}
+	s.watchdogWG.Wait()
+}
+
+// watchdog periodically sweeps the thread table for threads that are
+// inside operator code (active), not parked, and whose heartbeat epoch
+// has not advanced for longer than StallThreshold. Each stall episode is
+// reported once — counted in Faults.WatchdogStalls, described in
+// LastFault, and delivered to OnStall — and re-arms when the thread's
+// heartbeat moves again. The watchdog only observes per-thread atomics;
+// it never touches scheduling state, so a wedged thread cannot wedge its
+// own detector.
+func (s *Scheduler) watchdog() {
+	defer s.watchdogWG.Done()
+	n := len(s.threads)
+	last := make([]uint64, n)
+	since := make([]time.Time, n)
+	reported := make([]bool, n)
+	ticker := time.NewTicker(s.cfg.WatchdogInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case <-s.done:
+			return
+		case now := <-ticker.C:
+			for i, t := range s.threads {
+				hb := t.heartbeat.Load()
+				if hb != last[i] || !t.active.Load() || t.parked.Load() {
+					last[i] = hb
+					since[i] = now
+					reported[i] = false
+					continue
+				}
+				if since[i].IsZero() {
+					since[i] = now
+					continue
+				}
+				if d := now.Sub(since[i]); d >= s.cfg.StallThreshold && !reported[i] {
+					reported[i] = true
+					s.faults.WatchdogStalls.Add(i, 1)
+					s.lastFault.Store(fmt.Sprintf(
+						"sched: thread %d stuck in operator code for %v (heartbeat epoch %d)", i, d, hb))
+					if s.cfg.OnStall != nil {
+						s.cfg.OnStall(i, d)
+					}
+				}
+			}
+		}
+	}
 }
 
 // Wait blocks until the graph drains (all ports closed) and then stops
@@ -870,6 +1153,7 @@ func (s *Scheduler) schedule(thr *Thread) {
 		n := 1 + q.Queue().PopN(thr.batch[1:])
 		for {
 			s.executeBatch(ec, p, thr.batch[:n])
+			thr.heartbeat.Add(1)
 			if thr.suspended.Load() || s.stopRequested(thr) {
 				break
 			}
@@ -903,6 +1187,7 @@ func (s *Scheduler) stopRequested(thr *Thread) bool {
 func (s *Scheduler) findWorkBlocking(t *tuple.Tuple, thr *Thread) bool {
 	delay := time.Microsecond
 	for !s.stopRequested(thr) {
+		thr.heartbeat.Add(1)
 		s.parkIfAsked(thr)
 		if s.stopRequested(thr) {
 			return false

@@ -37,6 +37,18 @@ type Thread struct {
 	// happened before trusting a measurement period.
 	parked atomic.Bool
 
+	// heartbeat is the thread's progress epoch: bumped once per executed
+	// batch and once per find-work iteration. The watchdog reads it to
+	// tell "stuck inside one operator call" (active, not parked, epoch
+	// frozen) from "busy" (epoch advancing) without touching any
+	// scheduling state.
+	heartbeat atomic.Uint64
+	// launched/exited bracket the scheduling goroutine's lifetime so the
+	// shutdown deadline path can name exactly which threads failed to
+	// exit.
+	launched atomic.Bool
+	exited   atomic.Bool
+
 	mu   sync.Mutex
 	cond *sync.Cond
 

@@ -256,16 +256,23 @@ type submitterFunc func(tuple.Tuple, int)
 
 func (f submitterFunc) Submit(t tuple.Tuple, p int) { f(t, p) }
 
-// TestExportDialFailure: a dead peer surfaces as Err, not a hang.
+// TestExportDialFailure: a dead peer surfaces as Err once the retry
+// budget runs out, not a hang; abandoned frames are counted dropped.
 func TestExportDialFailure(t *testing.T) {
-	exp := NewExport("Export", func() (net.Conn, error) {
-		return net.DialTimeout("tcp", "127.0.0.1:1", 100*time.Millisecond)
-	})
+	exp := NewExportWith("Export", func() (net.Conn, error) {
+		return net.DialTimeout("tcp", "127.0.0.1:1", 50*time.Millisecond)
+	}, Options{RetryBudget: 200 * time.Millisecond, BackoffMin: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond})
 	exp.Process(nil, tuple.NewData(1), 0)
 	if exp.Err() == nil {
 		t.Fatal("dial failure produced no error")
 	}
+	if exp.Dropped() == 0 {
+		t.Fatal("abandoned frame not counted dropped")
+	}
 	// Further sends are no-ops, not panics.
 	exp.Process(nil, tuple.NewData(2), 0)
 	exp.Finish(nil)
+	if exp.Dropped() < 3 {
+		t.Fatalf("dropped %d, want ≥3 (data ×2 + final)", exp.Dropped())
+	}
 }
