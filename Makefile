@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check chaos bench bench-contention
+.PHONY: all vet build test race check chaos bench bench-contention trace-smoke
 
 all: check
 
@@ -24,6 +24,21 @@ check: vet build test race
 # fixed in the tests, so failures reproduce exactly.
 chaos:
 	$(GO) test -race -count=1 -run Chaos -v ./internal/sched ./internal/pe ./internal/fuse ./internal/xport
+
+# trace-smoke proves the observability path end to end: run the real
+# runtime on a mixed topology with the scheduler tracer, latency
+# histogram, elasticity and chaos armed; validate the emitted Chrome
+# trace_event file (structure plus the event kinds the run must
+# produce); and run the tracer and endpoint tests under the race
+# detector. The chaos seed is fixed, so the required kinds are
+# deterministic.
+trace-smoke:
+	$(GO) run ./cmd/streamsim -native -w 10 -d 100 -cost 200 -threads 8 \
+		-elastic -adapt 100ms -chaos panic=0.0005 -quarantine 1 \
+		-latency -trace trace-smoke.json -dur 3s
+	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level trace-smoke.json
+	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./cmd/tracecheck
+	@rm -f trace-smoke.json
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .

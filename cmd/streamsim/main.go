@@ -9,6 +9,8 @@
 //	streamsim -panel fig11-xeon-w1-d1000-cost1 -runs 3   # traces
 //	streamsim -native -w 2 -d 8 -cost 100 -threads 2     # real runtime
 //	streamsim -native -chaos panic=0.001,slow=0.001:20us # runtime under chaos
+//	streamsim -native -trace out.json -latency           # scheduler trace + latency
+//	streamsim -native -debug-addr localhost:6060         # live /debugz endpoint
 //	streamsim -verbose                   # adds §5.1 context-switch estimates
 //
 // Static panels print the four series of Figures 9 and 10 (manual,
@@ -25,11 +27,13 @@ import (
 	"strings"
 	"time"
 
+	"streams/internal/debugz"
 	"streams/internal/fault"
 	"streams/internal/fig"
 	"streams/internal/metrics"
 	"streams/internal/pe"
 	"streams/internal/sim"
+	"streams/internal/trace"
 )
 
 func main() {
@@ -54,6 +58,13 @@ func main() {
 		chaos      = flag.String("chaos", "", "native: chaos spec, e.g. panic=0.001,slow=0.001:20us,stall=0.001:20us (see internal/fault)")
 		chaosSeed  = flag.Uint64("chaos-seed", 42, "native: chaos injector seed (deterministic per seed)")
 		quarantine = flag.Int("quarantine", 3, "native: panic strikes before an operator is quarantined; 0 or less never quarantines")
+
+		elastic    = flag.Bool("elastic", false, "native: enable the elasticity controller (dynamic model only)")
+		adapt      = flag.Duration("adapt", 250*time.Millisecond, "native: elasticity measurement period")
+		maxthreads = flag.Int("maxthreads", 0, "native: dynamic thread-level cap (default: -threads)")
+		traceOut   = flag.String("trace", "", "native: write a Chrome trace_event file of scheduler decisions to this path (open in chrome://tracing or Perfetto)")
+		latency    = flag.Bool("latency", false, "native: measure end-to-end tuple latency from source stamp to sink drain")
+		debugAddr  = flag.String("debug-addr", "", "native: serve /debugz, /debugz/stats, /debugz/trace and /debug/pprof on this address for the duration of the run")
 	)
 	flag.Parse()
 
@@ -84,25 +95,48 @@ func main() {
 		if qa <= 0 {
 			qa = 1 << 30 // effectively never
 		}
-		res, err := fig.RunNative(w, fig.NativeConfig{
+		cfg := fig.NativeConfig{
 			Model: m, Threads: *threads, Duration: *dur, GlobalFreeList: *globalfl,
 			Fault: inj, QuarantineAfter: qa,
-		})
+			Elastic: *elastic, AdaptPeriod: *adapt, MaxThreads: *maxthreads,
+		}
+		rings, err := fig.TraceRings(w, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		var tr *trace.Tracer
+		if *traceOut != "" || *debugAddr != "" {
+			tr = trace.New(rings, 0)
+			cfg.Tracer = tr
+		}
+		if *latency || *debugAddr != "" {
+			// Shard count only tunes contention; Record masks the tid, so
+			// the dynamic ring count is a fine size for every model.
+			cfg.Latency = metrics.NewHistogram(rings)
+		}
+		if *debugAddr != "" {
+			cfg.OnStart = func(p *pe.PE) {
+				srv, err := debugz.Serve(*debugAddr, debugz.Options{
+					PE: p, Tracer: tr, Latency: cfg.Latency, Workload: w.String(),
+				})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("debug endpoint: http://%s/debugz\n", srv.Addr())
+			}
+		}
+		res, err := fig.RunNative(w, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("sink throughput: %.4g tuples/s\n", res.Throughput)
-		if inj != nil || res.Faults != (metrics.FaultsSnapshot{}) {
-			f := res.Faults
-			fmt.Printf("faults: op panics %d, dead letters %d, quarantines %d, watchdog stalls %d\n",
-				f.OpPanics, f.DeadLetters, f.Quarantines, f.WatchdogStalls)
-		}
-		if m == pe.Dynamic {
-			st := res.Stats
-			fmt.Printf("scheduler: reschedules %d, find failures %d\n", st.Reschedules, st.FindFailures)
-			c := st.Contention
-			fmt.Printf("free list: push failures %d, pop failures %d, steals %d, steal misses %d, spills %d\n",
-				c.PushFail, c.PopFail, c.Steal, c.StealMiss, c.Spill)
+		// All remaining lines render through the same snapshot path the
+		// /debugz endpoint serves, so the two views cannot drift.
+		debugz.FromNative(m, w.String(), res, tr).WriteText(os.Stdout)
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, tr); err != nil {
+				fatal(err)
+			}
 		}
 	case *panel != "":
 		p, ok := fig.FindPanel(*panel)
@@ -135,20 +169,35 @@ func printPanel(p fig.Panel, runs, every int, verbose bool) {
 	if p.Figure == "11" {
 		mo := sim.Model{M: p.Machine, W: p.Work}
 		for seed := 1; seed <= runs; seed++ {
-			trace := sim.RunElastic(mo, sim.ElasticConfig{Seed: int64(seed)})
-			fmt.Printf("run %d/%d:\n%s\n", seed, runs, fig.TraceTable(p, trace, every))
+			elTrace := sim.RunElastic(mo, sim.ElasticConfig{Seed: int64(seed)})
+			fmt.Printf("run %d/%d:\n%s\n", seed, runs, fig.TraceTable(p, elTrace, every))
 		}
 		return
 	}
 	r := fig.RunStatic(p, runs)
 	fmt.Println(r.Table())
 	if verbose {
-		mo := sim.Model{M: p.Machine, W: p.Work}
-		bestK, _ := r.BestStatic()
-		fmt.Printf("  ctx switches/s: dedicated %.3g, dynamic(k=%d) %.3g\n\n",
-			mo.CtxSwitchesPerSecond(sim.Dedicated, 0),
-			bestK, mo.CtxSwitchesPerSecond(sim.Dynamic, bestK))
+		// The same CtxSwitchEstimate the debug endpoint serves as JSON.
+		fmt.Printf("  %s\n\n", r.CtxSwitches())
 	}
+}
+
+// writeTrace dumps the tracer to path in Chrome trace_event format.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	events := tr.Snapshot()
+	fmt.Printf("trace: %d events written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", len(events), path)
+	return nil
 }
 
 func parseModel(s string) (pe.Model, error) {

@@ -1,0 +1,118 @@
+// Command tracecheck validates a Chrome trace_event JSON file of the
+// shape streamsim's -trace flag (and /debugz/trace) emits, so CI can
+// prove a trace loads in chrome://tracing before anyone opens it.
+//
+//	tracecheck [-require kind,kind,...] trace.json
+//
+// It checks the document structure (a traceEvents array of objects with
+// name/ph/ts/pid/tid, a known phase, non-negative timestamps, and a
+// non-negative dur on complete events), prints a per-event-name tally,
+// and — with -require — fails unless every named event kind appears at
+// least once.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// event is one trace_event record; pointers distinguish absent fields
+// from zero values.
+type event struct {
+	Name *string  `json:"name"`
+	Ph   *string  `json:"ph"`
+	TS   *float64 `json:"ts"`
+	PID  *int     `json:"pid"`
+	TID  *int     `json:"tid"`
+	Dur  *float64 `json:"dur"`
+}
+
+// knownPhases is the set of trace_event phase codes the exporter emits:
+// complete spans, instants, and metadata.
+var knownPhases = map[string]bool{"X": true, "i": true, "M": true}
+
+func check(path string, require []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("%s: no traceEvents array", path)
+	}
+
+	counts := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		switch {
+		case e.Name == nil || *e.Name == "":
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		case e.Ph == nil:
+			return fmt.Errorf("%s: event %d (%s) has no ph", path, i, *e.Name)
+		case !knownPhases[*e.Ph]:
+			return fmt.Errorf("%s: event %d (%s) has unknown phase %q", path, i, *e.Name, *e.Ph)
+		case e.PID == nil || e.TID == nil:
+			return fmt.Errorf("%s: event %d (%s) missing pid/tid", path, i, *e.Name)
+		}
+		if *e.Ph == "M" {
+			continue // metadata records carry no timestamp
+		}
+		switch {
+		case e.TS == nil || *e.TS < 0:
+			return fmt.Errorf("%s: event %d (%s) has bad ts", path, i, *e.Name)
+		case *e.Ph == "X" && (e.Dur == nil || *e.Dur < 0):
+			return fmt.Errorf("%s: event %d (%s) is a complete event with bad dur", path, i, *e.Name)
+		}
+		counts[*e.Name]++
+	}
+
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d events ok\n", path, len(doc.TraceEvents))
+	for _, n := range names {
+		fmt.Printf("  %-16s %d\n", n, counts[n])
+	}
+
+	var missing []string
+	for _, k := range require {
+		if counts[k] == 0 {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: required event kinds missing: %s", path, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func main() {
+	requireFlag := flag.String("require", "", "comma-separated event names that must each appear at least once")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require kind,...] trace.json")
+		os.Exit(2)
+	}
+	var require []string
+	if *requireFlag != "" {
+		for _, k := range strings.Split(*requireFlag, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				require = append(require, k)
+			}
+		}
+	}
+	if err := check(flag.Arg(0), require); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}

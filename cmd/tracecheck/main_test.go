@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streams/internal/trace"
+)
+
+func writeFile(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckValid(t *testing.T) {
+	p := writeFile(t, "ok.json", `{"traceEvents":[
+		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"x"}},
+		{"name":"drain","ph":"X","ts":1.5,"dur":2.0,"pid":1,"tid":0},
+		{"name":"steal","ph":"i","ts":3.0,"pid":1,"tid":1,"s":"t"}
+	]}`)
+	if err := check(p, []string{"steal", "drain"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRequireMissing(t *testing.T) {
+	p := writeFile(t, "m.json", `{"traceEvents":[
+		{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0}
+	]}`)
+	err := check(p, []string{"steal", "park"})
+	if err == nil || !strings.Contains(err.Error(), "park") {
+		t.Fatalf("err = %v, want missing park", err)
+	}
+}
+
+func TestCheckMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":    `{`,
+		"no array":    `{"displayTimeUnit":"ms"}`,
+		"no name":     `{"traceEvents":[{"ph":"i","ts":1,"pid":1,"tid":0}]}`,
+		"bad phase":   `{"traceEvents":[{"name":"a","ph":"Z","ts":1,"pid":1,"tid":0}]}`,
+		"no pid":      `{"traceEvents":[{"name":"a","ph":"i","ts":1,"tid":0}]}`,
+		"negative ts": `{"traceEvents":[{"name":"a","ph":"i","ts":-1,"pid":1,"tid":0}]}`,
+		"X no dur":    `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}]}`,
+	}
+	for label, body := range cases {
+		p := writeFile(t, "bad.json", body)
+		if err := check(p, nil); err == nil {
+			t.Errorf("%s: check accepted malformed input", label)
+		}
+	}
+}
+
+// TestCheckAcceptsExport feeds tracecheck a real tracer export so the
+// validator and the exporter cannot drift.
+func TestCheckAcceptsExport(t *testing.T) {
+	tr := trace.New(2, 16)
+	tr.SetLabel(0, "sched-0")
+	tr.Enable()
+	tr.Emit(0, trace.KindAcquire, 3)
+	tr.Emit(0, trace.KindRelease, 7)
+	tr.Emit(0, trace.KindSteal, trace.PackPair(1, 3))
+	tr.Emit(1, trace.KindPark, 0)
+	tr.Emit(1, trace.KindUnpark, 0)
+	tr.Emit(1, trace.KindElastic, trace.PackPair(2, 1000))
+
+	var sb strings.Builder
+	if err := tr.Export(&sb); err != nil {
+		t.Fatal(err)
+	}
+	p := writeFile(t, "export.json", sb.String())
+	if err := check(p, []string{"drain", "steal", "park", "elastic-level"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,11 @@
-// Elastictrace produces Figure 11-style elasticity traces twice over:
+// Elastictrace produces Figure 11-style elasticity traces three ways:
 // first live, by running the real runtime on this host with a fast
-// adaptation period and printing throughput and thread level per period;
-// then simulated, by replaying the same controller against the paper's
+// adaptation period and printing throughput, thread level, and the
+// controller rule that decided each period; then as an offline decision
+// log, by driving the elasticity controller against a synthetic
+// throughput curve with the scheduler tracer attached, showing that
+// every level change emits exactly one elastic-level trace event; then
+// simulated, by replaying the same controller against the paper's
 // 176-core Xeon model for the full 1400-second experiment.
 //
 //	go run ./examples/elastictrace
@@ -14,12 +18,16 @@ import (
 	"time"
 
 	"streams"
+	"streams/internal/elastic"
 	"streams/internal/fig"
+	"streams/internal/pe"
 	"streams/internal/sim"
+	"streams/internal/trace"
 )
 
 func main() {
 	liveTrace()
+	decisionLog()
 	simulatedTrace()
 }
 
@@ -27,7 +35,7 @@ func main() {
 // on the actual host and prints each adaptation sample.
 func liveTrace() {
 	fmt.Printf("live elastic run on this host (%d logical CPUs), 250ms periods:\n", runtime.NumCPU())
-	fmt.Printf("  %8s %14s %8s\n", "elapsed", "tuples/s (PE)", "threads")
+	fmt.Printf("  %8s %14s %8s  %s\n", "elapsed", "tuples/s (PE)", "threads", "rule")
 
 	top := streams.NewTopology()
 	src := top.Add(&streams.Generator{}, 0, 1)
@@ -49,7 +57,7 @@ func liveTrace() {
 		MaxThreads:  max(runtime.NumCPU(), 4),
 		AdaptPeriod: 250 * time.Millisecond,
 		Trace: func(s streams.Sample) {
-			fmt.Printf("  %8s %14.4g %8d\n", s.Elapsed.Round(time.Millisecond), s.Throughput, s.Level)
+			fmt.Printf("  %8s %14.4g %8d  %s\n", s.Elapsed.Round(time.Millisecond), s.Throughput, s.Level, s.Rule)
 			samples++
 			if samples == 16 {
 				close(done)
@@ -61,6 +69,71 @@ func liveTrace() {
 	}
 	<-done
 	job.Stop()
+	fmt.Println()
+}
+
+// decision is one period of the offline controller drive: the
+// throughput observation, the level the controller chose for the next
+// period, and the rule that decided it.
+type decision struct {
+	period int
+	thput  float64
+	level  int
+	rule   elastic.Rule
+}
+
+// syntheticThroughput models a concave workload: throughput grows with
+// the thread level up to a knee at 12 threads and flattens past it —
+// enough shape for the controller to climb, overshoot, and settle.
+func syntheticThroughput(level int) float64 {
+	if level > 12 {
+		level = 12
+	}
+	return 1e6 * float64(level) / (float64(level) + 2)
+}
+
+// driveController runs the elasticity controller for the given number
+// of periods against syntheticThroughput, mirroring the PE adaptation
+// loop's tracer wiring: a LevelTrace observes every Update, emitting
+// one elastic-level event per level change and none otherwise.
+func driveController(periods int, tr *trace.Tracer) ([]decision, error) {
+	ctl, err := elastic.New(elastic.Config{MinLevel: 1, MaxLevel: 32, Geometric: true})
+	if err != nil {
+		return nil, err
+	}
+	lt := pe.NewLevelTrace(tr)
+	lt.Observe(ctl.Level(), 0)
+	log := make([]decision, 0, periods)
+	for p := 0; p < periods; p++ {
+		thput := syntheticThroughput(ctl.Level())
+		level := ctl.Update(thput)
+		lt.Observe(level, thput)
+		log = append(log, decision{period: p, thput: thput, level: level, rule: ctl.LastRule()})
+	}
+	return log, nil
+}
+
+// decisionLog drives the controller offline with the tracer attached
+// and prints the per-period decision log next to the trace it emitted.
+func decisionLog() {
+	tr := trace.New(1, 0)
+	tr.SetLabel(0, "elastic")
+	tr.Enable()
+	log, err := driveController(24, tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("offline decision log (synthetic concave workload, knee at 12 threads):")
+	fmt.Printf("  %6s %12s %7s  %s\n", "period", "tuples/s", "threads", "rule")
+	for _, d := range log {
+		fmt.Printf("  %6d %12.4g %7d  %s\n", d.period, d.thput, d.level, d.rule)
+	}
+	events := tr.Snapshot()
+	fmt.Printf("tracer captured %d elastic-level events (one per level change):\n", len(events))
+	for _, e := range events {
+		level, tp := trace.UnpackPair(e.Arg)
+		fmt.Printf("  level %2d at throughput %d tuples/s\n", level, tp)
+	}
 	fmt.Println()
 }
 

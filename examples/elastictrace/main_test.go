@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"streams/internal/trace"
+)
+
+// TestOneTraceEventPerLevelChange drives the real elasticity controller
+// through the real LevelTrace wiring and asserts the invariant the
+// decision log demonstrates: every Update that changes the level emits
+// exactly one elastic-level trace event, and Updates that keep the
+// level emit none.
+func TestOneTraceEventPerLevelChange(t *testing.T) {
+	tr := trace.New(1, 0)
+	tr.Enable()
+	log, err := driveController(64, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the decision log counting level changes, including the
+	// initial level observation before the first Update.
+	changes := 1
+	last := -1
+	for _, d := range log {
+		if last == -1 {
+			// driveController observes the controller's starting level
+			// (MinLevel = 1) before its first Update.
+			last = 1
+		}
+		if d.level != last {
+			changes++
+			last = d.level
+		}
+	}
+	if changes < 3 {
+		t.Fatalf("controller never explored: %d level changes in %d periods", changes, len(log))
+	}
+
+	events := tr.Snapshot()
+	for _, e := range events {
+		if e.Kind != trace.KindElastic {
+			t.Fatalf("unexpected event kind %s on controller ring", e.Kind)
+		}
+	}
+	if len(events) != changes {
+		t.Fatalf("tracer captured %d elastic-level events for %d level changes", len(events), changes)
+	}
+
+	// The events replay the exact level sequence.
+	want := []int32{1}
+	last = 1
+	for _, d := range log {
+		if d.level != last {
+			want = append(want, int32(d.level))
+			last = d.level
+		}
+	}
+	for i, e := range events {
+		if level, _ := trace.UnpackPair(e.Arg); level != want[i] {
+			t.Fatalf("event %d has level %d, want %d", i, level, want[i])
+		}
+	}
+}
+
+// TestDisabledTracerStillDedupes checks the nil-tracer path: the drive
+// must work (and the decision log stay identical) with no tracer.
+func TestDisabledTracerStillDedupes(t *testing.T) {
+	withTr := trace.New(1, 0)
+	withTr.Enable()
+	a, err := driveController(32, withTr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := driveController(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("log lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs with tracer: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

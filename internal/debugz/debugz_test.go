@@ -1,0 +1,138 @@
+package debugz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streams/internal/graph"
+	"streams/internal/metrics"
+	"streams/internal/ops"
+	"streams/internal/pe"
+	"streams/internal/trace"
+)
+
+// buildPE runs a small pipeline to completion under the dynamic model
+// with tracing and latency measurement armed, and returns the finished
+// (but not yet stopped) PE plus its instruments.
+func buildPE(t *testing.T) (*pe.PE, *trace.Tracer, *metrics.Histogram) {
+	t.Helper()
+	b := graph.NewBuilder()
+	src := b.AddNode(&ops.Generator{Limit: 2000}, 0, 1)
+	w := b.AddNode(&ops.Worker{}, 1, 1)
+	b.Connect(src, 0, w, 0)
+	sn := b.AddNode(&ops.Sink{}, 1, 0)
+	b.Connect(w, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pe.Config{Model: pe.Dynamic, Threads: 2, MaxThreads: 2}
+	rings := pe.TraceRings(cfg, g)
+	tr := trace.New(rings, 0)
+	tr.Enable()
+	lat := metrics.NewHistogram(rings)
+	cfg.Tracer = tr
+	cfg.Latency = lat
+	p, err := pe.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	t.Cleanup(p.Stop)
+	return p, tr, lat
+}
+
+func TestEndpoints(t *testing.T) {
+	p, tr, lat := buildPE(t)
+	srv, err := Serve("127.0.0.1:0", Options{
+		PE: p, Tracer: tr, Latency: lat, Workload: "pipeline d=1 n=2000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	// /debugz/stats: live JSON with latency quantiles (the acceptance
+	// check: p50/p99 while the process runs).
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/debugz/stats")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Model != "dynamic" || snap.Executed == 0 {
+		t.Fatalf("stats snapshot: model=%q executed=%d", snap.Model, snap.Executed)
+	}
+	if snap.Latency == nil || snap.Latency.Count != 2000 || snap.Latency.P50Ns <= 0 || snap.Latency.P99Ns < snap.Latency.P50Ns {
+		t.Fatalf("latency summary: %+v", snap.Latency)
+	}
+	if snap.TraceKinds["acquire"] == 0 {
+		t.Fatalf("trace kinds: %v", snap.TraceKinds)
+	}
+
+	// /debugz: the text panel renders from the same snapshot.
+	text := get("/debugz")
+	for _, want := range []string{"workload: pipeline", "model dynamic", "latency: n=2000", "free list:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text panel missing %q:\n%s", want, text)
+		}
+	}
+
+	// /debugz/trace: a loadable trace_event document.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(get("/debugz/trace")), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace export")
+	}
+
+	// /debug/pprof is mounted.
+	if !strings.Contains(get("/debug/pprof/"), "profile") {
+		t.Fatal("pprof index not served")
+	}
+}
+
+func TestCollectWithoutInstruments(t *testing.T) {
+	// Every Options field is optional; Collect and WriteText must not
+	// panic on an empty run.
+	var sb strings.Builder
+	Collect(Options{}).WriteText(&sb)
+	if !strings.Contains(sb.String(), "scheduler:") {
+		t.Fatalf("panel: %q", sb.String())
+	}
+}
+
+func TestTraceEndpointWithoutTracer(t *testing.T) {
+	h := Handler(Options{})
+	req := httptest.NewRequest("GET", "/debugz/trace", nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rw.Code)
+	}
+}

@@ -26,6 +26,64 @@ import "fmt"
 // react to relative differences of more than 5%, the product's setting.
 const Sens = 0.05
 
+// Rule identifies which of the level-change rules decided the last
+// Update — the controller's explanation of itself, surfaced in the
+// elasticity decision log and the adaptation trace.
+type Rule uint8
+
+const (
+	// RuleNone: no Update has run yet.
+	RuleNone Rule = iota
+	// RuleDeferred: a prior action had not taken effect, so the level
+	// held while the runtime caught up (§4.2.3).
+	RuleDeferred
+	// RuleTrendUp: throughput trended up from the level below and
+	// nothing above is trusted — explore upward (rule 1).
+	RuleTrendUp
+	// RuleBetterAbove: the level above holds a trusted, better record —
+	// return to it (rule 2).
+	RuleBetterAbove
+	// RuleKickoff: at the minimum level with nothing trusted above —
+	// initial exploration (rule 3).
+	RuleKickoff
+	// RuleGateHeld: a rule wanted to increase but the CPU gate or the
+	// level ceiling refused.
+	RuleGateHeld
+	// RuleNoTrustBelow: nothing trusted below — probe downward (rule 4).
+	RuleNoTrustBelow
+	// RuleNoTrendBelow: no upward trend from the level below to here, so
+	// the extra threads are not paying — back off (rule 5).
+	RuleNoTrendBelow
+	// RuleStay: the current level is the best known point (rule 6).
+	RuleStay
+)
+
+// String implements fmt.Stringer; the names appear in decision logs.
+func (r Rule) String() string {
+	switch r {
+	case RuleNone:
+		return "none"
+	case RuleDeferred:
+		return "deferred"
+	case RuleTrendUp:
+		return "trend-up"
+	case RuleBetterAbove:
+		return "better-above"
+	case RuleKickoff:
+		return "kickoff"
+	case RuleGateHeld:
+		return "gate-held"
+	case RuleNoTrustBelow:
+		return "no-trust-below"
+	case RuleNoTrendBelow:
+		return "no-trend-below"
+	case RuleStay:
+		return "stay"
+	default:
+		return fmt.Sprintf("Rule(%d)", uint8(r))
+	}
+}
+
 // record is the paper's ThreadRecord.
 type record struct {
 	lastTime   uint64
@@ -75,6 +133,8 @@ type Controller struct {
 	// during the last period; the controller holds the level until
 	// actions stick (§4.2.3).
 	deferred bool
+	// lastRule records which rule decided the most recent Update.
+	lastRule Rule
 }
 
 // New returns a controller starting at the minimum level.
@@ -113,6 +173,10 @@ func (c *Controller) Trusted(l int) bool {
 	return l >= 1 && l < len(c.recs) && c.recs[l].trusted
 }
 
+// LastRule identifies which level-change rule decided the most recent
+// Update (RuleNone before the first).
+func (c *Controller) LastRule() Rule { return c.lastRule }
+
 // ActionsDidNotStick tells the controller that a thread-level action from
 // the previous period did not take effect (for example, a thread marked
 // for suspension was stuck in operator code). The controller makes no
@@ -148,6 +212,7 @@ func (c *Controller) Update(thput float64) int {
 		// Hold everything until the runtime confirms prior actions
 		// happened; still refresh the current level's record.
 		c.deferred = false
+		c.lastRule = RuleDeferred
 		c.observe(thput)
 		return c.level
 	}
@@ -175,16 +240,33 @@ func (c *Controller) Update(thput float64) int {
 	}
 	c.observe(thput)
 
-	increase := (c.trendBelow(thput) && !c.trustAbove()) ||
-		c.trendAbove(thput) ||
-		(c.level == c.cfg.MinLevel && !c.trustAbove())
+	var why Rule
+	switch {
+	case c.trendBelow(thput) && !c.trustAbove():
+		why = RuleTrendUp
+	case c.trendAbove(thput):
+		why = RuleBetterAbove
+	case c.level == c.cfg.MinLevel && !c.trustAbove():
+		why = RuleKickoff
+	}
+	increase := why != RuleNone
 	switch {
 	case increase && c.cpuOK() && c.level < c.cfg.MaxLevel:
+		c.lastRule = why
 		c.increaseLevel()
 	case increase:
 		// Wanted to grow but the gate or the ceiling stops us: hold.
-	case !c.trustBelow() || !c.trendBelow(thput):
+		c.lastRule = RuleGateHeld
+	case c.level > c.cfg.MinLevel && !c.trustBelow():
+		c.lastRule = RuleNoTrustBelow
 		c.decreaseLevel()
+	case c.level > c.cfg.MinLevel && !c.trendBelow(thput):
+		c.lastRule = RuleNoTrendBelow
+		c.decreaseLevel()
+	default:
+		// At the floor the decrease rules degenerate into holding
+		// position (decreaseLevel would refuse anyway): stay.
+		c.lastRule = RuleStay
 	}
 	return c.level
 }

@@ -28,6 +28,7 @@ import (
 	"streams/internal/pe"
 	"streams/internal/sched"
 	"streams/internal/sim"
+	"streams/internal/trace"
 )
 
 // Panel is one sub-plot of an evaluation figure.
@@ -238,6 +239,25 @@ type NativeConfig struct {
 	// QuarantineAfter overrides the per-operator panic budget before
 	// quarantine (0 keeps the runtime default of 3).
 	QuarantineAfter int
+	// Elastic turns on runtime thread adaptation (dynamic model only):
+	// the run starts at the controller's minimum level and explores.
+	Elastic bool
+	// AdaptPeriod is the elastic measurement period (default 250ms for
+	// native runs, which are far shorter than production).
+	AdaptPeriod time.Duration
+	// MaxThreads caps the dynamic thread table; 0 keeps the default of
+	// max(Threads, 1) (or the host CPU count when Elastic is set).
+	MaxThreads int
+	// Tracer, if non-nil, records scheduler decisions for the whole run.
+	// Size it with TraceRings for this workload and config.
+	Tracer *trace.Tracer
+	// Latency, if non-nil, measures end-to-end tuple latency into this
+	// histogram (source-stamp to sink-drain).
+	Latency *metrics.Histogram
+	// OnStart, if set, observes the live PE right after Start — the hook
+	// the debug endpoint uses to attach to a running PE without this
+	// package importing the server.
+	OnStart func(*pe.PE)
 }
 
 // NativeResult reports a native run: measured sink throughput plus the
@@ -253,6 +273,32 @@ type NativeResult struct {
 	// Faults carries the fault-containment meters (all models); all-zero
 	// unless operators misbehaved or chaos injection was armed.
 	Faults metrics.FaultsSnapshot
+	// Latency is the end-to-end latency distribution (zero Total unless
+	// NativeConfig.Latency was set).
+	Latency metrics.HistogramSnapshot
+	// FinalLevel is the thread level at the end of the run (interesting
+	// under Elastic).
+	FinalLevel int
+}
+
+// TraceRings returns the ring count a tracer needs for RunNative with
+// this workload and config (see sched.TraceRings for the convention).
+func TraceRings(w sim.Workload, cfg NativeConfig) (int, error) {
+	topo := ops.Topology{Width: w.Width, Depth: w.Depth, Cost: w.Cost}
+	g, _, err := topo.Build()
+	if err != nil {
+		return 0, err
+	}
+	return sched.TraceRings(sched.Config{MaxThreads: nativeMaxThreads(cfg)}, g), nil
+}
+
+// nativeMaxThreads resolves the dynamic thread-table size RunNative
+// will use for cfg.
+func nativeMaxThreads(cfg NativeConfig) int {
+	if cfg.MaxThreads > 0 {
+		return cfg.MaxThreads
+	}
+	return max(cfg.Threads, 1)
 }
 
 // RunNative executes a (scaled-down) workload on the real runtime of
@@ -269,19 +315,32 @@ func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
+	if cfg.AdaptPeriod <= 0 {
+		cfg.AdaptPeriod = 250 * time.Millisecond
+	}
 	p, err := pe.New(g, pe.Config{
 		Model:           cfg.Model,
 		Threads:         cfg.Threads,
-		MaxThreads:      max(cfg.Threads, 1),
+		Elastic:         cfg.Elastic,
+		AdaptPeriod:     cfg.AdaptPeriod,
+		MaxThreads:      nativeMaxThreads(cfg),
 		Sched:           sched.Config{GlobalFreeList: cfg.GlobalFreeList},
 		Fault:           cfg.Fault,
 		QuarantineAfter: cfg.QuarantineAfter,
+		Tracer:          cfg.Tracer,
+		Latency:         cfg.Latency,
 	})
 	if err != nil {
 		return NativeResult{}, err
 	}
+	if cfg.Tracer != nil {
+		cfg.Tracer.Enable()
+	}
 	if err := p.Start(); err != nil {
 		return NativeResult{}, err
+	}
+	if cfg.OnStart != nil {
+		cfg.OnStart(p)
 	}
 	warm := cfg.Duration / 4
 	time.Sleep(warm)
@@ -290,12 +349,48 @@ func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 	time.Sleep(cfg.Duration)
 	delta := snk.Count() - before
 	elapsed := time.Since(start).Seconds()
+	level := p.Level()
 	p.Stop()
 	return NativeResult{
 		Throughput: float64(delta) / elapsed,
 		Stats:      p.SchedStats(),
 		Faults:     p.FaultStats(),
+		Latency:    cfg.Latency.Snapshot(),
+		FinalLevel: level,
 	}, nil
+}
+
+// CtxSwitchEstimate is the §5.1 modeled context-switch comparison for
+// one panel: the dedicated model against the dynamic model at its best
+// static thread count. One struct feeds both presentations — String for
+// the CLI's -verbose line, the JSON field tags for the debug endpoint —
+// so the two can never drift apart.
+type CtxSwitchEstimate struct {
+	// Dedicated is modeled context switches/s with a thread per port.
+	Dedicated float64 `json:"dedicated"`
+	// BestK is the dynamic sweep's best static thread count.
+	BestK int `json:"best_k"`
+	// Dynamic is modeled context switches/s for the dynamic model at
+	// BestK threads.
+	Dynamic float64 `json:"dynamic"`
+}
+
+// String renders the -verbose line.
+func (e CtxSwitchEstimate) String() string {
+	return fmt.Sprintf("ctx switches/s: dedicated %.3g, dynamic(k=%d) %.3g",
+		e.Dedicated, e.BestK, e.Dynamic)
+}
+
+// CtxSwitches computes the panel's context-switch estimate from the
+// calibrated machine model.
+func (r StaticResult) CtxSwitches() CtxSwitchEstimate {
+	mo := sim.Model{M: r.Panel.Machine, W: r.Panel.Work}
+	bestK, _ := r.BestStatic()
+	return CtxSwitchEstimate{
+		Dedicated: mo.CtxSwitchesPerSecond(sim.Dedicated, 0),
+		BestK:     bestK,
+		Dynamic:   mo.CtxSwitchesPerSecond(sim.Dynamic, bestK),
+	}
 }
 
 // SortPanelsByID orders panels deterministically for report output.

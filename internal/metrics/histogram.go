@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of logarithmic histogram buckets: bucket b
+// counts observations in [2^b, 2^(b+1)) nanoseconds, so 64 buckets
+// cover every representable duration and a bucket index is one
+// bits.Len64 away from the sample — no search, no float math on the
+// recording path.
+const HistBuckets = 64
+
+// histRowStride pads each shard's bucket row so rows start on distinct
+// cache lines and two threads never bounce a line over adjacent rows.
+const histRowStride = HistBuckets + 8
+
+// Histogram accumulates a latency distribution in log-spaced buckets,
+// sharded per recording thread exactly like Counter: each thread
+// increments buckets in its own padded row with one uncontended atomic
+// add, and readers sum rows into a snapshot. This is the paper's
+// no-shared-cache-lines discipline applied to the measurement itself,
+// and what Röger & Mayer's survey asks of elastic-system monitoring:
+// the instrument must not create the contention it measures.
+type Histogram struct {
+	rows []atomic.Uint64
+	mask uint64
+}
+
+// NewHistogram returns a histogram with at least the given number of
+// shards (rounded up to a power of two); callers pass the maximum
+// number of recording threads. A non-positive value is treated as 1.
+func NewHistogram(shards int) *Histogram {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &Histogram{
+		rows: make([]atomic.Uint64, n*histRowStride),
+		mask: uint64(n - 1),
+	}
+}
+
+// Record charges one observation to shard tid. Durations below 1ns
+// clamp to the first bucket. Allocation-free and wait-free.
+func (h *Histogram) Record(tid int, d time.Duration) {
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	h.rows[(uint64(tid)&h.mask)*histRowStride+uint64(b)].Add(1)
+}
+
+// Snapshot sums every shard into a point-in-time reading. Like
+// Counter.Total, each bucket is a lower bound of the true count at
+// return time; the buckets are read in one pass so the snapshot is
+// internally consistent to within the increments in flight during it.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for row := uint64(0); row <= h.mask; row++ {
+		base := row * histRowStride
+		for b := 0; b < HistBuckets; b++ {
+			s.Counts[b] += h.rows[base+uint64(b)].Load()
+		}
+	}
+	for _, c := range s.Counts {
+		s.Total += c
+	}
+	return s
+}
+
+// HistogramSnapshot is a summed point-in-time reading of a Histogram.
+type HistogramSnapshot struct {
+	// Counts[b] is the number of observations in [2^b, 2^(b+1)) ns.
+	Counts [HistBuckets]uint64
+	// Total is the sum of all buckets.
+	Total uint64
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// top of the first bucket at which the cumulative count reaches
+// q×Total. Bucket resolution means the true quantile lies within a
+// factor of two below the returned value. Zero observations yield 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := uint64(q * float64(s.Total))
+	if need < 1 {
+		need = 1
+	}
+	var cum uint64
+	for b, c := range s.Counts {
+		cum += c
+		if cum >= need {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(HistBuckets - 1)
+}
+
+// Max returns the upper bound of the highest occupied bucket.
+func (s HistogramSnapshot) Max() time.Duration {
+	for b := HistBuckets - 1; b >= 0; b-- {
+		if s.Counts[b] > 0 {
+			return bucketUpper(b)
+		}
+	}
+	return 0
+}
+
+// Min returns the lower bound of the lowest occupied bucket.
+func (s HistogramSnapshot) Min() time.Duration {
+	for b, c := range s.Counts {
+		if c > 0 {
+			return time.Duration(uint64(1) << b)
+		}
+	}
+	return 0
+}
+
+// bucketUpper is the exclusive top of bucket b, saturating at the
+// maximum Duration for the last bucket.
+func bucketUpper(b int) time.Duration {
+	if b >= 62 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << (b + 1))
+}
+
+// String renders the standard percentile line the CLI and the debug
+// endpoint both print.
+func (s HistogramSnapshot) String() string {
+	if s.Total == 0 {
+		return "no samples"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d p50≤%v p90≤%v p99≤%v max≤%v",
+		s.Total, s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Max())
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(4)
+	h.Record(0, 1)           // bucket 0: [1,2)
+	h.Record(0, 0)           // clamps to bucket 0
+	h.Record(1, 3)           // bucket 1: [2,4)
+	h.Record(2, 1024)        // bucket 10: [1024,2048)
+	h.Record(3, time.Second) // bucket 29 (2^29 ≤ 1e9 < 2^30)
+	s := h.Snapshot()
+	if s.Total != 5 {
+		t.Fatalf("total = %d, want 5", s.Total)
+	}
+	if s.Counts[0] != 2 || s.Counts[1] != 1 || s.Counts[10] != 1 || s.Counts[29] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1)
+	// 90 fast samples in [1024,2048), 10 slow in [2^20, 2^21).
+	for i := 0; i < 90; i++ {
+		h.Record(0, 1500)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(0, 1<<20+5)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.50); got != 2048 {
+		t.Fatalf("p50 = %v, want 2048ns", got)
+	}
+	if got := s.Quantile(0.99); got != 1<<21 {
+		t.Fatalf("p99 = %v, want %v", got, time.Duration(1<<21))
+	}
+	if got := s.Min(); got != 1024 {
+		t.Fatalf("min = %v, want 1024ns", got)
+	}
+	if got := s.Max(); got != 1<<21 {
+		t.Fatalf("max = %v, want %v", got, time.Duration(1<<21))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var nilH *Histogram
+	s := nilH.Snapshot()
+	if s.Total != 0 || s.Quantile(0.99) != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+	if s.String() != "no samples" {
+		t.Fatalf("empty String() = %q", s.String())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram(1)
+	h.Record(0, 100)
+	s := h.Snapshot()
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Fatal("out-of-range quantiles not clamped")
+	}
+}
+
+// TestHistogramConcurrent hammers shards from many goroutines while a
+// reader snapshots; under -race this proves the histogram is
+// data-race-free, and the final count proves no increment is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(8)
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(w, time.Duration(1+i%4096))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := h.Snapshot().Total; got != 8*perWorker {
+		t.Fatalf("total = %d, want %d", got, 8*perWorker)
+	}
+}
+
+func TestHistogramShardWrap(t *testing.T) {
+	h := NewHistogram(2)
+	// tids beyond the shard count must wrap, not panic.
+	h.Record(100, 50)
+	h.Record(-1, 50)
+	if got := h.Snapshot().Total; got != 2 {
+		t.Fatalf("total = %d, want 2", got)
+	}
+}

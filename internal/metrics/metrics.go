@@ -19,6 +19,17 @@ const shardStride = 16
 // (by thread ID), so the hot path is a single uncontended atomic add;
 // readers sum the shards. This mirrors the paper's principle of keeping
 // threads off shared cache lines (§4.1.2).
+//
+// Snapshot contract: a Counter is strictly monotonic — there is
+// deliberately no Reset, so a Total read never races with reuse and
+// every read is a valid lower bound of every later read. Code that
+// derives a ratio or difference across *several* counters (steals per
+// spill, dead-letters versus delivered) must not call Total on each in
+// sequence: the counters advance between the calls and the ratio comes
+// out torn. Read them through the owning bundle's Snapshot method
+// (Contention.Snapshot, Faults.Snapshot, the scheduler's Stats), which
+// reads the whole set in one pass so the values are mutually consistent
+// to within the increments in flight during that pass.
 type Counter struct {
 	shards []atomic.Uint64
 	// mask selects a shard from a thread ID with one AND instead of the
@@ -98,9 +109,16 @@ func NewContention(shards int) *Contention {
 }
 
 // ContentionSnapshot is a point-in-time reading of a Contention set,
-// with the same lower-bound semantics as Counter.Total.
+// with the same lower-bound semantics as Counter.Total. Readers that
+// present more than one of these values together (panels, the debug
+// endpoint) must take one snapshot and render from it, never mix
+// values from two snapshots.
 type ContentionSnapshot struct {
-	PushFail, PopFail, Steal, StealMiss, Spill uint64
+	PushFail  uint64 `json:"push_fail"`
+	PopFail   uint64 `json:"pop_fail"`
+	Steal     uint64 `json:"steal"`
+	StealMiss uint64 `json:"steal_miss"`
+	Spill     uint64 `json:"spill"`
 }
 
 // Snapshot sums every meter.
@@ -149,7 +167,10 @@ func NewFaults(shards int) *Faults {
 // FaultsSnapshot is a point-in-time reading of a Faults set, with the
 // same lower-bound semantics as Counter.Total.
 type FaultsSnapshot struct {
-	OpPanics, DeadLetters, Quarantines, WatchdogStalls uint64
+	OpPanics       uint64 `json:"op_panics"`
+	DeadLetters    uint64 `json:"dead_letters"`
+	Quarantines    uint64 `json:"quarantines"`
+	WatchdogStalls uint64 `json:"watchdog_stalls"`
 }
 
 // Snapshot sums every meter.

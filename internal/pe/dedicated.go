@@ -29,6 +29,7 @@ type dedicatedRunner struct {
 	contain *containment
 	exec    *metrics.Counter
 	sink    *metrics.Counter
+	latency *metrics.Histogram // nil when latency measurement is off
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -36,7 +37,7 @@ type dedicatedRunner struct {
 
 const dedicatedBackoffMax = 10 * time.Millisecond
 
-func newDedicatedRunner(g *graph.Graph, queueCap int, inj *fault.Injector, quarantineAfter int) *dedicatedRunner {
+func newDedicatedRunner(g *graph.Graph, queueCap int, inj *fault.Injector, quarantineAfter int, latency *metrics.Histogram) *dedicatedRunner {
 	if queueCap == 0 {
 		queueCap = 64
 	}
@@ -48,6 +49,7 @@ func newDedicatedRunner(g *graph.Graph, queueCap int, inj *fault.Injector, quara
 		contain: newContainment(g, inj, quarantineAfter, shards),
 		exec:    metrics.NewCounter(shards),
 		sink:    metrics.NewCounter(shards),
+		latency: latency,
 	}
 	for i := range r.queues {
 		r.queues[i] = lfq.NewEnforcer[tuple.Tuple](queueCap)
@@ -141,6 +143,9 @@ func (r *dedicatedRunner) deliverBatch(p *graph.InPort, batch []tuple.Tuple) boo
 func (r *dedicatedRunner) deliver(ec *dedicatedCtx, p *graph.InPort, t tuple.Tuple, data *int) bool {
 	switch t.Kind {
 	case tuple.Data:
+		if lat := r.latency; lat != nil && p.Node.NumOut == 0 && t.Stamp != 0 {
+			lat.Record(p.ID, time.Duration(time.Now().UnixNano()-t.Stamp))
+		}
 		if r.contain.runData(p.ID, p.Node, ec, t, p.Index) {
 			*data++
 		}
@@ -165,10 +170,16 @@ type dedicatedCtx struct {
 	r    *dedicatedRunner
 	node *graph.Node
 	tid  int
+	// stamp marks source submitters when latency measurement is on; see
+	// the scheduler's ctx.stamp.
+	stamp bool
 }
 
 // Submit implements graph.Submitter.
 func (c *dedicatedCtx) Submit(t tuple.Tuple, outPort int) {
+	if c.stamp && t.Kind == tuple.Data {
+		t.Stamp = time.Now().UnixNano()
+	}
 	for _, pid := range c.node.Outs[outPort] {
 		t2 := t
 		t2.Port = int32(pid)
@@ -197,7 +208,7 @@ func (c *dedicatedRunner) blockingPush(pid int, t tuple.Tuple) {
 }
 
 func (r *dedicatedRunner) sourceSubmitter(i int) graph.Submitter {
-	return &dedicatedCtx{r: r, node: r.g.SourceNodes[i], tid: len(r.g.Ports) + i}
+	return &dedicatedCtx{r: r, node: r.g.SourceNodes[i], tid: len(r.g.Ports) + i, stamp: r.latency != nil}
 }
 
 func (r *dedicatedRunner) sourceDone(i int) {

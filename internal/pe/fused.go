@@ -1,6 +1,8 @@
 package pe
 
 import (
+	"time"
+
 	"streams/internal/fault"
 	"streams/internal/graph"
 	"streams/internal/metrics"
@@ -20,15 +22,17 @@ type fusedRunner struct {
 	contain *containment
 	exec    *metrics.Counter
 	sink    *metrics.Counter
+	latency *metrics.Histogram // nil when latency measurement is off
 }
 
-func newFusedRunner(g *graph.Graph, inj *fault.Injector, quarantineAfter int) *fusedRunner {
+func newFusedRunner(g *graph.Graph, inj *fault.Injector, quarantineAfter int, latency *metrics.Histogram) *fusedRunner {
 	return &fusedRunner{
 		g:       g,
 		drain:   newDrainState(g),
 		contain: newContainment(g, inj, quarantineAfter, len(g.SourceNodes)),
 		exec:    metrics.NewCounter(len(g.SourceNodes)),
 		sink:    metrics.NewCounter(len(g.SourceNodes)),
+		latency: latency,
 	}
 }
 
@@ -39,11 +43,17 @@ type fusedCtx struct {
 	r    *fusedRunner
 	node *graph.Node
 	tid  int
+	// stamp marks source submitters when latency measurement is on; see
+	// the scheduler's ctx.stamp.
+	stamp bool
 }
 
 // Submit implements graph.Submitter by synchronously executing every
 // subscribed downstream port.
 func (c *fusedCtx) Submit(t tuple.Tuple, outPort int) {
+	if c.stamp && t.Kind == tuple.Data {
+		t.Stamp = time.Now().UnixNano()
+	}
 	for _, pid := range c.node.Outs[outPort] {
 		p := c.r.g.Ports[pid]
 		c.r.deliver(p, t, c.tid)
@@ -55,6 +65,9 @@ func (f *fusedRunner) deliver(p *graph.InPort, t tuple.Tuple, tid int) {
 	ec := &fusedCtx{r: f, node: p.Node, tid: tid}
 	switch t.Kind {
 	case tuple.Data:
+		if lat := f.latency; lat != nil && p.Node.NumOut == 0 && t.Stamp != 0 {
+			lat.Record(tid, time.Duration(time.Now().UnixNano()-t.Stamp))
+		}
 		if f.contain.runData(tid, p.Node, ec, t, p.Index) {
 			f.exec.Add(tid, 1)
 			if p.Node.NumOut == 0 {
@@ -75,7 +88,7 @@ func (f *fusedRunner) deliver(p *graph.InPort, t tuple.Tuple, tid int) {
 }
 
 func (f *fusedRunner) sourceSubmitter(i int) graph.Submitter {
-	return &fusedCtx{r: f, node: f.g.SourceNodes[i], tid: i}
+	return &fusedCtx{r: f, node: f.g.SourceNodes[i], tid: i, stamp: f.latency != nil}
 }
 
 func (f *fusedRunner) sourceDone(i int) {

@@ -28,6 +28,7 @@ import (
 	"streams/internal/graph"
 	"streams/internal/metrics"
 	"streams/internal/sched"
+	"streams/internal/trace"
 )
 
 // Model selects a threading model.
@@ -67,6 +68,9 @@ type Sample struct {
 	Throughput float64
 	// Level is the thread level chosen for the next period.
 	Level int
+	// Rule names the controller rule that made the decision (the
+	// elasticity decision log; see elastic.Rule).
+	Rule string
 }
 
 // Config parametrizes a PE.
@@ -115,6 +119,14 @@ type Config struct {
 	// operator code without progress before the watchdog reports it.
 	// Default 2×WatchdogInterval.
 	StallThreshold time.Duration
+	// Tracer, if set, records scheduler decisions and elasticity level
+	// changes into per-thread rings (Dynamic only). Size it with
+	// pe.TraceRings.
+	Tracer *trace.Tracer
+	// Latency, if set, measures end-to-end tuple latency: stamped at the
+	// source-submit seam, charged to this histogram at the sink-drain
+	// seam. Honored by every threading model.
+	Latency *metrics.Histogram
 }
 
 // PE is a processing element executing one graph. Create with New, run
@@ -188,13 +200,19 @@ func New(g *graph.Graph, cfg Config) (*PE, error) {
 	}
 	switch cfg.Model {
 	case Manual:
-		pe.runner = newFusedRunner(g, cfg.Fault, cfg.QuarantineAfter)
+		pe.runner = newFusedRunner(g, cfg.Fault, cfg.QuarantineAfter, cfg.Latency)
 	case Dedicated:
-		pe.runner = newDedicatedRunner(g, cfg.QueueCap, cfg.Fault, cfg.QuarantineAfter)
+		pe.runner = newDedicatedRunner(g, cfg.QueueCap, cfg.Fault, cfg.QuarantineAfter, cfg.Latency)
 	case Dynamic:
 		sc := cfg.Sched
 		if sc.MaxThreads == 0 {
 			sc.MaxThreads = max(cfg.MaxThreads, cfg.Threads)
+		}
+		if cfg.Tracer != nil {
+			sc.Tracer = cfg.Tracer
+		}
+		if cfg.Latency != nil {
+			sc.Latency = cfg.Latency
 		}
 		if cfg.Fault != nil {
 			sc.Fault = cfg.Fault
@@ -273,6 +291,8 @@ func (pe *PE) adaptLoop() {
 	}
 	// Move to the controller's starting level immediately.
 	pe.applyLevel(dyn, ctl.Level())
+	lt := NewLevelTrace(pe.cfg.Tracer)
+	lt.Observe(ctl.Level(), 0)
 
 	start := time.Now()
 	lastCount := pe.runner.executed()
@@ -298,8 +318,14 @@ func (pe *PE) adaptLoop() {
 			}
 			level := ctl.Update(thput)
 			pe.applyLevel(dyn, level)
+			lt.Observe(level, thput)
 			if pe.cfg.Trace != nil {
-				pe.cfg.Trace(Sample{Elapsed: now.Sub(start), Throughput: thput, Level: level})
+				pe.cfg.Trace(Sample{
+					Elapsed:    now.Sub(start),
+					Throughput: thput,
+					Level:      level,
+					Rule:       ctl.LastRule().String(),
+				})
 			}
 		}
 	}
@@ -310,8 +336,72 @@ func (pe *PE) applyLevel(dyn *dynamicRunner, level int) {
 	pe.level.Store(int64(got))
 }
 
+// TraceRings returns how many tracer rings a PE built from cfg needs:
+// one per scheduler thread slot, one per source thread, and one for the
+// elasticity controller (the last ring). Build the tracer with
+// trace.New(pe.TraceRings(cfg, g), 0) and pass it in cfg.Tracer.
+func TraceRings(cfg Config, g *graph.Graph) int {
+	sc := cfg.Sched
+	if sc.MaxThreads == 0 {
+		if cfg.MaxThreads == 0 {
+			cfg.MaxThreads = runtime.NumCPU()
+		}
+		if cfg.Threads == 0 {
+			cfg.Threads = 1
+		}
+		sc.MaxThreads = max(cfg.MaxThreads, cfg.Threads)
+	}
+	return sched.TraceRings(sc, g)
+}
+
+// LevelTrace emits one KindElastic trace event per elasticity level
+// change on the tracer's controller ring (the last ring, per the
+// TraceRings convention). It deduplicates: an Update that keeps the
+// level does not emit. The adaptation loop owns it; like every ring
+// writer it must be used from a single goroutine.
+type LevelTrace struct {
+	tr   *trace.Tracer
+	ring int
+	last int
+}
+
+// NewLevelTrace returns a LevelTrace writing to tr's controller ring.
+// A nil tracer yields a LevelTrace that swallows observations.
+func NewLevelTrace(tr *trace.Tracer) *LevelTrace {
+	lt := &LevelTrace{tr: tr, last: -1}
+	if tr != nil {
+		lt.ring = tr.Rings() - 1
+	}
+	return lt
+}
+
+// Observe records the level chosen for the next period and the
+// throughput observation that drove the decision, emitting exactly one
+// trace event when — and only when — the level changed. The throughput
+// is packed into the event's low word, saturating at 2^32-1 tuples/s.
+func (lt *LevelTrace) Observe(level int, thput float64) {
+	if level == lt.last {
+		return
+	}
+	lt.last = level
+	if !lt.tr.On() {
+		return
+	}
+	tp := uint64(0)
+	if thput > 0 {
+		tp = uint64(thput)
+		if tp > 1<<32-1 {
+			tp = 1<<32 - 1
+		}
+	}
+	lt.tr.Emit(lt.ring, trace.KindElastic, trace.PackPair(int32(level), uint32(tp)))
+}
+
 // Level returns the current thread level (0 under the manual model).
 func (pe *PE) Level() int { return int(pe.level.Load()) }
+
+// Model returns the PE's threading model.
+func (pe *PE) Model() Model { return pe.cfg.Model }
 
 // Executed returns tuples processed across all operators since Start.
 func (pe *PE) Executed() uint64 { return pe.runner.executed() }
@@ -334,29 +424,33 @@ func (pe *PE) SinkDelivered() uint64 { return pe.runner.sinkDelivered() }
 type SchedStats struct {
 	// Reschedules counts full-queue pushes that fell into the reSchedule
 	// self-help path.
-	Reschedules uint64
+	Reschedules uint64 `json:"reschedules"`
 	// FindFailures counts findWorkNonBlocking calls that found no work.
-	FindFailures uint64
+	FindFailures uint64 `json:"find_failures"`
 	// Contention snapshots the free-list meters: global push/pop
 	// failures, shard steals and misses, and shard overflow spills.
-	Contention metrics.ContentionSnapshot
+	Contention metrics.ContentionSnapshot `json:"contention"`
 	// Faults snapshots the fault-containment meters: recovered operator
 	// panics, dead-lettered tuples, quarantines and watchdog reports.
-	Faults metrics.FaultsSnapshot
+	Faults metrics.FaultsSnapshot `json:"faults"`
 }
 
 // SchedStats returns the dynamic scheduler's slow-path meters (zero
-// under the manual and dedicated models, which have no scheduler).
+// under the manual and dedicated models, which have no scheduler). It
+// reads the scheduler's single-pass Stats snapshot, so the values are
+// mutually consistent — the one code path every presenter (the
+// streamsim panel, the debug endpoint) goes through.
 func (pe *PE) SchedStats() SchedStats {
 	d, ok := pe.runner.(*dynamicRunner)
 	if !ok {
 		return SchedStats{}
 	}
+	st := d.s.Stats()
 	return SchedStats{
-		Reschedules:  d.s.Reschedules(),
-		FindFailures: d.s.FindFailures(),
-		Contention:   d.s.Contention(),
-		Faults:       d.s.Faults(),
+		Reschedules:  st.Reschedules,
+		FindFailures: st.FindFailures,
+		Contention:   st.Contention,
+		Faults:       st.Faults,
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"streams/internal/graph"
 	"streams/internal/lfq"
 	"streams/internal/metrics"
+	"streams/internal/trace"
 	"streams/internal/tuple"
 )
 
@@ -93,6 +94,19 @@ type Config struct {
 	// OnStall, if set, observes every watchdog report (thread ID and how
 	// long it has been stuck). Reports are also counted in Faults.
 	OnStall func(tid int, stuckFor time.Duration)
+
+	// Tracer, if set, records scheduler decisions (port acquires and
+	// releases, steals, spills, parks, reschedules, quarantines) into
+	// per-thread rings. Size it with TraceRings so every writer — each
+	// scheduler thread slot, each source thread, and the elasticity
+	// controller — owns a ring; New labels the rings to match. Nil (the
+	// default) keeps every seam at a nil check.
+	Tracer *trace.Tracer
+	// Latency, if set, turns on end-to-end latency measurement: tuples
+	// are stamped as source threads submit them and the elapsed time is
+	// charged to this histogram as each stamped tuple drains at a sink
+	// operator. Nil (the default) skips both seams.
+	Latency *metrics.Histogram
 
 	// The remaining options reverse individual design decisions from the
 	// paper so the benchmark suite can measure what each one buys
@@ -259,6 +273,8 @@ type Scheduler struct {
 	// fault-free runs never read the quarantine table. strikes and
 	// quarantined are per-node; faults holds the sharded meters.
 	inj         *fault.Injector
+	tr          *trace.Tracer      // nil when tracing is off
+	latency     *metrics.Histogram // nil when latency measurement is off
 	faults      *metrics.Faults
 	faultsSeen  atomic.Bool
 	strikes     []atomic.Int32
@@ -322,6 +338,8 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		contention:         metrics.NewContention(cfg.MaxThreads + cfg.SourceThreads),
 		perNode:            make([]atomic.Uint64, len(g.Nodes)),
 		inj:                cfg.Fault,
+		tr:                 cfg.Tracer,
+		latency:            cfg.Latency,
 		faults:             metrics.NewFaults(cfg.MaxThreads + cfg.SourceThreads),
 		strikes:            make([]atomic.Int32, len(g.Nodes)),
 		quarantined:        make([]atomic.Bool, len(g.Nodes)),
@@ -355,10 +373,39 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 	}
 	s.openPorts.Store(int32(nPorts))
 	s.sourcesLeft.Store(int32(len(g.SourceNodes)))
+	s.labelTraceRings()
 	if nPorts == 0 {
 		s.beginPortsClosed()
 	}
 	return s
+}
+
+// TraceRings returns how many tracer rings a scheduler built from cfg
+// needs under the single-writer convention: one per scheduler thread
+// slot (rings 0..MaxThreads-1), one per source thread
+// (MaxThreads..MaxThreads+SourceThreads-1), and one final ring for the
+// elasticity controller.
+func TraceRings(cfg Config, g *graph.Graph) int {
+	cfg = cfg.withDefaults(g)
+	return cfg.MaxThreads + cfg.SourceThreads + 1
+}
+
+// labelTraceRings names the tracer's rings after the writer convention
+// so the trace_event export shows meaningful thread names. A tracer
+// with fewer rings than writers just loses the overflow events.
+func (s *Scheduler) labelTraceRings() {
+	if s.tr == nil {
+		return
+	}
+	for i := 0; i < s.cfg.MaxThreads; i++ {
+		s.tr.SetLabel(i, fmt.Sprintf("sched-%d", i))
+	}
+	for i := 0; i < s.cfg.SourceThreads; i++ {
+		s.tr.SetLabel(s.cfg.MaxThreads+i, fmt.Sprintf("source-%d", i))
+	}
+	if s.tr.Rings() == s.cfg.MaxThreads+s.cfg.SourceThreads+1 {
+		s.tr.SetLabel(s.tr.Rings()-1, "elastic")
+	}
 }
 
 // MinLevel returns the smallest safe thread level for the graph: one
@@ -398,6 +445,39 @@ func (s *Scheduler) Contention() metrics.ContentionSnapshot { return s.contentio
 // operator panics, dead-lettered tuples, quarantined operators, and
 // watchdog stall reports. All zero on a healthy PE.
 func (s *Scheduler) Faults() metrics.FaultsSnapshot { return s.faults.Snapshot() }
+
+// Stats is a single-pass snapshot of every scheduler meter. Panels and
+// endpoints that present more than one of these values together must
+// read them through Stats rather than through the individual accessors
+// in sequence: the counters advance between separate calls, so derived
+// ratios (dead-letters versus delivered, steals per find) would come
+// out torn.
+type Stats struct {
+	// Executed counts tuples processed across all operators.
+	Executed uint64
+	// SinkDelivered counts tuples delivered to operators with no outputs.
+	SinkDelivered uint64
+	// Reschedules counts full-queue pushes that fell into self-help.
+	Reschedules uint64
+	// FindFailures counts work searches that came up empty.
+	FindFailures uint64
+	// Contention snapshots the free-structure meters.
+	Contention metrics.ContentionSnapshot
+	// Faults snapshots the fault-containment meters.
+	Faults metrics.FaultsSnapshot
+}
+
+// Stats reads every meter in one pass (see the Stats type's contract).
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Executed:      s.executed.Total(),
+		SinkDelivered: s.sinkDeliver.Total(),
+		Reschedules:   s.reschedules.Total(),
+		FindFailures:  s.findFails.Total(),
+		Contention:    s.contention.Snapshot(),
+		Faults:        s.faults.Snapshot(),
+	}
+}
 
 // LastFault describes the most recent contained fault (a recovered
 // panic or a watchdog stall report), or "" when none has occurred.
@@ -450,6 +530,11 @@ type ctx struct {
 	// same port acquires a batch buffer. At most one of the buffer
 	// (coalLen > 0) and pending (hasPending) is active at a time, and
 	// pendPort is the destination of whichever it is.
+	// stamp marks source-thread contexts when latency measurement is on:
+	// each submitted data tuple is stamped with the wall-clock time so
+	// the sink-drain seam can charge the end-to-end latency histogram.
+	stamp bool
+
 	coalesce   bool
 	hasPending bool
 	pendPort   int32
@@ -471,6 +556,9 @@ func (c *ctx) Submit(t tuple.Tuple, outPort int) {
 		panic(fmt.Sprintf("sched: operator %s submitted to nonexistent output port %d", node.Op.Name(), outPort))
 	}
 	seq := c.s.seqs[node.ID][outPort].Add(1) - 1
+	if c.stamp && t.Kind == tuple.Data {
+		t.Stamp = time.Now().UnixNano()
+	}
 	for _, pid := range node.Outs[outPort] {
 		t2 := t
 		t2.Port = int32(pid)
@@ -633,6 +721,9 @@ func (s *Scheduler) push(t tuple.Tuple, c *ctx) {
 // access without touching global data (§4.1.4).
 func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *ctx) {
 	s.reschedules.Add(c.tid, 1)
+	if s.tr.On() {
+		s.tr.Emit(c.tid, trace.KindResched, int64(t.Port))
+	}
 	// reSchedule nests inside an executing batch (and runs on source
 	// threads that have no Thread at all), so it borrows a drain buffer —
 	// the thread's spare, or a pooled one — instead of using thr.batch.
@@ -776,6 +867,14 @@ func (s *Scheduler) executeSpan(ec *ctx, p *graph.InPort, span []tuple.Tuple) (c
 	// pays one atomic load per span and never touches the table.
 	quarantined := s.faultsSeen.Load() && s.quarantined[p.Node.ID].Load()
 	inj := s.inj
+	// The latency seam: stamped tuples draining at a sink operator charge
+	// the end-to-end histogram. Both tests are hoisted out of the loop so
+	// the common case (latency off, or a non-sink node) pays nothing per
+	// tuple.
+	lat := s.latency
+	if p.Node.NumOut != 0 {
+		lat = nil
+	}
 	for i := range span {
 		consumed = i
 		t := &span[i]
@@ -784,6 +883,9 @@ func (s *Scheduler) executeSpan(ec *ctx, p *graph.InPort, span []tuple.Tuple) (c
 			if quarantined {
 				s.faults.DeadLetters.Add(ec.tid, 1)
 				continue
+			}
+			if lat != nil && t.Stamp != 0 {
+				lat.Record(ec.tid, time.Duration(time.Now().UnixNano()-t.Stamp))
 			}
 			if inj != nil {
 				inj.OpFault() // chaos seam: may sleep or panic
@@ -833,6 +935,9 @@ func (s *Scheduler) containPanic(tid int, n *graph.Node, r any, deadLetter bool)
 	if int(s.strikes[n.ID].Add(1)) == s.cfg.QuarantineAfter {
 		s.quarantined[n.ID].Store(true)
 		s.faults.Quarantines.Add(tid, 1)
+		if s.tr.On() {
+			s.tr.Emit(tid, trace.KindQuarantine, int64(n.ID))
+		}
 	}
 	s.lastFault.Store(fmt.Sprintf("operator %s panicked: %v", n.Op.Name(), r))
 }
@@ -932,7 +1037,7 @@ func (s *Scheduler) beginPortsClosed() {
 // inject tuples. srcIndex identifies the source thread (0-based) for
 // metric sharding.
 func (s *Scheduler) SourceSubmitter(node *graph.Node, srcIndex int) graph.Submitter {
-	return &ctx{s: s, node: node, tid: s.cfg.MaxThreads + srcIndex, thr: nil}
+	return &ctx{s: s, node: node, tid: s.cfg.MaxThreads + srcIndex, thr: nil, stamp: s.latency != nil}
 }
 
 // SourceDone tells the scheduler a source operator has finished: the
@@ -1147,12 +1252,17 @@ func (s *Scheduler) schedule(thr *Thread) {
 		q := s.queues[t.Port]
 		port := t.Port
 		p := s.g.Ports[port]
+		if s.tr.On() {
+			s.tr.Emit(thr.id, trace.KindAcquire, int64(port))
+		}
 		ec := s.acquireCtx(p, thr.id, thr, true)
 		// findWork popped the first tuple already; complete its batch.
 		thr.batch[0] = t
 		n := 1 + q.Queue().PopN(thr.batch[1:])
+		drained := 0
 		for {
 			s.executeBatch(ec, p, thr.batch[:n])
+			drained += n
 			thr.heartbeat.Add(1)
 			if thr.suspended.Load() || s.stopRequested(thr) {
 				break
@@ -1166,6 +1276,9 @@ func (s *Scheduler) schedule(thr *Thread) {
 		// per-stream FIFO order at the destination ports.
 		ec.endCoalesce()
 		q.ConsUnlock()
+		if s.tr.On() {
+			s.tr.Emit(thr.id, trace.KindRelease, int64(drained))
+		}
 		s.releaseCtx(ec)
 		s.makePortFree(port, thr)
 	}
@@ -1339,6 +1452,9 @@ func (s *Scheduler) steal(t *tuple.Tuple, thr *Thread) bool {
 			continue
 		}
 		s.contention.Steal.Add(thr.id, 1)
+		if s.tr.On() {
+			s.tr.Emit(thr.id, trace.KindSteal, trace.PackPair(int32(v), uint32(port)))
+		}
 		stole = true
 		if s.tryTake(port, t) {
 			return true
@@ -1383,6 +1499,9 @@ func (s *Scheduler) makePortFree(port int32, thr *Thread) {
 				return
 			}
 			s.contention.Spill.Add(tid, 1)
+			if s.tr.On() {
+				s.tr.Emit(tid, trace.KindSpill, int64(port))
+			}
 		}
 	}
 	s.pushGlobalFree(port, tid)
@@ -1425,8 +1544,14 @@ func (s *Scheduler) parkIfAsked(thr *Thread) {
 	if !thr.suspended.Load() {
 		return
 	}
+	if s.tr.On() {
+		s.tr.Emit(thr.id, trace.KindPark, 0)
+	}
 	s.drainShard(thr)
 	thr.suspendIfAsked()
+	if s.tr.On() {
+		s.tr.Emit(thr.id, trace.KindUnpark, 0)
+	}
 }
 
 // drainShard moves every hint in thr's shard to the global list,

@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/metrics"
+	"streams/internal/ops"
+	"streams/internal/trace"
+)
+
+func TestTraceRingsConvention(t *testing.T) {
+	snk := &ops.Sink{}
+	g := pipelineGraph(t, 2, 10, snk)
+	n := TraceRings(Config{MaxThreads: 4}, g)
+	// 4 scheduler slots + 1 source + 1 controller ring.
+	if n != 6 {
+		t.Fatalf("TraceRings = %d, want 6", n)
+	}
+}
+
+func TestTraceAcquireReleaseAndLatency(t *testing.T) {
+	const n = 5000
+	snk := &ops.Sink{}
+	g := pipelineGraph(t, 4, n, snk)
+	cfg := Config{MaxThreads: 4}
+	tr := trace.New(TraceRings(cfg, g), 0)
+	tr.Enable()
+	lat := metrics.NewHistogram(TraceRings(cfg, g))
+	cfg.Tracer = tr
+	cfg.Latency = lat
+	s := runGraph(t, g, cfg, 2)
+
+	events := tr.Snapshot()
+	kinds := trace.Kinds(events)
+	if kinds["acquire"] == 0 || kinds["release"] == 0 {
+		t.Fatalf("no drain events traced: %v", kinds)
+	}
+	// Every release's arg is the tuples drained under that acquire; the
+	// sum cannot exceed total executions (reSchedule drains are separate)
+	// and must be positive on a run this size.
+	var drained int64
+	for _, e := range events {
+		if e.Kind == trace.KindRelease {
+			if e.Arg < 1 {
+				t.Fatalf("release with %d tuples drained", e.Arg)
+			}
+			drained += e.Arg
+		}
+	}
+	if drained < 1 || uint64(drained) > s.Executed() {
+		t.Fatalf("drained %d outside (0, executed=%d]", drained, s.Executed())
+	}
+
+	// Every data tuple was stamped at the source and reached the sink.
+	snap := lat.Snapshot()
+	if snap.Total != n {
+		t.Fatalf("latency samples = %d, want %d", snap.Total, n)
+	}
+	if snap.Quantile(0.5) <= 0 {
+		t.Fatalf("p50 latency = %v", snap.Quantile(0.5))
+	}
+}
+
+func TestTraceDisabledRecordsNothing(t *testing.T) {
+	snk := &ops.Sink{}
+	g := pipelineGraph(t, 2, 1000, snk)
+	cfg := Config{MaxThreads: 2}
+	tr := trace.New(TraceRings(cfg, g), 0) // never enabled
+	cfg.Tracer = tr
+	runGraph(t, g, cfg, 2)
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled tracer captured %d events", len(got))
+	}
+}
+
+func TestTraceParkUnparkOnSuspend(t *testing.T) {
+	// A graph with sources never started: threads idle in the find loop,
+	// where parkIfAsked runs every iteration.
+	b := graph.NewBuilder()
+	src := b.AddNode(&ops.Generator{Limit: 1}, 0, 1)
+	sn := b.AddNode(&ops.Sink{}, 1, 0)
+	b.Connect(src, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MaxThreads: 2}
+	tr := trace.New(TraceRings(cfg, g), 0)
+	tr.Enable()
+	cfg.Tracer = tr
+	s := New(g, cfg)
+	s.Start(2)
+	s.SetLevel(1) // thread 1 must park
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if trace.Kinds(tr.Snapshot())["park"] > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := trace.Kinds(tr.Snapshot())
+	if kinds["park"] == 0 {
+		t.Fatalf("no park event after suspension: %v", kinds)
+	}
+	// Shutdown wakes the parked thread, which emits the matching unpark
+	// on its way out.
+	if kinds["unpark"] == 0 {
+		t.Fatalf("no unpark event after shutdown: %v", kinds)
+	}
+	for _, e := range tr.Snapshot() {
+		if e.Kind == trace.KindPark && e.Ring != 1 {
+			t.Fatalf("park on ring %d, want 1", e.Ring)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceOverhead prices the tracer at its three states, the
+// numbers EXPERIMENTS.md records:
+//
+//   - baseline: the seam with no tracer compiled in (empty loop body)
+//   - nil: the seam with a nil *Tracer — the cost every run pays when
+//     tracing is not configured
+//   - disabled: a constructed but disabled tracer — the single
+//     atomic-load gate, required to stay ≤1ns/op
+//   - enabled: the full emit path, required to stay allocation-free
+//
+// sink defeats dead-code elimination of the gate check.
+var sink bool
+
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("baseline", func(b *testing.B) {
+		v := false
+		for i := 0; i < b.N; i++ {
+			v = !v
+		}
+		sink = v
+	})
+	b.Run("nil", func(b *testing.B) {
+		var tr *Tracer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.On() {
+				tr.Emit(0, KindSteal, int64(i))
+			}
+		}
+		sink = tr.On()
+	})
+	b.Run("disabled", func(b *testing.B) {
+		tr := New(1, 1024)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.On() {
+				tr.Emit(0, KindSteal, int64(i))
+			}
+		}
+		sink = tr.On()
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := New(1, 1024)
+		tr.Enable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tr.On() {
+				tr.Emit(0, KindSteal, int64(i))
+			}
+		}
+		sink = tr.On()
+	})
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTE decodes an exported trace back into the generic structure
+// the Chrome/Perfetto loaders read.
+func decodeTE(t *testing.T, buf []byte) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("export has no traceEvents array: %v", doc)
+	}
+	return doc
+}
+
+func TestExportPairsDrainsAndParks(t *testing.T) {
+	events := []Event{
+		{TS: 10 * time.Microsecond, Ring: 0, Kind: KindAcquire, Arg: 4},
+		{TS: 15 * time.Microsecond, Ring: 1, Kind: KindPark},
+		{TS: 30 * time.Microsecond, Ring: 0, Kind: KindRelease, Arg: 17},
+		{TS: 45 * time.Microsecond, Ring: 1, Kind: KindUnpark},
+		{TS: 50 * time.Microsecond, Ring: 0, Kind: KindSteal, Arg: PackPair(2, 9)},
+	}
+	var buf bytes.Buffer
+	if err := ExportEvents(&buf, events, []string{"sched-0", "sched-1"}); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTE(t, buf.Bytes())
+	evs := doc["traceEvents"].([]any)
+
+	var drains, parks, steals int
+	for _, raw := range evs {
+		e := raw.(map[string]any)
+		name, _ := e["name"].(string)
+		ph, _ := e["ph"].(string)
+		switch name {
+		case "drain":
+			drains++
+			if ph != "X" {
+				t.Fatalf("drain not paired into an X event: %v", e)
+			}
+			if dur := e["dur"].(float64); dur != 20 {
+				t.Fatalf("drain dur = %v µs, want 20", dur)
+			}
+			args := e["args"].(map[string]any)
+			if args["port"].(float64) != 4 || args["tuples"].(float64) != 17 {
+				t.Fatalf("drain args = %v", args)
+			}
+		case "park":
+			parks++
+			if ph != "X" || e["dur"].(float64) != 30 {
+				t.Fatalf("park not paired: %v", e)
+			}
+			if e["tid"].(float64) != 1 {
+				t.Fatalf("park on tid %v, want 1", e["tid"])
+			}
+		case "steal":
+			steals++
+			args := e["args"].(map[string]any)
+			if args["victim"].(float64) != 2 || args["port"].(float64) != 9 {
+				t.Fatalf("steal args = %v", args)
+			}
+		}
+	}
+	if drains != 1 || parks != 1 || steals != 1 {
+		t.Fatalf("drains %d parks %d steals %d, want 1 each", drains, parks, steals)
+	}
+}
+
+func TestExportUnpairedBeginBecomesInstant(t *testing.T) {
+	events := []Event{
+		{TS: 5 * time.Microsecond, Ring: 0, Kind: KindAcquire, Arg: 3},
+		{TS: 7 * time.Microsecond, Ring: 2, Kind: KindPark},
+	}
+	var buf bytes.Buffer
+	if err := ExportEvents(&buf, events, nil); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTE(t, buf.Bytes())
+	found := 0
+	for _, raw := range doc["traceEvents"].([]any) {
+		e := raw.(map[string]any)
+		if n := e["name"].(string); n == "drain" || n == "park" {
+			if e["ph"].(string) != "i" {
+				t.Fatalf("unpaired begin exported as %v", e)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("want 2 instants, got %d", found)
+	}
+}
+
+func TestExportLiveTracer(t *testing.T) {
+	tr := New(2, 64)
+	tr.SetLabel(0, "sched-0")
+	tr.SetLabel(1, "elastic")
+	tr.Enable()
+	tr.Emit(0, KindAcquire, 1)
+	tr.Emit(0, KindRelease, 5)
+	tr.Emit(1, KindElastic, PackPair(4, 123456))
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTE(t, buf.Bytes())
+	var sawThreadName, sawElastic bool
+	for _, raw := range doc["traceEvents"].([]any) {
+		e := raw.(map[string]any)
+		if e["name"] == "thread_name" {
+			if args := e["args"].(map[string]any); args["name"] == "elastic" {
+				sawThreadName = true
+			}
+		}
+		if e["name"] == "elastic-level" {
+			args := e["args"].(map[string]any)
+			if args["level"].(float64) != 4 || args["throughput"].(float64) != 123456 {
+				t.Fatalf("elastic args = %v", args)
+			}
+			sawElastic = true
+		}
+	}
+	if !sawThreadName || !sawElastic {
+		t.Fatalf("thread_name %v elastic %v", sawThreadName, sawElastic)
+	}
+}
+
+func TestKindsTally(t *testing.T) {
+	events := []Event{
+		{Kind: KindSteal}, {Kind: KindSteal}, {Kind: KindPark},
+	}
+	got := Kinds(events)
+	if got["steal"] != 2 || got["park"] != 1 {
+		t.Fatalf("tally = %v", got)
+	}
+}

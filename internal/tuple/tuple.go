@@ -60,6 +60,11 @@ type Tuple struct {
 	// port. The test suite uses it to verify the global ordering
 	// requirement; operators may read it but must not depend on it.
 	Seq uint64
+	// Stamp is the tuple's source-submission time (UnixNano), written by
+	// the runtime at the source seam when end-to-end latency measurement
+	// is enabled and read back at the sink-drain seam; 0 means unstamped.
+	// Like Port and Seq it belongs to the runtime, not to operators.
+	Stamp int64
 	// Words is the inline scalar payload.
 	Words [PayloadWords]uint64
 	// Ref optionally points at an immutable out-of-line payload (for
