@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check chaos bench bench-contention trace-smoke
+.PHONY: all vet build test race check chaos bench bench-contention bench-chain trace-smoke
 
 all: check
 
@@ -36,7 +36,7 @@ trace-smoke:
 	$(GO) run ./cmd/streamsim -native -w 10 -d 100 -cost 200 -threads 8 \
 		-elastic -adapt 100ms -chaos panic=0.0005 -quarantine 1 \
 		-latency -trace trace-smoke.json -dur 3s
-	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level trace-smoke.json
+	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level,chain,chain-stop trace-smoke.json
 	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./cmd/tracecheck
 	@rm -f trace-smoke.json
 
@@ -49,3 +49,14 @@ bench-contention:
 	$(GO) test -bench BenchmarkFreeListContention -run '^$$' ./internal/sched \
 		| $(GO) run ./cmd/benchjson > contention.json
 	@echo wrote contention.json
+
+# bench-chain sweeps the inline-chain benchmark (chain vs -nochain ×
+# pipeline depth {10, 100, 1000}) and archives the results as JSON.
+# The iteration count is fixed so both modes run the same workload and
+# the chain/nochain ratio is a like-for-like comparison; 20000
+# end-to-end tuples keeps the slowest cell (nochain/depth=1000) under
+# ~20s while giving depth=1000 enough lifetime to escape startup noise.
+bench-chain:
+	$(GO) test -bench BenchmarkPipelineChain -benchtime=20000x -run '^$$' ./internal/sched \
+		| $(GO) run ./cmd/benchjson > BENCH_chain.json
+	@echo wrote BENCH_chain.json

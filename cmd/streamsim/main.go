@@ -54,6 +54,7 @@ func main() {
 		threads  = flag.Int("threads", 2, "native: dynamic thread count")
 		dur      = flag.Duration("dur", 2*time.Second, "native: measurement duration")
 		globalfl = flag.Bool("globalfl", false, "native: use the paper's single global free list instead of the sharded per-thread caches")
+		nochain  = flag.Bool("nochain", false, "native: disable inline chain execution (every flush goes through the queues)")
 
 		chaos      = flag.String("chaos", "", "native: chaos spec, e.g. panic=0.001,slow=0.001:20us,stall=0.001:20us (see internal/fault)")
 		chaosSeed  = flag.Uint64("chaos-seed", 42, "native: chaos injector seed (deterministic per seed)")
@@ -87,7 +88,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("native run on this host: %s, model %s, threads %d, free list %s\n", w, m, *threads, freeList)
+		chaining := "on"
+		if *nochain {
+			chaining = "off"
+		}
+		fmt.Printf("native run on this host: %s, model %s, threads %d, free list %s, chaining %s\n", w, m, *threads, freeList, chaining)
 		if inj != nil {
 			fmt.Printf("chaos armed: %s (seed %d)\n", *chaos, *chaosSeed)
 		}
@@ -97,6 +102,7 @@ func main() {
 		}
 		cfg := fig.NativeConfig{
 			Model: m, Threads: *threads, Duration: *dur, GlobalFreeList: *globalfl,
+			DisableChain: *nochain,
 			Fault: inj, QuarantineAfter: qa,
 			Elastic: *elastic, AdaptPeriod: *adapt, MaxThreads: *maxthreads,
 		}

@@ -23,17 +23,67 @@ import (
 // event is one trace_event record; pointers distinguish absent fields
 // from zero values.
 type event struct {
-	Name *string  `json:"name"`
-	Ph   *string  `json:"ph"`
-	TS   *float64 `json:"ts"`
-	PID  *int     `json:"pid"`
-	TID  *int     `json:"tid"`
-	Dur  *float64 `json:"dur"`
+	Name *string        `json:"name"`
+	Ph   *string        `json:"ph"`
+	TS   *float64       `json:"ts"`
+	PID  *int           `json:"pid"`
+	TID  *int           `json:"tid"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
 }
 
 // knownPhases is the set of trace_event phase codes the exporter emits:
 // complete spans, instants, and metadata.
 var knownPhases = map[string]bool{"X": true, "i": true, "M": true}
+
+// chainStopReasons is the closed set of fall-back reasons the exporter
+// writes on chain-stop instants (trace.ChainStopReason).
+var chainStopReasons = map[string]bool{
+	"depth": true, "budget": true, "lock": true, "occupied": true, "halt": true,
+}
+
+// checkChainArgs validates the argument payload of the inline-chain
+// instants: a chain link must carry its 1-based depth and a
+// non-negative port, a chain-stop must name a known fall-back reason.
+// Any other event name passes through untouched.
+func checkChainArgs(e event) error {
+	num := func(key string, min float64) (float64, error) {
+		v, ok := e.Args[key]
+		if !ok {
+			return 0, fmt.Errorf("missing arg %q", key)
+		}
+		f, ok := v.(float64)
+		if !ok {
+			return 0, fmt.Errorf("arg %q is %T, want number", key, v)
+		}
+		if f < min {
+			return 0, fmt.Errorf("arg %q = %v, want >= %v", key, f, min)
+		}
+		return f, nil
+	}
+	switch *e.Name {
+	case "chain":
+		if _, err := num("depth", 1); err != nil {
+			return err
+		}
+		if _, err := num("port", 0); err != nil {
+			return err
+		}
+	case "chain-stop":
+		v, ok := e.Args["reason"]
+		if !ok {
+			return fmt.Errorf("missing arg %q", "reason")
+		}
+		r, ok := v.(string)
+		if !ok || !chainStopReasons[r] {
+			return fmt.Errorf("arg \"reason\" = %v, want one of depth/budget/lock/occupied/halt", v)
+		}
+		if _, err := num("port", 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 func check(path string, require []string) error {
 	data, err := os.ReadFile(path)
@@ -70,6 +120,9 @@ func check(path string, require []string) error {
 			return fmt.Errorf("%s: event %d (%s) has bad ts", path, i, *e.Name)
 		case *e.Ph == "X" && (e.Dur == nil || *e.Dur < 0):
 			return fmt.Errorf("%s: event %d (%s) is a complete event with bad dur", path, i, *e.Name)
+		}
+		if err := checkChainArgs(e); err != nil {
+			return fmt.Errorf("%s: event %d (%s): %w", path, i, *e.Name, err)
 		}
 		counts[*e.Name]++
 	}

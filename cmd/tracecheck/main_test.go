@@ -48,6 +48,17 @@ func TestCheckMalformed(t *testing.T) {
 		"no pid":      `{"traceEvents":[{"name":"a","ph":"i","ts":1,"tid":0}]}`,
 		"negative ts": `{"traceEvents":[{"name":"a","ph":"i","ts":-1,"pid":1,"tid":0}]}`,
 		"X no dur":    `{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}]}`,
+
+		// Inline-chain instants carry a validated payload: a chain link
+		// needs a 1-based depth, a chain-stop a known fall-back reason.
+		"chain no args":      `{"traceEvents":[{"name":"chain","ph":"i","ts":1,"pid":1,"tid":0}]}`,
+		"chain depth 0":      `{"traceEvents":[{"name":"chain","ph":"i","ts":1,"pid":1,"tid":0,"args":{"depth":0,"port":2}}]}`,
+		"chain no port":      `{"traceEvents":[{"name":"chain","ph":"i","ts":1,"pid":1,"tid":0,"args":{"depth":1}}]}`,
+		"chain bad depth":    `{"traceEvents":[{"name":"chain","ph":"i","ts":1,"pid":1,"tid":0,"args":{"depth":"x","port":2}}]}`,
+		"stop no reason":     `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":2}}]}`,
+		"stop bad reason":    `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":"tired","port":2}}]}`,
+		"stop numeric code":  `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":3,"port":2}}]}`,
+		"stop negative port": `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":"lock","port":-1}}]}`,
 	}
 	for label, body := range cases {
 		p := writeFile(t, "bad.json", body)
@@ -69,13 +80,33 @@ func TestCheckAcceptsExport(t *testing.T) {
 	tr.Emit(1, trace.KindPark, 0)
 	tr.Emit(1, trace.KindUnpark, 0)
 	tr.Emit(1, trace.KindElastic, trace.PackPair(2, 1000))
+	tr.Emit(0, trace.KindChain, trace.PackPair(1, 5))
+	tr.Emit(0, trace.KindChain, trace.PackPair(2, 6))
+	tr.Emit(0, trace.KindChainStop, trace.PackPair(trace.ChainStopOccupied, 6))
 
 	var sb strings.Builder
 	if err := tr.Export(&sb); err != nil {
 		t.Fatal(err)
 	}
 	p := writeFile(t, "export.json", sb.String())
-	if err := check(p, []string{"drain", "steal", "park", "elastic-level"}); err != nil {
+	if err := check(p, []string{"drain", "steal", "park", "elastic-level", "chain", "chain-stop"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckChainArgsValid accepts the exact payloads the exporter
+// writes for every chain-stop reason.
+func TestCheckChainArgsValid(t *testing.T) {
+	p := writeFile(t, "chain.json", `{"traceEvents":[
+		{"name":"chain","ph":"i","ts":1,"pid":1,"tid":0,"args":{"depth":1,"port":0}},
+		{"name":"chain","ph":"i","ts":2,"pid":1,"tid":0,"args":{"depth":8,"port":41}},
+		{"name":"chain-stop","ph":"i","ts":3,"pid":1,"tid":0,"args":{"reason":"depth","port":3}},
+		{"name":"chain-stop","ph":"i","ts":4,"pid":1,"tid":0,"args":{"reason":"budget","port":3}},
+		{"name":"chain-stop","ph":"i","ts":5,"pid":1,"tid":0,"args":{"reason":"lock","port":3}},
+		{"name":"chain-stop","ph":"i","ts":6,"pid":1,"tid":0,"args":{"reason":"occupied","port":3}},
+		{"name":"chain-stop","ph":"i","ts":7,"pid":1,"tid":0,"args":{"reason":"halt","port":3}}
+	]}`)
+	if err := check(p, []string{"chain", "chain-stop"}); err != nil {
 		t.Fatal(err)
 	}
 }

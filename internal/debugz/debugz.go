@@ -160,6 +160,10 @@ func (s Snapshot) WriteText(w io.Writer) {
 	c := st.Contention
 	fmt.Fprintf(w, "free list: push failures %d, pop failures %d, steals %d, steal misses %d, spills %d\n",
 		c.PushFail, c.PopFail, c.Steal, c.StealMiss, c.Spill)
+	if ch := st.Chain; ch != (metrics.ChainSnapshot{}) {
+		fmt.Fprintf(w, "chain: starts %d, links %d, tuples %d, stops depth %d budget %d lock %d occupied %d\n",
+			ch.Starts, ch.Links, ch.Tuples, ch.DepthStops, ch.BudgetStops, ch.LockMisses, ch.Occupied)
+	}
 	f := s.Faults
 	if f != (metrics.FaultsSnapshot{}) {
 		fmt.Fprintf(w, "faults: op panics %d, dead letters %d, quarantines %d, watchdog stalls %d\n",

@@ -136,3 +136,21 @@ func TestTraceEndpointWithoutTracer(t *testing.T) {
 		t.Fatalf("status = %d, want 404", rw.Code)
 	}
 }
+
+func TestWriteTextChainLine(t *testing.T) {
+	// The chain meters render their own panel line when inline chain
+	// execution fired, and stay silent otherwise (dedicated/manual runs
+	// and -nochain ablations never meter a chain).
+	var with strings.Builder
+	s := Snapshot{Model: "dynamic"}
+	s.Sched.Chain = metrics.ChainSnapshot{Starts: 3, Links: 12, Tuples: 384, DepthStops: 2, Occupied: 1}
+	s.WriteText(&with)
+	if !strings.Contains(with.String(), "chain: starts 3, links 12, tuples 384, stops depth 2 budget 0 lock 0 occupied 1") {
+		t.Fatalf("panel missing chain line:\n%s", with.String())
+	}
+	var without strings.Builder
+	Snapshot{Model: "dynamic"}.WriteText(&without)
+	if strings.Contains(without.String(), "chain:") {
+		t.Fatalf("panel shows chain line with zero meters:\n%s", without.String())
+	}
+}

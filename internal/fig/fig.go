@@ -233,6 +233,10 @@ type NativeConfig struct {
 	// global free list instead of the default sharded per-thread caches,
 	// for global-vs-sharded comparisons (EXPERIMENTS.md).
 	GlobalFreeList bool
+	// DisableChain turns off inline chain execution in the dynamic
+	// scheduler (every flush goes through the queues), for chain-on
+	// versus chain-off comparisons (streamsim -nochain, BENCH_chain).
+	DisableChain bool
 	// Fault, if non-nil, arms chaos injection at the runtime's operator
 	// and queue seams for the whole run (streamsim -chaos).
 	Fault *fault.Injector
@@ -324,7 +328,7 @@ func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 		Elastic:         cfg.Elastic,
 		AdaptPeriod:     cfg.AdaptPeriod,
 		MaxThreads:      nativeMaxThreads(cfg),
-		Sched:           sched.Config{GlobalFreeList: cfg.GlobalFreeList},
+		Sched:           sched.Config{GlobalFreeList: cfg.GlobalFreeList, DisableChain: cfg.DisableChain},
 		Fault:           cfg.Fault,
 		QuarantineAfter: cfg.QuarantineAfter,
 		Tracer:          cfg.Tracer,

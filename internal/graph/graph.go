@@ -87,6 +87,17 @@ type InPort struct {
 	// Producers is the number of streams subscribed to this port; the
 	// runtime counts this many final punctuations before closing it.
 	Producers int
+	// Chainable marks the port as a valid target for inline chain
+	// execution (run-to-completion operator chaining in the dynamic
+	// scheduler): the owning operator has exactly one input port, and
+	// every stream feeding this port has this port as its only
+	// subscriber. Single input port means holding this port's consumer
+	// lock serializes all execution of the node, so an inline execution
+	// under that lock has the same exclusivity as a queue drain; single
+	// subscriber keeps a chained producer from racing ahead of sibling
+	// copies of the same stream it has not delivered yet. Precomputed at
+	// build time so the scheduler's hot path pays one slice load.
+	Chainable bool
 }
 
 // Graph is a validated, immutable stream graph.
@@ -211,7 +222,30 @@ func (b *Builder) Build() (*Graph, error) {
 	if len(errs) > 0 {
 		return nil, joinErrors(errs)
 	}
+	g.markChainable()
 	return g, nil
+}
+
+// markChainable precomputes InPort.Chainable: the static half of the
+// scheduler's inline chain analysis (the dynamic half — lock, queue
+// occupancy, budgets — is checked per flush). A port qualifies when its
+// owning operator has a single input port and no stream feeding it fans
+// out to other ports; see the field comment for why both matter.
+func (g *Graph) markChainable() {
+	fanOutFed := make([]bool, len(g.Ports))
+	for _, n := range g.Nodes {
+		for _, dests := range n.Outs {
+			if len(dests) <= 1 {
+				continue
+			}
+			for _, pid := range dests {
+				fanOutFed[pid] = true
+			}
+		}
+	}
+	for _, p := range g.Ports {
+		p.Chainable = p.Node.NumIn == 1 && !fanOutFed[p.ID]
+	}
 }
 
 func joinErrors(errs []error) error {
@@ -326,6 +360,9 @@ func (g *Graph) MaxInPorts() int {
 // Stats summarizes the graph for diagnostics.
 type Stats struct {
 	Nodes, Ports, Streams, Sources, Sinks int
+	// Chainable counts the input ports eligible for inline chain
+	// execution (see InPort.Chainable).
+	Chainable int
 }
 
 // Stats computes summary counts.
@@ -337,6 +374,11 @@ func (g *Graph) Stats() Stats {
 		}
 		if n.NumOut == 0 {
 			s.Sinks++
+		}
+	}
+	for _, p := range g.Ports {
+		if p.Chainable {
+			s.Chainable++
 		}
 	}
 	return s

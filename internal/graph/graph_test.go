@@ -196,3 +196,55 @@ func TestLargePipelineBuild(t *testing.T) {
 		t.Fatalf("got %d nodes, %d ports", len(g.Nodes), len(g.Ports))
 	}
 }
+
+// TestChainable pins the static chain analysis: a port is a chain
+// target iff its operator has exactly one input port and no stream
+// feeding it fans out to sibling subscribers. Fan-in of non-fanned
+// streams stays chainable (the consumer lock still serializes the
+// node); fan-out poisons every subscriber port; multi-input operators
+// are never chainable.
+func TestChainable(t *testing.T) {
+	b := NewBuilder()
+	src := b.AddNode(testSrc{testOp{"src"}}, 0, 2)
+	w1 := b.AddNode(testOp{"w1"}, 1, 1) // plain pipeline hop: chainable
+	fo1 := b.AddNode(testOp{"fo1"}, 1, 1)
+	fo2 := b.AddNode(testOp{"fo2"}, 1, 1)
+	fanin := b.AddNode(testOp{"fanin"}, 1, 1) // two non-fanned streams, one port
+	join := b.AddNode(testOp{"join"}, 2, 0)   // two input ports
+	b.Connect(src, 0, w1, 0)
+	b.Connect(src, 1, fo1, 0) // src out 1 fans out to fo1 and fo2
+	b.Connect(src, 1, fo2, 0)
+	b.Connect(w1, 0, fanin, 0)
+	b.Connect(fo1, 0, fanin, 0)
+	b.Connect(fo2, 0, join, 0)
+	b.Connect(fanin, 0, join, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := map[string]bool{
+		"w1":    true,  // single-in, single-subscriber stream
+		"fanin": true,  // single-in; both feeding streams are single-subscriber
+		"fo1":   false, // fed by a fan-out stream
+		"fo2":   false, // fed by a fan-out stream
+		"join":  false, // two input ports
+	}
+	seen := 0
+	for _, p := range g.Ports {
+		name := p.Node.Op.Name()
+		w, ok := want[name]
+		if !ok {
+			t.Fatalf("unexpected port on %q", name)
+		}
+		if p.Chainable != w {
+			t.Errorf("port of %q chainable = %v, want %v", name, p.Chainable, w)
+		}
+		seen++
+	}
+	if seen != 6 { // join has two ports
+		t.Fatalf("saw %d ports, want 6", seen)
+	}
+	if st := g.Stats(); st.Chainable != 2 {
+		t.Fatalf("Stats.Chainable = %d, want 2", st.Chainable)
+	}
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// unpaddedCounter is the deliberately stride-1 control for the
+// cache-line audit: shards are adjacent words, so up to eight of them
+// share one 64-byte line and parallel writers ping-pong it between
+// cores. It exists only to give BenchmarkCounterShards a before/after;
+// production code always uses Counter's shardStride layout.
+type unpaddedCounter struct {
+	shards []atomic.Uint64
+	mask   uint64
+}
+
+func newUnpaddedCounter(shards int) *unpaddedCounter {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return &unpaddedCounter{shards: make([]atomic.Uint64, n), mask: uint64(n - 1)}
+}
+
+func (c *unpaddedCounter) Add(tid int, n uint64) {
+	c.shards[uint64(tid)&c.mask].Add(n)
+}
+
+func (c *unpaddedCounter) total() uint64 {
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].Load()
+	}
+	return t
+}
+
+// BenchmarkCounterShards verifies the layout rule documented on
+// shardStride: each writer increments only its own shard, so with the
+// padded layout the adds are uncontended and per-op cost stays flat as
+// writers are added, while the unpadded stride-1 control puts several
+// shards on one cache line and slows down with every extra writer
+// (false sharing). The padded variant must not lose to the unpadded one
+// at any width, and the gap must widen with parallelism.
+func BenchmarkCounterShards(b *testing.B) {
+	for _, impl := range []string{"padded", "unpadded"} {
+		for _, writers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/writers=%d", impl, writers), func(b *testing.B) {
+				var add func(tid int, n uint64)
+				var total func() uint64
+				if impl == "padded" {
+					c := NewCounter(writers)
+					add, total = c.Add, c.Total
+				} else {
+					c := newUnpaddedCounter(writers)
+					add, total = c.Add, c.total
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					n := b.N / writers
+					if w < b.N%writers {
+						n++
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						for i := 0; i < n; i++ {
+							add(w, 1)
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if got := total(); got != uint64(b.N) {
+					b.Fatalf("total %d, want %d", got, b.N)
+				}
+			})
+		}
+	}
+}

@@ -12,6 +12,16 @@ import (
 
 // shardStride spaces counter shards so each lives on its own cache line
 // (16 × 8 bytes = 128 bytes, covering Power8-style lines too).
+//
+// Layout rule (the cache-line audit, shared with sched.Thread): any
+// word one thread writes at per-tuple or per-batch rate must sit at
+// least 128 bytes from any word a different thread writes or polls.
+// Shard 0 starts at offset 0 of its own allocation and successive
+// shards are a full stride apart, so no two shards — and no shard and
+// any neighboring heap object's hot field — share a line.
+// BenchmarkCounterShards holds the line: it compares this layout
+// against a deliberately unpadded stride-1 variant under parallel
+// writers.
 const shardStride = 16
 
 // Counter is a monotonically increasing tuple counter sharded across a
@@ -180,6 +190,75 @@ func (f *Faults) Snapshot() FaultsSnapshot {
 		DeadLetters:    f.DeadLetters.Total(),
 		Quarantines:    f.Quarantines.Total(),
 		WatchdogStalls: f.WatchdogStalls.Total(),
+	}
+}
+
+// Chain bundles the scheduler's inline chain-execution meters, one
+// sharded Counter per event kind. Links and Tuples are charged once per
+// chained link (a batch, not a tuple), so even a run that chains every
+// flush pays two uncontended atomic adds per batch; the stop meters are
+// charged only when a chain attempt declines.
+type Chain struct {
+	// Starts counts chain sequences entered from an unchained execution
+	// frame (a root drain). Links/Starts is the mean chain length.
+	Starts *Counter
+	// Links counts inline link executions; each one bypassed a queue
+	// push, a free-list hint cycle, and a cross-thread drain hand-off.
+	Links *Counter
+	// Tuples counts tuples moved through chained links without ever
+	// touching a queue (the bypass volume).
+	Tuples *Counter
+	// DepthStops counts flushes to a chainable port that fell back to
+	// the queue because the link-depth budget was exhausted.
+	DepthStops *Counter
+	// BudgetStops counts chain attempts declined because the per-drain
+	// tuple budget was exhausted.
+	BudgetStops *Counter
+	// LockMisses counts chain attempts that lost the destination's
+	// consumer try-lock to a concurrent drainer.
+	LockMisses *Counter
+	// Occupied counts chain attempts declined because the destination
+	// queue held tuples (chaining ahead of them would break per-stream
+	// FIFO).
+	Occupied *Counter
+}
+
+// NewChain returns a Chain set sized for the given number of executing
+// threads (see NewCounter).
+func NewChain(shards int) *Chain {
+	return &Chain{
+		Starts:      NewCounter(shards),
+		Links:       NewCounter(shards),
+		Tuples:      NewCounter(shards),
+		DepthStops:  NewCounter(shards),
+		BudgetStops: NewCounter(shards),
+		LockMisses:  NewCounter(shards),
+		Occupied:    NewCounter(shards),
+	}
+}
+
+// ChainSnapshot is a point-in-time reading of a Chain set, with the
+// same lower-bound semantics as Counter.Total.
+type ChainSnapshot struct {
+	Starts      uint64 `json:"starts"`
+	Links       uint64 `json:"links"`
+	Tuples      uint64 `json:"tuples"`
+	DepthStops  uint64 `json:"depth_stops"`
+	BudgetStops uint64 `json:"budget_stops"`
+	LockMisses  uint64 `json:"lock_misses"`
+	Occupied    uint64 `json:"occupied"`
+}
+
+// Snapshot sums every meter.
+func (c *Chain) Snapshot() ChainSnapshot {
+	return ChainSnapshot{
+		Starts:      c.Starts.Total(),
+		Links:       c.Links.Total(),
+		Tuples:      c.Tuples.Total(),
+		DepthStops:  c.DepthStops.Total(),
+		BudgetStops: c.BudgetStops.Total(),
+		LockMisses:  c.LockMisses.Total(),
+		Occupied:    c.Occupied.Total(),
 	}
 }
 

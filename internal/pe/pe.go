@@ -433,6 +433,10 @@ type SchedStats struct {
 	// Faults snapshots the fault-containment meters: recovered operator
 	// panics, dead-lettered tuples, quarantines and watchdog reports.
 	Faults metrics.FaultsSnapshot `json:"faults"`
+	// Chain snapshots the inline chain-execution meters: sequences
+	// started, links and tuples that bypassed the queues, and the
+	// fall-back reasons (depth, budget, lock, occupied).
+	Chain metrics.ChainSnapshot `json:"chain"`
 }
 
 // SchedStats returns the dynamic scheduler's slow-path meters (zero
@@ -451,6 +455,7 @@ func (pe *PE) SchedStats() SchedStats {
 		FindFailures: st.FindFailures,
 		Contention:   st.Contention,
 		Faults:       st.Faults,
+		Chain:        st.Chain,
 	}
 }
 

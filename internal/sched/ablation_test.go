@@ -17,10 +17,13 @@ func TestAblationsPreserveCorrectness(t *testing.T) {
 		"free-list-lifo":      {MaxThreads: 4, QueueCap: 8, FreeListLIFO: true},
 		"global-free-list":    {MaxThreads: 4, QueueCap: 8, GlobalFreeList: true},
 		"tiny-shards":         {MaxThreads: 4, QueueCap: 8, ShardCap: 2},
+		"no-chain":            {MaxThreads: 4, QueueCap: 8, DisableChain: true},
+		"chain-depth-1":       {MaxThreads: 4, QueueCap: 8, ChainDepth: 1},
 		"all-reversed": {
 			MaxThreads: 4, QueueCap: 8,
 			RetryOnContention: true, BlockOnFullQueue: true,
 			SharedStopFlags: true, FreeListLIFO: true, GlobalFreeList: true,
+			DisableChain: true,
 		},
 	}
 	for name, cfg := range cases {

@@ -68,6 +68,27 @@ type Config struct {
 	// memory proportional to a huge port set.
 	ShardCap int
 
+	// ChainDepth bounds how many consecutive downstream operators one
+	// thread may execute inline through the chain path before falling
+	// back to the queue: when a coalesced batch flushes to a chainable
+	// port (graph.InPort.Chainable) whose consumer try-lock this thread
+	// wins and whose queue is empty, the thread runs the downstream
+	// operator directly — no push, no free-list hint cycle, no
+	// cross-thread wake. Default 8; negative disables chaining (same as
+	// DisableChain).
+	ChainDepth int
+	// ChainTupleBudget bounds how many tuples one top-level drain batch
+	// may move through inline chain links before the remainder falls
+	// back to the queues, so operators that amplify their input cannot
+	// extend a drain unboundedly and elastic suspension stays prompt.
+	// Default ChainDepth × the batch size (min(QueueCap, 32)) — exactly
+	// enough for a full batch to chain to full depth.
+	ChainTupleBudget int
+	// DisableChain turns the inline chain-execution path off entirely
+	// (the -nochain ablation): every flush goes through the queues as in
+	// the paper's original design.
+	DisableChain bool
+
 	// Fault optionally installs a chaos injector at the scheduler's
 	// seams (operator execution, queue pushes). Nil — the default —
 	// keeps the seams at a nil-pointer check; see internal/fault.
@@ -170,6 +191,20 @@ func (c Config) withDefaults(g *graph.Graph) Config {
 	if c.ShardCap != 0 && (c.ShardCap < 1 || c.ShardCap&(c.ShardCap-1) != 0) {
 		panic(fmt.Sprintf("sched: ShardCap %d is not a positive power of two", c.ShardCap))
 	}
+	if c.ChainDepth == 0 {
+		c.ChainDepth = 8
+	}
+	if c.ChainDepth < 0 || c.DisableChain {
+		c.DisableChain = true
+		c.ChainDepth = 0
+	}
+	if c.ChainTupleBudget == 0 {
+		bc := c.QueueCap
+		if bc > 32 {
+			bc = 32
+		}
+		c.ChainTupleBudget = c.ChainDepth * bc
+	}
 	if c.QuarantineAfter == 0 {
 		c.QuarantineAfter = 3
 	}
@@ -267,6 +302,16 @@ type Scheduler struct {
 	contention  *metrics.Contention // free-list push/pop failures, steals, spills
 	perNode     []atomic.Uint64
 
+	// Inline chain execution (DESIGN.md "Inline chain execution").
+	// chainable caches graph.InPort.Chainable per port ID so the flush
+	// hot path pays one slice load for the static half of the chain
+	// test; chainDepth and chainBudget0 are the resolved budgets (both 0
+	// when chaining is disabled); chains holds the sharded meters.
+	chainable    []bool
+	chainDepth   int
+	chainBudget0 int
+	chains       *metrics.Chain
+
 	// Fault containment. inj is the chaos injector (nil when disabled —
 	// the seams then cost a nil check). faultsSeen flips true on the
 	// first recovered panic and gates the per-span quarantine lookup, so
@@ -337,6 +382,10 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		findFails:          metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
 		contention:         metrics.NewContention(cfg.MaxThreads + cfg.SourceThreads),
 		perNode:            make([]atomic.Uint64, len(g.Nodes)),
+		chainable:          make([]bool, nPorts),
+		chainDepth:         cfg.ChainDepth,
+		chainBudget0:       cfg.ChainTupleBudget,
+		chains:             metrics.NewChain(cfg.MaxThreads + cfg.SourceThreads),
 		inj:                cfg.Fault,
 		tr:                 cfg.Tracer,
 		latency:            cfg.Latency,
@@ -362,6 +411,7 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 	}
 	for _, p := range g.Ports {
 		s.queues[p.ID] = lfq.NewEnforcer[tuple.Tuple](cfg.QueueCap)
+		s.chainable[p.ID] = p.Chainable
 		s.remainingProducers[p.ID].Store(int32(p.Producers))
 		if !s.freePorts.Push(int32(p.ID)) {
 			panic("sched: free list sized too small") // unreachable: listCap > nPorts
@@ -446,6 +496,11 @@ func (s *Scheduler) Contention() metrics.ContentionSnapshot { return s.contentio
 // watchdog stall reports. All zero on a healthy PE.
 func (s *Scheduler) Faults() metrics.FaultsSnapshot { return s.faults.Snapshot() }
 
+// Chains returns a snapshot of the inline chain-execution meters:
+// chain starts, links and tuples moved without a queue hand-off, and
+// the per-reason fallback counts. All zero under DisableChain.
+func (s *Scheduler) Chains() metrics.ChainSnapshot { return s.chains.Snapshot() }
+
 // Stats is a single-pass snapshot of every scheduler meter. Panels and
 // endpoints that present more than one of these values together must
 // read them through Stats rather than through the individual accessors
@@ -465,6 +520,8 @@ type Stats struct {
 	Contention metrics.ContentionSnapshot
 	// Faults snapshots the fault-containment meters.
 	Faults metrics.FaultsSnapshot
+	// Chain snapshots the inline chain-execution meters.
+	Chain metrics.ChainSnapshot
 }
 
 // Stats reads every meter in one pass (see the Stats type's contract).
@@ -476,6 +533,7 @@ func (s *Scheduler) Stats() Stats {
 		FindFailures:  s.findFails.Total(),
 		Contention:    s.contention.Snapshot(),
 		Faults:        s.faults.Snapshot(),
+		Chain:         s.chains.Snapshot(),
 	}
 }
 
@@ -543,6 +601,17 @@ type ctx struct {
 	coal       []tuple.Tuple  // acquired on the 2nd consecutive same-port submit
 	coalBuf    *[]tuple.Tuple // coal's pooled handle, re-pooled by endCoalesce
 
+	// chainLeft is how many more inline chain links this frame's
+	// flushes may open: Config.ChainDepth on a top-level drain frame,
+	// parent-1 on chained frames, 0 on source and reSchedule frames
+	// (which never chain). Checked by deliver before any dynamic chain
+	// test, so disabled chaining costs one integer compare per flush.
+	chainLeft int
+	// one is scratch for delivering the lone pending tuple through the
+	// same batched deliver path the coalesce buffer uses, without
+	// allocating a slice.
+	one [1]tuple.Tuple
+
 	// nextFree chains recycled contexts on their thread's free list
 	// (Thread.ctxCache); meaningful only between releaseCtx and the next
 	// acquireCtx.
@@ -601,18 +670,16 @@ func (c *ctx) buffer(t tuple.Tuple) {
 			return
 		}
 		c.hasPending = false
-		c.s.push(c.pending, c)
+		c.one[0] = c.pending
+		c.deliver(c.pending.Port, c.one[:1])
 	}
 	c.pending = t
 	c.pendPort = t.Port
 	c.hasPending = true
 }
 
-// flushCoalesce pushes the buffered tuples with one batch push. On a
-// partial push (queue full) or a contended producer lock the remainder
-// falls back tuple by tuple through push/reSchedule, in order — exactly
-// the back-pressure path unbuffered submission takes, so blocking
-// semantics are unchanged.
+// flushCoalesce delivers the buffered tuples: an inline chain link when
+// the destination is eligible, one batch push otherwise.
 func (c *ctx) flushCoalesce() {
 	n := c.coalLen
 	if n == 0 {
@@ -622,10 +689,34 @@ func (c *ctx) flushCoalesce() {
 		inj.StallFault() // chaos seam: let the destination queue run full
 	}
 	c.coalLen = 0
-	buf := c.coal[:n]
-	pushed := c.s.queues[c.pendPort].PushN(buf)
-	for i := pushed; i < n; i++ {
-		c.s.push(buf[i], c)
+	c.deliver(c.pendPort, c.coal[:n])
+}
+
+// deliver moves a flushed batch (every tuple destined for port) to its
+// destination: the inline chain path when this frame may still chain
+// and the port qualifies, the queue otherwise. On a partial push (queue
+// full) or a contended producer lock the remainder falls back tuple by
+// tuple through push/reSchedule, in order — exactly the back-pressure
+// path unbuffered submission takes, so blocking semantics are
+// unchanged.
+func (c *ctx) deliver(port int32, batch []tuple.Tuple) {
+	s := c.s
+	if c.chainLeft > 0 {
+		if s.tryChain(c, port, batch) {
+			return
+		}
+	} else if s.chainDepth > 0 && c.thr != nil && s.chainable[port] {
+		// A chainable destination reached with the link budget spent:
+		// meter the depth stop so chain-length tuning has data. Only a
+		// depth-exhausted chained frame can get here — source frames
+		// (thr nil) are excluded above, and reSchedule frames never
+		// reach deliver because they do not coalesce.
+		s.chains.DepthStops.Add(c.tid, 1)
+		s.emitChainStop(c.tid, trace.ChainStopDepth, port)
+	}
+	pushed := s.queues[port].PushN(batch)
+	for i := pushed; i < len(batch); i++ {
+		s.push(batch[i], c)
 	}
 }
 
@@ -636,12 +727,112 @@ func (c *ctx) endCoalesce() {
 	c.flushCoalesce()
 	if c.hasPending {
 		c.hasPending = false
-		c.s.push(c.pending, c)
+		c.one[0] = c.pending
+		c.deliver(c.pending.Port, c.one[:1])
 	}
 	if c.coal != nil {
 		c.s.releaseBatch(c.thr, c.coalBuf)
 		c.coal = nil
 		c.coalBuf = nil
+	}
+}
+
+// tryChain attempts to deliver batch (every tuple destined for port) by
+// executing the port's operator inline on the calling thread — the
+// run-to-completion chain path that bypasses the queue push, the
+// free-list hint cycle, and the cross-thread drain hand-off. It may
+// only run from a coalescing execution frame with chain budget left
+// (deliver checks chainLeft), and it preserves every scheduler
+// invariant the queue path provides:
+//
+//   - Per-stream FIFO: the chain commits only while holding the port's
+//     consumer lock with the queue observed empty. Execution of a
+//     chainable port only ever happens under that lock, so every
+//     earlier tuple of every stream into the port has already been
+//     processed; and any tuple another producer pushes while the chain
+//     holds the lock belongs to a different stream (this frame's node
+//     produced the chained batch, and its stream feeds only this port),
+//     so ordering behind the chained batch violates nothing.
+//   - Punctuation: the batch executes through the same executeSpan as a
+//     queue drain, so window and final marks forward in position; an
+//     unchained punctuation already in the queue blocks chaining via
+//     the empty-queue test, so nothing overtakes it.
+//   - Deadlock freedom: the graph is a DAG and a chain only acquires
+//     consumer locks strictly downstream of the locks it holds, with
+//     try-locks and a queue fallback on every failure — no wait cycle
+//     can form.
+//   - Containment: executeSpan's span recovery runs per chained frame,
+//     so a panic in a chained operator dead-letters its tuple and
+//     strikes that operator without unwinding the upstream frame.
+//   - Elasticity: a suspension or stop request observed at a link
+//     boundary declines the link, so parking latency is bounded by the
+//     links already committed (each at most one batch), and the tuple
+//     budget bounds the total work one root drain can commit to.
+//
+// The port hint is untouched throughout: it keeps circulating in the
+// free structure, so tuples other producers push while the chain holds
+// the consumer lock are found by the normal find path afterwards.
+func (s *Scheduler) tryChain(c *ctx, port int32, batch []tuple.Tuple) bool {
+	if !s.chainable[port] {
+		return false
+	}
+	thr := c.thr
+	if thr == nil {
+		return false
+	}
+	tid := c.tid
+	if len(batch) > thr.chainBudget {
+		s.chains.BudgetStops.Add(tid, 1)
+		s.emitChainStop(tid, trace.ChainStopBudget, port)
+		return false
+	}
+	if c.finished() || c.suspendedNow() {
+		s.emitChainStop(tid, trace.ChainStopHalt, port)
+		return false
+	}
+	q := s.queues[port]
+	if !q.ConsTryLock() {
+		s.chains.LockMisses.Add(tid, 1)
+		s.emitChainStop(tid, trace.ChainStopLock, port)
+		return false
+	}
+	if q.Queue().Len() != 0 {
+		q.ConsUnlock()
+		s.chains.Occupied.Add(tid, 1)
+		s.emitChainStop(tid, trace.ChainStopOccupied, port)
+		return false
+	}
+	// Committed: the lock is held, the queue is empty, the budgets
+	// allow it. Execute the batch as if it had been drained here.
+	thr.chainBudget -= len(batch)
+	depth := s.chainDepth - c.chainLeft + 1
+	if depth == 1 {
+		s.chains.Starts.Add(tid, 1)
+	}
+	s.chains.Links.Add(tid, 1)
+	s.chains.Tuples.Add(tid, uint64(len(batch)))
+	if s.tr.On() {
+		s.tr.Emit(tid, trace.KindChain, trace.PackPair(int32(depth), uint32(port)))
+	}
+	p := s.g.Ports[port]
+	ec := s.acquireCtx(p, tid, thr, true)
+	ec.chainLeft = c.chainLeft - 1
+	s.executeBatch(ec, p, batch)
+	thr.heartbeat.Add(1)
+	// Flush the chained frame's own submissions before releasing the
+	// consumer lock — the same discipline as schedule()'s drain, and
+	// where the next link of the chain opens.
+	ec.endCoalesce()
+	q.ConsUnlock()
+	s.releaseCtx(ec)
+	return true
+}
+
+// emitChainStop records a declined chain attempt in the trace (the
+// sharded stop meters are charged by the callers).
+func (s *Scheduler) emitChainStop(tid int, reason int32, port int32) {
+	if s.tr.On() {
+		s.tr.Emit(tid, trace.KindChainStop, trace.PackPair(reason, uint32(port)))
 	}
 }
 
@@ -736,7 +927,14 @@ func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *c
 	p := s.g.Ports[t.Port]
 	spins := 0
 	for !q.Push(t) && !c.finished() {
-		if q.ConsTryLock() {
+		// A suspension request is honored before the consumer lock is
+		// taken and re-checked before every batch while it is held: a
+		// thread asked to park keeps retrying its push (the tuple must
+		// land) but stops draining, so the lock is released at the next
+		// batch boundary and the port stays promptly drainable by the
+		// threads that remain running.
+		drained := 0
+		if !c.suspendedNow() && q.ConsTryLock() {
 			if bufp == nil {
 				bufp = s.acquireBatch(c.thr)
 				buf = *bufp
@@ -748,9 +946,8 @@ func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *c
 			}
 			// Drain at most ReschedLimit+1 tuples (the pre-batching bound)
 			// in batches, charging locks, indices and counters per batch.
-			processed := 0
-			for processed <= s.cfg.ReschedLimit {
-				want := s.cfg.ReschedLimit + 1 - processed
+			for drained <= s.cfg.ReschedLimit && !c.finished() && !c.suspendedNow() {
+				want := s.cfg.ReschedLimit + 1 - drained
 				if want > len(buf) {
 					want = len(buf)
 				}
@@ -759,17 +956,17 @@ func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *c
 					break
 				}
 				s.executeBatch(ec, p, buf[:n])
-				processed += n
-				if c.finished() || c.suspendedNow() {
-					break
-				}
+				drained += n
 			}
 			q.ConsUnlock()
+		}
+		if drained > 0 {
 			spins = 0
 		} else if spins++; spins > 8 {
-			// Another thread is clearing the queue for us; let it run.
-			// (The product busy-waits here; on a host with fewer cores
-			// than threads that inverts into livelock, so we yield.)
+			// Another thread is clearing the queue for us (or we are
+			// suspended and must not); let it run. (The product
+			// busy-waits here; on a host with fewer cores than threads
+			// that inverts into livelock, so we yield.)
 			runtime.Gosched()
 			spins = 0
 		}
@@ -1256,11 +1453,16 @@ func (s *Scheduler) schedule(thr *Thread) {
 			s.tr.Emit(thr.id, trace.KindAcquire, int64(port))
 		}
 		ec := s.acquireCtx(p, thr.id, thr, true)
+		ec.chainLeft = s.chainDepth
 		// findWork popped the first tuple already; complete its batch.
 		thr.batch[0] = t
 		n := 1 + q.Queue().PopN(thr.batch[1:])
 		drained := 0
 		for {
+			// Each top-level batch gets a fresh chain tuple allowance:
+			// the budget bounds the inline work committed between the
+			// suspension checks below, not per drain.
+			thr.chainBudget = s.chainBudget0
 			s.executeBatch(ec, p, thr.batch[:n])
 			drained += n
 			thr.heartbeat.Add(1)

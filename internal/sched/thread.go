@@ -18,6 +18,18 @@ import (
 // Threads are goroutines here rather than pthreads; a suspended thread
 // parks on a condition variable and consumes no CPU, matching the
 // product's mutex+condvar suspension.
+// Field layout rule (the cache-line audit, shared with the metrics
+// package's shard stride): any word this thread writes at per-batch or
+// per-loop rate must sit at least 128 bytes — two 64-byte lines, which
+// also covers 128-byte-line hosts — from any word a different thread
+// writes. The struct therefore groups fields by writer and hotness with
+// explicit pads between the groups: the control-plane flags (written by
+// the PE/elastic controller, rarely), the owner-hot progress words
+// (written by the scheduling loop every batch), and the cold/owner-only
+// tail. Without the pads the controller's occasional suspended store
+// and the owner's per-batch heartbeat/active stores ping-pong one line
+// between cores; BenchmarkCounterShards demonstrates the same effect on
+// the counter shards.
 type Thread struct {
 	id int
 
@@ -26,6 +38,8 @@ type Thread struct {
 	suspended   atomic.Bool
 	shutdown    atomic.Bool
 	portsClosed atomic.Bool
+
+	_ [128]byte // keep controller-written flags off the owner-hot line
 
 	// active is set while the thread is inside operator code and cleared
 	// while it is looking for work; the elastic controller uses it to
@@ -38,11 +52,14 @@ type Thread struct {
 	parked atomic.Bool
 
 	// heartbeat is the thread's progress epoch: bumped once per executed
-	// batch and once per find-work iteration. The watchdog reads it to
-	// tell "stuck inside one operator call" (active, not parked, epoch
-	// frozen) from "busy" (epoch advancing) without touching any
-	// scheduling state.
+	// batch, once per find-work iteration, and once per inline chain
+	// link. The watchdog reads it to tell "stuck inside one operator
+	// call" (active, not parked, epoch frozen) from "busy" (epoch
+	// advancing) without touching any scheduling state.
 	heartbeat atomic.Uint64
+
+	_ [128]byte // keep owner-hot stores off the cold tail's lines
+
 	// launched/exited bracket the scheduling goroutine's lifetime so the
 	// shutdown deadline path can name exactly which threads failed to
 	// exit.
@@ -84,6 +101,11 @@ type Thread struct {
 	// findTick counts findWorkSharded calls to pace the periodic global
 	// poll; thread-local, no synchronization.
 	findTick int
+	// chainBudget is the inline-chain tuple allowance remaining in the
+	// current top-level drain batch; schedule() refills it from
+	// Config.ChainTupleBudget before each root executeBatch and tryChain
+	// draws it down. Thread-local, no synchronization.
+	chainBudget int
 	// rng is the thread's xorshift state for randomizing steal order;
 	// thread-local, never zero.
 	rng uint32

@@ -137,6 +137,16 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"level": level, "throughput": thput,
 			}))
+		case KindChain:
+			depth, port := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"depth": depth, "port": port,
+			}))
+		case KindChainStop:
+			reason, port := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"reason": ChainStopReason(reason), "port": port,
+			}))
 		case KindSpill, KindResched:
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{"port": e.Arg}))
 		case KindQuarantine:

@@ -63,9 +63,51 @@ const (
 	// KindElastic marks an elasticity level change; arg packs
 	// level<<32|throughput (tuples/s, saturating at 2^32-1).
 	KindElastic
+	// KindChain marks one inline chain link: the executing thread won
+	// the downstream port's consumer lock and ran the operator directly
+	// instead of queueing; arg packs depth<<32|port, where depth is the
+	// 1-based link position in its chain.
+	KindChain
+	// KindChainStop marks a chain attempt that fell back to the queue;
+	// arg packs reason<<32|port (see the ChainStop constants).
+	KindChainStop
 
 	numKinds
 )
+
+// ChainStop reason codes, packed into KindChainStop's arg high word.
+const (
+	// ChainStopDepth: the link-depth budget was exhausted.
+	ChainStopDepth int32 = iota
+	// ChainStopBudget: the per-drain tuple budget was exhausted.
+	ChainStopBudget
+	// ChainStopLock: the destination's consumer try-lock was lost.
+	ChainStopLock
+	// ChainStopOccupied: the destination queue held tuples (FIFO bars
+	// chaining ahead of them).
+	ChainStopOccupied
+	// ChainStopHalt: suspension or shutdown was requested.
+	ChainStopHalt
+)
+
+// ChainStopReason names a ChainStop code for the trace_event export and
+// tracecheck validation.
+func ChainStopReason(code int32) string {
+	switch code {
+	case ChainStopDepth:
+		return "depth"
+	case ChainStopBudget:
+		return "budget"
+	case ChainStopLock:
+		return "lock"
+	case ChainStopOccupied:
+		return "occupied"
+	case ChainStopHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("reason(%d)", code)
+	}
+}
 
 // String implements fmt.Stringer; the names double as trace_event event
 // names, so they are stable.
@@ -89,6 +131,10 @@ func (k Kind) String() string {
 		return "quarantine"
 	case KindElastic:
 		return "elastic-level"
+	case KindChain:
+		return "chain"
+	case KindChainStop:
+		return "chain-stop"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
