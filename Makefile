@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check chaos bench bench-contention bench-chain trace-smoke
+.PHONY: all vet build test race check chaos bench bench-contention bench-chain bench-adaptive trace-smoke
 
 all: check
 
@@ -35,8 +35,8 @@ chaos:
 trace-smoke:
 	$(GO) run ./cmd/streamsim -native -w 10 -d 100 -cost 200 -threads 8 \
 		-elastic -adapt 100ms -chaos panic=0.0005 -quarantine 1 \
-		-latency -trace trace-smoke.json -dur 3s
-	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level,chain,chain-stop trace-smoke.json
+		-latency -fairclaim -trace trace-smoke.json -dur 3s
+	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level,chain,chain-stop,relax-level trace-smoke.json
 	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./cmd/tracecheck
 	@rm -f trace-smoke.json
 
@@ -60,3 +60,19 @@ bench-chain:
 	$(GO) test -bench BenchmarkPipelineChain -benchtime=20000x -run '^$$' ./internal/sched \
 		| $(GO) run ./cmd/benchjson > BENCH_chain.json
 	@echo wrote BENCH_chain.json
+
+# bench-adaptive sweeps the contention-adaptive benchmarks and archives
+# them as JSON: the k-relaxed free-list sweep (static width extremes vs
+# the online-adapted width, × threads) and the port-claim latency sweep
+# (back-off vs fair-ticket under oversubscription). Iteration counts are
+# fixed so every mode runs the same workload: 5e6 hint cycles gives the
+# adaptive controller dozens of 2 ms adaptation ticks to converge, and
+# 2e5 claim cycles is long enough that back-off's run-length-proportional
+# starvation tail overtakes the fair line's fixed wait (the crossover the
+# p99 acceptance is about) while keeping the slowest cell (fair, every
+# acquisition through the ticket line) around ~4 minutes.
+bench-adaptive:
+	( $(GO) test -bench BenchmarkAdaptiveFreeList -benchtime=5000000x -run '^$$' ./internal/sched ; \
+	  $(GO) test -bench BenchmarkPortClaim -benchtime=200000x -timeout 20m -run '^$$' ./internal/sched ) \
+		| $(GO) run ./cmd/benchjson > BENCH_adaptive.json
+	@echo wrote BENCH_adaptive.json

@@ -42,11 +42,13 @@ var chainStopReasons = map[string]bool{
 	"depth": true, "budget": true, "lock": true, "occupied": true, "halt": true,
 }
 
-// checkChainArgs validates the argument payload of the inline-chain
-// instants: a chain link must carry its 1-based depth and a
-// non-negative port, a chain-stop must name a known fall-back reason.
-// Any other event name passes through untouched.
-func checkChainArgs(e event) error {
+// checkArgs validates the argument payload of the instants with a
+// typed schema: a chain link must carry its 1-based depth and a
+// non-negative port, a chain-stop must name a known fall-back reason,
+// a steal must carry victim/port and a distance class in [0, 2], a
+// relax-level must carry a width of at least 1, and a fair-claim a
+// non-negative wait. Any other event name passes through untouched.
+func checkArgs(e event) error {
 	num := func(key string, min float64) (float64, error) {
 		v, ok := e.Args[key]
 		if !ok {
@@ -79,6 +81,34 @@ func checkChainArgs(e event) error {
 			return fmt.Errorf("arg \"reason\" = %v, want one of depth/budget/lock/occupied/halt", v)
 		}
 		if _, err := num("port", 0); err != nil {
+			return err
+		}
+	case "steal":
+		if _, err := num("victim", 0); err != nil {
+			return err
+		}
+		if _, err := num("port", 0); err != nil {
+			return err
+		}
+		d, err := num("dist", 0)
+		if err != nil {
+			return err
+		}
+		if d > 2 {
+			return fmt.Errorf("arg \"dist\" = %v, want a distance class in [0, 2]", d)
+		}
+	case "relax-level":
+		if _, err := num("width", 1); err != nil {
+			return err
+		}
+		if _, err := num("rate", 0); err != nil {
+			return err
+		}
+	case "fair-claim":
+		if _, err := num("port", 0); err != nil {
+			return err
+		}
+		if _, err := num("wait_ns", 0); err != nil {
 			return err
 		}
 	}
@@ -121,7 +151,7 @@ func check(path string, require []string) error {
 		case *e.Ph == "X" && (e.Dur == nil || *e.Dur < 0):
 			return fmt.Errorf("%s: event %d (%s) is a complete event with bad dur", path, i, *e.Name)
 		}
-		if err := checkChainArgs(e); err != nil {
+		if err := checkArgs(e); err != nil {
 			return fmt.Errorf("%s: event %d (%s): %w", path, i, *e.Name, err)
 		}
 		counts[*e.Name]++

@@ -22,16 +22,18 @@ func TestCheckValid(t *testing.T) {
 	p := writeFile(t, "ok.json", `{"traceEvents":[
 		{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"x"}},
 		{"name":"drain","ph":"X","ts":1.5,"dur":2.0,"pid":1,"tid":0},
-		{"name":"steal","ph":"i","ts":3.0,"pid":1,"tid":1,"s":"t"}
+		{"name":"steal","ph":"i","ts":3.0,"pid":1,"tid":1,"s":"t","args":{"victim":0,"port":4,"dist":1}},
+		{"name":"relax-level","ph":"i","ts":4.0,"pid":1,"tid":1,"s":"t","args":{"width":2,"rate":80}},
+		{"name":"fair-claim","ph":"i","ts":5.0,"pid":1,"tid":1,"s":"t","args":{"port":4,"wait_ns":1200}}
 	]}`)
-	if err := check(p, []string{"steal", "drain"}); err != nil {
+	if err := check(p, []string{"steal", "drain", "relax-level", "fair-claim"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCheckRequireMissing(t *testing.T) {
 	p := writeFile(t, "m.json", `{"traceEvents":[
-		{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0}
+		{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0,"args":{"victim":1,"port":2,"dist":0}}
 	]}`)
 	err := check(p, []string{"steal", "park"})
 	if err == nil || !strings.Contains(err.Error(), "park") {
@@ -59,6 +61,17 @@ func TestCheckMalformed(t *testing.T) {
 		"stop bad reason":    `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":"tired","port":2}}]}`,
 		"stop numeric code":  `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":3,"port":2}}]}`,
 		"stop negative port": `{"traceEvents":[{"name":"chain-stop","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":"lock","port":-1}}]}`,
+
+		// The contention-adaptive instants carry typed payloads too: a
+		// steal names its victim, port and a distance class in [0, 2], a
+		// relax-level a width of at least 1, a fair-claim its wait.
+		"steal no args":   `{"traceEvents":[{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0}]}`,
+		"steal bad dist":  `{"traceEvents":[{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0,"args":{"victim":1,"port":2,"dist":7}}]}`,
+		"steal no victim": `{"traceEvents":[{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":2,"dist":1}}]}`,
+		"relax width 0":   `{"traceEvents":[{"name":"relax-level","ph":"i","ts":1,"pid":1,"tid":0,"args":{"width":0,"rate":5}}]}`,
+		"relax no rate":   `{"traceEvents":[{"name":"relax-level","ph":"i","ts":1,"pid":1,"tid":0,"args":{"width":2}}]}`,
+		"claim no wait":   `{"traceEvents":[{"name":"fair-claim","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":2}}]}`,
+		"claim bad wait":  `{"traceEvents":[{"name":"fair-claim","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":2,"wait_ns":-1}}]}`,
 	}
 	for label, body := range cases {
 		p := writeFile(t, "bad.json", body)
@@ -83,13 +96,16 @@ func TestCheckAcceptsExport(t *testing.T) {
 	tr.Emit(0, trace.KindChain, trace.PackPair(1, 5))
 	tr.Emit(0, trace.KindChain, trace.PackPair(2, 6))
 	tr.Emit(0, trace.KindChainStop, trace.PackPair(trace.ChainStopOccupied, 6))
+	tr.Emit(0, trace.KindSteal, trace.PackPair(1, 2<<24|9))
+	tr.Emit(0, trace.KindRelax, trace.PackPair(2, 120))
+	tr.Emit(0, trace.KindFairClaim, trace.PackPair(9, 4500))
 
 	var sb strings.Builder
 	if err := tr.Export(&sb); err != nil {
 		t.Fatal(err)
 	}
 	p := writeFile(t, "export.json", sb.String())
-	if err := check(p, []string{"drain", "steal", "park", "elastic-level", "chain", "chain-stop"}); err != nil {
+	if err := check(p, []string{"drain", "steal", "park", "elastic-level", "chain", "chain-stop", "relax-level", "fair-claim"}); err != nil {
 		t.Fatal(err)
 	}
 }

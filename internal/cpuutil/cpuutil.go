@@ -7,10 +7,11 @@
 package cpuutil
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"math"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -54,62 +55,125 @@ func (g *Gate) Acceptable() bool {
 
 // ProcStatUsage returns a UsageFunc that computes total CPU usage from
 // consecutive /proc/stat aggregate lines. The first call has no baseline
-// and reports 0.
+// and reports 0. The reader keeps its file handle and read buffer
+// between samples, so the per-sample adaptation tick allocates nothing.
 func ProcStatUsage() UsageFunc {
-	var mu sync.Mutex
-	var prevBusy, prevTotal uint64
-	return func() (float64, error) {
-		busy, total, err := readProcStat("/proc/stat")
-		if err != nil {
-			return 0, err
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		db, dt := busy-prevBusy, total-prevTotal
-		first := prevTotal == 0
-		prevBusy, prevTotal = busy, total
-		if first || dt == 0 {
-			return 0, nil
-		}
-		return float64(db) / float64(dt), nil
-	}
+	r := &procStatReader{path: "/proc/stat"}
+	return r.usage
 }
 
-// readProcStat parses the aggregate "cpu " line of a /proc/stat-format
-// file into busy and total jiffy counts.
-func readProcStat(path string) (busy, total uint64, err error) {
-	data, err := os.ReadFile(path)
+// procStatReader samples a /proc/stat-format file without per-sample
+// allocation: the file stays open (procfs reads re-snapshot on seek)
+// and the read buffer is reused, growing once if the first sample
+// overflows it.
+type procStatReader struct {
+	mu                  sync.Mutex
+	path                string
+	f                   *os.File
+	buf                 []byte
+	prevBusy, prevTotal uint64
+}
+
+func (r *procStatReader) usage() (float64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	busy, total, err := r.sample()
 	if err != nil {
+		return 0, err
+	}
+	db, dt := busy-r.prevBusy, total-r.prevTotal
+	first := r.prevTotal == 0
+	r.prevBusy, r.prevTotal = busy, total
+	if first || dt == 0 {
+		return 0, nil
+	}
+	return float64(db) / float64(dt), nil
+}
+
+func (r *procStatReader) sample() (busy, total uint64, err error) {
+	if r.f == nil {
+		if r.f, err = os.Open(r.path); err != nil {
+			return 0, 0, err
+		}
+	}
+	if _, err = r.f.Seek(0, io.SeekStart); err != nil {
+		// A handle that no longer seeks (e.g. the file was replaced
+		// under us in a test) is reopened on the next sample.
+		r.f.Close()
+		r.f = nil
 		return 0, 0, err
 	}
-	return ParseStatLine(string(data))
+	if r.buf == nil {
+		r.buf = make([]byte, 8192)
+	}
+	n := 0
+	for {
+		m, rerr := r.f.Read(r.buf[n:])
+		n += m
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if n == len(r.buf) {
+			r.buf = append(r.buf, make([]byte, len(r.buf))...)
+		}
+	}
+	return parseStat(r.buf[:n])
 }
 
 // ParseStatLine extracts busy and total jiffies from the first "cpu "
 // line of /proc/stat content. Busy excludes idle and iowait.
 func ParseStatLine(content string) (busy, total uint64, err error) {
-	for _, line := range strings.Split(content, "\n") {
-		if !strings.HasPrefix(line, "cpu ") {
+	return parseStat([]byte(content))
+}
+
+// parseStat is the allocation-free core of ParseStatLine, scanning the
+// buffer in place instead of splitting it into per-field strings.
+func parseStat(b []byte) (busy, total uint64, err error) {
+	for len(b) > 0 {
+		line := b
+		if i := bytes.IndexByte(b, '\n'); i >= 0 {
+			line, b = b[:i], b[i+1:]
+		} else {
+			b = nil
+		}
+		if len(line) < 4 || line[0] != 'c' || line[1] != 'p' || line[2] != 'u' || line[3] != ' ' {
 			continue
 		}
-		fields := strings.Fields(line)[1:]
-		if len(fields) < 4 {
-			return 0, 0, fmt.Errorf("cpuutil: malformed cpu line %q", line)
-		}
-		vals := make([]uint64, len(fields))
-		for i, f := range fields {
-			v, perr := strconv.ParseUint(f, 10, 64)
-			if perr != nil {
-				return 0, 0, fmt.Errorf("cpuutil: bad field %q in %q", f, line)
+		rest := line[4:]
+		nfields := 0
+		for {
+			for len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t' || rest[0] == '\r') {
+				rest = rest[1:]
 			}
-			vals[i] = v
-		}
-		for i, v := range vals {
+			if len(rest) == 0 {
+				break
+			}
+			var v uint64
+			j := 0
+			for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+				d := uint64(rest[j] - '0')
+				if v > (math.MaxUint64-d)/10 {
+					return 0, 0, fmt.Errorf("cpuutil: jiffy count overflows in %q", line)
+				}
+				v = v*10 + d
+				j++
+			}
+			if j == 0 || (j < len(rest) && rest[j] != ' ' && rest[j] != '\t' && rest[j] != '\r') {
+				return 0, 0, fmt.Errorf("cpuutil: bad field in %q", line)
+			}
+			rest = rest[j:]
 			total += v
 			// Fields: user nice system idle iowait irq softirq steal ...
-			if i != 3 && i != 4 {
+			if nfields != 3 && nfields != 4 {
 				busy += v
 			}
+			nfields++
+		}
+		if nfields < 4 {
+			return 0, 0, fmt.Errorf("cpuutil: malformed cpu line %q", line)
 		}
 		return busy, total, nil
 	}

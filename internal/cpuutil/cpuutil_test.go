@@ -25,11 +25,30 @@ func TestParseStatLineErrors(t *testing.T) {
 		"cpu0 1 2 3 4\n",       // no aggregate line
 		"cpu  1 2\n",           // too few fields
 		"cpu  1 2 three 4 5\n", // non-numeric
+		// Truncated and garbage shapes a partial or corrupt read can
+		// produce:
+		"cpu  1 2 3",                          // truncated before the 4th field
+		"cpu ",                                // truncated right after the prefix
+		"cpu  1 2 3 4x 5\n",                   // garbage fused to a number
+		"cpu  18446744073709551616 1 2 3 4\n", // overflows uint64
+		"cpu  1 2 3 4 \x00\n",                 // binary garbage field
 	}
 	for _, c := range cases {
 		if _, _, err := ParseStatLine(c); err == nil {
 			t.Errorf("ParseStatLine(%q) succeeded, want error", c)
 		}
+	}
+}
+
+func TestParseStatLineTruncatedTail(t *testing.T) {
+	// A read cut mid-file must still parse if the aggregate line itself
+	// survived intact (no trailing newline).
+	busy, total, err := ParseStatLine("cpu  100 0 50 800 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy != 150 || total != 1000 {
+		t.Fatalf("busy/total = %d/%d, want 150/1000", busy, total)
 	}
 }
 
@@ -62,6 +81,23 @@ func TestGateDefaults(t *testing.T) {
 	_ = g.Acceptable()
 	if g.threshold != DefaultThreshold {
 		t.Fatalf("threshold = %g, want %g", g.threshold, DefaultThreshold)
+	}
+}
+
+func TestProcStatUsageNoAllocs(t *testing.T) {
+	u := ProcStatUsage()
+	if _, err := u(); err != nil {
+		t.Skipf("no /proc/stat on this platform: %v", err)
+	}
+	// After the first sample opens the file and sizes the buffer, the
+	// steady-state tick must not allocate.
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := u(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ProcStatUsage allocates %.1f objects per sample, want 0", allocs)
 	}
 }
 

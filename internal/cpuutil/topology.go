@@ -1,0 +1,215 @@
+package cpuutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CPU topology for the scheduler's steal-victim ordering: stealing a
+// port hint from an SMT sibling moves it within one physical core,
+// stealing from an LLC peer moves it within one cache domain, and
+// stealing from a remote CPU pays a cross-domain transfer. The
+// scheduler orders its steal sweep nearest-first using Distance, so the
+// common steal stays cheap and remote traffic is the last resort.
+
+// Steal-distance classes, nearest first.
+const (
+	// DistSMT: same physical core (SMT siblings, or two threads
+	// timesharing one CPU slot).
+	DistSMT = 0
+	// DistLLC: different core, same last-level cache domain.
+	DistLLC = 1
+	// DistRemote: different cache domain.
+	DistRemote = 2
+)
+
+// Topology maps CPUs to physical cores and last-level cache domains.
+// The zero value is not useful; build one with DetectTopology,
+// FlatTopology, or NewTopology.
+type Topology struct {
+	core []int // physical-core group per CPU
+	llc  []int // last-level-cache group per CPU
+}
+
+// NewTopology builds a topology from explicit per-CPU core and LLC
+// group IDs (the simulator-injectable constructor). Both slices must
+// have the same nonzero length.
+func NewTopology(core, llc []int) (*Topology, error) {
+	if len(core) == 0 || len(core) != len(llc) {
+		return nil, fmt.Errorf("cpuutil: core/llc group lists must be equal-length and nonempty (%d, %d)", len(core), len(llc))
+	}
+	return &Topology{core: append([]int(nil), core...), llc: append([]int(nil), llc...)}, nil
+}
+
+// FlatTopology is the no-information fallback: n CPUs, each its own
+// core and cache domain, so every distinct pair is DistRemote and the
+// steal order degenerates to the old flat randomized sweep.
+func FlatTopology(n int) *Topology {
+	if n < 1 {
+		n = 1
+	}
+	t := &Topology{core: make([]int, n), llc: make([]int, n)}
+	for i := range t.core {
+		t.core[i] = i
+		t.llc[i] = i
+	}
+	return t
+}
+
+// NumCPU returns the number of CPUs the topology describes.
+func (t *Topology) NumCPU() int { return len(t.core) }
+
+// Distance classifies the cost of moving a cache line between two
+// thread slots, which map onto CPUs round-robin (slot mod NumCPU).
+func (t *Topology) Distance(a, b int) int {
+	ca, cb := a%len(t.core), b%len(t.core)
+	if ca < 0 || cb < 0 { // defensive: negative slots never occur
+		return DistRemote
+	}
+	switch {
+	case t.core[ca] == t.core[cb]:
+		return DistSMT
+	case t.llc[ca] == t.llc[cb]:
+		return DistLLC
+	default:
+		return DistRemote
+	}
+}
+
+// VictimOrder returns every other slot in 0..nThreads-1 sorted
+// nearest-first from slot i, with the matching distance class for each
+// entry. Ties keep slot order; the scheduler randomizes its start
+// offset within each equal-distance run to avoid steal convoys.
+func (t *Topology) VictimOrder(i, nThreads int) (order []int32, dist []uint8) {
+	order = make([]int32, 0, nThreads-1)
+	dist = make([]uint8, 0, nThreads-1)
+	for j := 0; j < nThreads; j++ {
+		if j != i {
+			order = append(order, int32(j))
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return t.Distance(i, int(order[a])) < t.Distance(i, int(order[b]))
+	})
+	for _, v := range order {
+		dist = append(dist, uint8(t.Distance(i, int(v))))
+	}
+	return order, dist
+}
+
+// DetectTopology reads the host's CPU topology from sysfs. Any failure
+// falls back to FlatTopology(runtime.NumCPU()): a scheduler that cannot
+// see the cache hierarchy behaves like the pre-topology code rather
+// than refusing to run.
+func DetectTopology() *Topology {
+	t, err := DetectTopologyFS("/sys/devices/system/cpu", runtime.NumCPU())
+	if err != nil {
+		return FlatTopology(runtime.NumCPU())
+	}
+	return t
+}
+
+// DetectTopologyFS reads n CPUs' topology from a sysfs-format tree
+// rooted at dir (exposed for tests, which point it at a fixture).
+// Core groups come from topology/{physical_package_id,core_id}; LLC
+// groups from cache/index3/shared_cpu_list, falling back to the package
+// ID when the cache directory is absent.
+func DetectTopologyFS(dir string, n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cpuutil: no CPUs to detect")
+	}
+	t := &Topology{core: make([]int, n), llc: make([]int, n)}
+	coreIDs := map[[2]int]int{}
+	llcIDs := map[int]int{}
+	for c := 0; c < n; c++ {
+		base := fmt.Sprintf("%s/cpu%d", dir, c)
+		pkg, err := readSysInt(base + "/topology/physical_package_id")
+		if err != nil {
+			return nil, err
+		}
+		core, err := readSysInt(base + "/topology/core_id")
+		if err != nil {
+			return nil, err
+		}
+		key := [2]int{pkg, core}
+		id, ok := coreIDs[key]
+		if !ok {
+			id = len(coreIDs)
+			coreIDs[key] = id
+		}
+		t.core[c] = id
+
+		// LLC: the lowest CPU in the shared set names the group, so
+		// every member resolves to the same ID without a second pass.
+		if cpus, err := readCPUList(base + "/cache/index3/shared_cpu_list"); err == nil && len(cpus) > 0 {
+			lo := cpus[0]
+			id, ok := llcIDs[lo]
+			if !ok {
+				id = len(llcIDs)
+				llcIDs[lo] = id
+			}
+			t.llc[c] = id
+		} else {
+			t.llc[c] = pkg
+		}
+	}
+	return t, nil
+}
+
+func readSysInt(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return 0, fmt.Errorf("cpuutil: %s: %w", path, err)
+	}
+	return v, nil
+}
+
+func readCPUList(path string) ([]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseCPUList(strings.TrimSpace(string(data)))
+}
+
+// parseCPUList parses the sysfs CPU-list format: comma-separated CPU
+// numbers or inclusive ranges, e.g. "0-3,8,10-11". The result is
+// sorted ascending.
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, found := part, part, false
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, hi, found = part[:i], part[i+1:], true
+		}
+		l, err := strconv.Atoi(lo)
+		if err != nil {
+			return nil, fmt.Errorf("cpuutil: bad cpu list %q: %w", s, err)
+		}
+		h := l
+		if found {
+			if h, err = strconv.Atoi(hi); err != nil {
+				return nil, fmt.Errorf("cpuutil: bad cpu list %q: %w", s, err)
+			}
+		}
+		if h < l || h-l > 1<<20 {
+			return nil, fmt.Errorf("cpuutil: bad cpu range %q", part)
+		}
+		for c := l; c <= h; c++ {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package cpuutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSysfsCPU lays out one cpuN directory in the sysfs fixture tree.
+func writeSysfsCPU(t *testing.T, dir string, cpu, pkg, core int, llcList string) {
+	t.Helper()
+	base := filepath.Join(dir, fmt.Sprintf("cpu%d", cpu))
+	for p, v := range map[string]string{
+		"topology/physical_package_id": fmt.Sprintf("%d\n", pkg),
+		"topology/core_id":             fmt.Sprintf("%d\n", core),
+		"cache/index3/shared_cpu_list": llcList + "\n",
+	} {
+		full := filepath.Join(base, p)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(v), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDetectTopologyFS builds a 2-package, 2-cores-per-package,
+// SMT-2 fixture (cpu layout: siblings (0,4),(1,5) on package 0 sharing
+// one LLC; (2,6),(3,7) on package 1 sharing the other) and checks the
+// three distance classes come out right.
+func TestDetectTopologyFS(t *testing.T) {
+	dir := t.TempDir()
+	for cpu := 0; cpu < 8; cpu++ {
+		pkg := (cpu % 4) / 2
+		core := cpu % 4
+		llc := "0-1,4-5"
+		if pkg == 1 {
+			llc = "2-3,6-7"
+		}
+		writeSysfsCPU(t, dir, cpu, pkg, core, llc)
+	}
+	topo, err := DetectTopologyFS(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCPU() != 8 {
+		t.Fatalf("NumCPU = %d, want 8", topo.NumCPU())
+	}
+	cases := []struct{ a, b, want int }{
+		{0, 4, DistSMT},    // SMT siblings
+		{0, 0, DistSMT},    // same slot
+		{0, 1, DistLLC},    // same package/LLC, different core
+		{0, 5, DistLLC},    // sibling of an LLC peer
+		{0, 2, DistRemote}, // across packages
+		{1, 7, DistRemote},
+		{8, 0, DistSMT}, // thread slots wrap onto CPUs mod NumCPU
+	}
+	for _, c := range cases {
+		if got := topo.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDetectTopologyFSFallsBackWithoutCache(t *testing.T) {
+	dir := t.TempDir()
+	for cpu := 0; cpu < 4; cpu++ {
+		writeSysfsCPU(t, dir, cpu, cpu/2, cpu, "")
+		// Remove the cache directory so the package-ID fallback runs.
+		if err := os.RemoveAll(filepath.Join(dir, fmt.Sprintf("cpu%d/cache", cpu))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := DetectTopologyFS(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topo.Distance(0, 1); got != DistLLC {
+		t.Errorf("same-package distance without cache info = %d, want %d", got, DistLLC)
+	}
+	if got := topo.Distance(0, 2); got != DistRemote {
+		t.Errorf("cross-package distance = %d, want %d", got, DistRemote)
+	}
+}
+
+func TestDetectTopologyFSErrors(t *testing.T) {
+	if _, err := DetectTopologyFS(t.TempDir(), 2); err == nil {
+		t.Error("missing sysfs tree should error (caller falls back to flat)")
+	}
+	if _, err := DetectTopologyFS(t.TempDir(), 0); err == nil {
+		t.Error("zero CPUs should error")
+	}
+}
+
+func TestFlatTopology(t *testing.T) {
+	topo := FlatTopology(4)
+	if got := topo.Distance(1, 1); got != DistSMT {
+		t.Errorf("self distance = %d, want %d", got, DistSMT)
+	}
+	for _, b := range []int{0, 2, 3} {
+		if got := topo.Distance(1, b); got != DistRemote {
+			t.Errorf("flat Distance(1,%d) = %d, want %d", b, got, DistRemote)
+		}
+	}
+}
+
+func TestVictimOrder(t *testing.T) {
+	// 4 CPUs: SMT pairs (0,2) and (1,3), all one LLC.
+	topo, err := NewTopology([]int{0, 1, 0, 1}, []int{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, dist := topo.VictimOrder(0, 4)
+	if len(order) != 3 || len(dist) != 3 {
+		t.Fatalf("order/dist lengths = %d/%d, want 3/3", len(order), len(dist))
+	}
+	if order[0] != 2 || dist[0] != DistSMT {
+		t.Errorf("nearest victim = %d (dist %d), want 2 (dist %d)", order[0], dist[0], DistSMT)
+	}
+	for i := 1; i < 3; i++ {
+		if dist[i] != DistLLC {
+			t.Errorf("victim %d distance = %d, want %d", order[i], dist[i], DistLLC)
+		}
+	}
+	// Distances must be nondecreasing for every slot — the scheduler's
+	// sweep relies on equal-distance runs being contiguous.
+	for slot := 0; slot < 6; slot++ {
+		_, d := topo.VictimOrder(slot, 6)
+		for i := 1; i < len(d); i++ {
+			if d[i] < d[i-1] {
+				t.Fatalf("slot %d: victim distances not sorted: %v", slot, d)
+			}
+		}
+	}
+}
+
+func TestParseCPUList(t *testing.T) {
+	got, err := parseCPUList("0-2,5,7-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 5, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("parseCPUList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseCPUList = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"x", "3-1", "1-", "-2", "1,,2"} {
+		if _, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDetectTopologyNeverNil(t *testing.T) {
+	topo := DetectTopology()
+	if topo == nil || topo.NumCPU() < 1 {
+		t.Fatal("DetectTopology must always return a usable topology")
+	}
+}

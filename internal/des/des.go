@@ -105,6 +105,24 @@ type Config struct {
 	// CostOf returns the per-tuple work units of a node; nil charges
 	// zero work (forwarding only).
 	CostOf func(n *graph.Node) int
+
+	// The contention-adaptive extensions (adaptive.go).
+
+	// Sharded replaces the single global free list with per-thread
+	// shard LIFOs plus lateral-hint inbox FIFOs, stolen nearest-first —
+	// the policy model of the native sharded free list.
+	Sharded bool
+	// Relax is the free-list relaxation width k: a released hint may
+	// land in the releaser's own shard (rank 0) or the inbox of one of
+	// its k-1 nearest victims. 0 and 1 mean tight; > 1 implies Sharded.
+	Relax int
+	// LLCGroups assigns each scheduler thread an LLC group for the
+	// nearest-first victim order (same group first). Nil means flat:
+	// every victim equally remote, ordered by thread ID.
+	LLCGroups []int
+	// ClaimPolicy selects how a push resolves producer-lock contention;
+	// the zero value keeps the legacy atomic-claim model.
+	ClaimPolicy ClaimPolicy
 }
 
 // Result summarizes a run.
@@ -129,6 +147,19 @@ type Result struct {
 	// PortStarved is the number of ports that never executed a tuple
 	// despite receiving one.
 	PortStarved int
+	// Lateral counts released hints that landed in a victim's inbox
+	// instead of the releaser's own shard (Relax > 1 only).
+	Lateral uint64
+	// MaxRelaxRank is the largest rank a released hint ever landed at
+	// (0 = own shard); the relaxation-bound check asserts it stays
+	// below the configured width.
+	MaxRelaxRank int
+	// ClaimWaits counts pushes that found the producer lock held and
+	// had to wait for it (ClaimBackoff and ClaimFair only).
+	ClaimWaits uint64
+	// MaxClaimWaitNs is the longest such wait in simulated nanoseconds
+	// — the starvation-freedom comparison between claim policies.
+	MaxClaimWaitNs float64
 }
 
 // ----- simulated data structures -----
@@ -146,6 +177,10 @@ type simQueue struct {
 	capacity   int
 	prodLocked bool
 	consLocked bool
+	// waiters is the fair-claim ticket line (ClaimFair): threads that
+	// found prodLocked held, in arrival order. Releasing the lock hands
+	// it directly to the head waiter.
+	waiters []int
 }
 
 func (q *simQueue) push(t simTuple) bool {
@@ -201,7 +236,11 @@ type frame struct {
 	port      int
 	processed int
 	limit     int
-	// push: destination port for the pending tuple.
+	// push (non-atomic claim policies): whether this frame holds the
+	// destination's producer lock, and when it started waiting for it
+	// (0: not waiting).
+	locked     bool
+	claimStart float64
 }
 
 type frameKind int
@@ -235,6 +274,12 @@ type Sim struct {
 	queues   []*simQueue
 	freeList []int // FIFO of port IDs
 	onList   []bool
+	// Sharded free-list model (adaptive.go): per-scheduler-thread shard
+	// LIFOs and lateral-hint inbox FIFOs, plus each thread's precomputed
+	// nearest-first victim order. Nil unless cfg.Sharded.
+	shards  [][]int
+	inboxes [][]int
+	victims [][]int
 
 	threads []*thread
 	// Elastic support (see elastic.go): suspension flags per scheduler
@@ -284,6 +329,18 @@ func New(g *graph.Graph, cfg Config) (*Sim, error) {
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
+	if cfg.Relax > 1 {
+		cfg.Sharded = true
+	}
+	if cfg.Relax < 1 {
+		cfg.Relax = 1
+	}
+	if cfg.Relax > cfg.Threads {
+		cfg.Relax = cfg.Threads
+	}
+	if cfg.LLCGroups != nil && len(cfg.LLCGroups) != cfg.Threads {
+		return nil, fmt.Errorf("des: LLCGroups has %d entries for %d threads", len(cfg.LLCGroups), cfg.Threads)
+	}
 	s := &Sim{
 		g:              g,
 		cfg:            cfg,
@@ -313,6 +370,9 @@ func New(g *graph.Graph, cfg Config) (*Sim, error) {
 	for range g.SourceNodes {
 		t := &thread{id: len(s.threads), rng: uint64(len(s.threads))*2654435761 + 1}
 		s.threads = append(s.threads, t)
+	}
+	if cfg.Sharded {
+		s.initSharded()
 	}
 	return s, nil
 }
@@ -471,7 +531,7 @@ func (s *Sim) stepFindWork(tid int, t *thread) {
 		}
 		q.consLocked = false
 	}
-	s.pushFree(port)
+	s.pushFree(tid, port)
 	if t.walking && port == t.first {
 		t.walking = false
 		s.res.FindFailures++
@@ -536,6 +596,10 @@ func (s *Sim) stepFrame(tid int, t *thread) {
 		s.schedule(tid, 0)
 
 	case fPush:
+		if s.cfg.ClaimPolicy != ClaimAtomic {
+			s.stepPushClaim(tid, t, f)
+			return
+		}
 		q := s.queues[f.tuple.port]
 		dur := c.LockNs
 		if !q.prodLocked {
@@ -567,7 +631,7 @@ func (s *Sim) stepFrame(tid int, t *thread) {
 			if s.cfg.DrainLimit > 0 && f.limit == s.cfg.DrainLimit {
 				// A bounded schedule()-drain stopped early: the port
 				// still has work, so return it to the list.
-				s.pushFree(f.port)
+				s.pushFree(tid, f.port)
 			}
 			s.schedule(tid, s.charge(t, c.LockNs))
 			return
@@ -579,7 +643,7 @@ func (s *Sim) stepFrame(tid int, t *thread) {
 			if f.limit < 0 {
 				// schedule()-style drain finished: return the port to
 				// the back of the free list.
-				s.pushFree(f.port)
+				s.pushFree(tid, f.port)
 			}
 			s.schedule(tid, s.charge(t, c.LockNs+c.FreeListNs))
 			return
@@ -603,8 +667,12 @@ func (s *Sim) checkOrder(tu simTuple) {
 	s.lastSeq[key] = tu.seq
 }
 
-// popFree pops the head of the free list.
-func (s *Sim) popFree(*thread) (int, bool) {
+// popFree pops the next port hint for thread t: the sharded lookup
+// when configured (adaptive.go), else the head of the global list.
+func (s *Sim) popFree(t *thread) (int, bool) {
+	if s.cfg.Sharded && t.id < s.cfg.Threads {
+		return s.popFreeSharded(t)
+	}
 	if len(s.freeList) == 0 {
 		return 0, false
 	}
@@ -614,11 +682,18 @@ func (s *Sim) popFree(*thread) (int, bool) {
 	return p, true
 }
 
-// pushFree appends to the back of the free list.
-func (s *Sim) pushFree(p int) {
+// pushFree releases port p from thread tid: a k-relaxed shard release
+// for sharded scheduler threads (adaptive.go), else the back of the
+// global list (source threads always spill globally, like the native
+// runtime's uncontrolled threads).
+func (s *Sim) pushFree(tid, p int) {
 	if s.onList[p] {
 		return
 	}
 	s.onList[p] = true
+	if s.cfg.Sharded && tid < s.cfg.Threads {
+		s.pushFreeSharded(tid, p)
+		return
+	}
 	s.freeList = append(s.freeList, p)
 }

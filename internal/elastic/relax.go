@@ -1,0 +1,97 @@
+package elastic
+
+import "fmt"
+
+// Relaxer decides the free-list relaxation width k: how many candidate
+// shards a released port hint may land in (1 = the releaser's own
+// shard, the tight ordering; wider = lateral spread into neighbors'
+// inboxes). It is the width-relaxation analogue of the thread-level
+// Controller: where the Controller trades threads for throughput, the
+// Relaxer trades hint-ordering quality for reduced steal contention,
+// following the online-adjustable relaxation degree of "How to Relax
+// Instantly" (PAPERS.md).
+//
+// The input signal is the contention rate — free-list contention events
+// (steals, steal misses, push/pop failures, spills) per executed tuple,
+// computed by the caller from consecutive metrics.Contention snapshots.
+// The policy is hysteresis with multiplicative widening and additive
+// narrowing: above HighWater the width doubles (contention grows
+// superlinearly in thread count, so the response must outrun it), below
+// LowWater it steps down by one (ordering quality is recovered
+// cautiously), and between the watermarks it holds. The gap between the
+// watermarks is what keeps the width from oscillating when the rate
+// sits near a threshold.
+//
+// Like the Controller, the Relaxer is driven from a single goroutine
+// (the PE's adaptation loop) and is not safe for concurrent use.
+type Relaxer struct {
+	cfg RelaxConfig
+	k   int
+}
+
+// RelaxConfig parameterizes a Relaxer.
+type RelaxConfig struct {
+	// Max is the widest permitted width (typically the scheduler's
+	// MaxThreads). Required, ≥ 1.
+	Max int
+	// Initial is the starting width; 0 selects 1 (tight).
+	Initial int
+	// HighWater is the contention rate (events per executed tuple)
+	// above which the width doubles; 0 selects 0.08.
+	HighWater float64
+	// LowWater is the rate below which the width steps down by one;
+	// 0 selects 0.02. Must be below HighWater.
+	LowWater float64
+}
+
+// DefaultRelaxWaters are the hysteresis watermarks used when the config
+// leaves them zero: widen above 8 contention events per 100 executed
+// tuples, narrow below 2 per 100.
+const (
+	DefaultRelaxHighWater = 0.08
+	DefaultRelaxLowWater  = 0.02
+)
+
+// NewRelaxer validates the config and returns a Relaxer at its initial
+// width.
+func NewRelaxer(cfg RelaxConfig) (*Relaxer, error) {
+	if cfg.Max < 1 {
+		return nil, fmt.Errorf("elastic: relax Max must be ≥ 1, got %d", cfg.Max)
+	}
+	if cfg.HighWater == 0 {
+		cfg.HighWater = DefaultRelaxHighWater
+	}
+	if cfg.LowWater == 0 {
+		cfg.LowWater = DefaultRelaxLowWater
+	}
+	if cfg.LowWater < 0 || cfg.HighWater <= cfg.LowWater {
+		return nil, fmt.Errorf("elastic: relax watermarks must satisfy 0 ≤ low < high, got %g/%g", cfg.LowWater, cfg.HighWater)
+	}
+	if cfg.Initial == 0 {
+		cfg.Initial = 1
+	}
+	if cfg.Initial < 1 || cfg.Initial > cfg.Max {
+		return nil, fmt.Errorf("elastic: relax Initial %d outside [1, %d]", cfg.Initial, cfg.Max)
+	}
+	return &Relaxer{cfg: cfg, k: cfg.Initial}, nil
+}
+
+// Width returns the current relaxation width.
+func (r *Relaxer) Width() int { return r.k }
+
+// Update feeds one adaptation period's contention rate (events per
+// executed tuple) and returns the width to apply for the next period.
+func (r *Relaxer) Update(rate float64) int {
+	switch {
+	case rate > r.cfg.HighWater:
+		r.k *= 2
+		if r.k > r.cfg.Max {
+			r.k = r.cfg.Max
+		}
+	case rate < r.cfg.LowWater:
+		if r.k > 1 {
+			r.k--
+		}
+	}
+	return r.k
+}

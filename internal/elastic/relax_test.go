@@ -1,0 +1,69 @@
+package elastic
+
+import "testing"
+
+func TestRelaxerWidensMultiplicatively(t *testing.T) {
+	r, err := NewRelaxer(RelaxConfig{Max: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width() != 1 {
+		t.Fatalf("initial width = %d, want 1", r.Width())
+	}
+	want := []int{2, 4, 8, 16, 16}
+	for i, w := range want {
+		if got := r.Update(0.5); got != w {
+			t.Fatalf("update %d under heavy contention: width = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRelaxerNarrowsAdditively(t *testing.T) {
+	r, err := NewRelaxer(RelaxConfig{Max: 8, Initial: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 7; want >= 1; want-- {
+		if got := r.Update(0.0); got != want {
+			t.Fatalf("width = %d, want %d", got, want)
+		}
+	}
+	if got := r.Update(0.0); got != 1 {
+		t.Fatalf("width narrowed below 1: %d", got)
+	}
+}
+
+func TestRelaxerHysteresisHolds(t *testing.T) {
+	r, err := NewRelaxer(RelaxConfig{Max: 8, Initial: 4, HighWater: 0.1, LowWater: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates inside the band — including exactly at each watermark —
+	// must not move the width.
+	for _, rate := range []float64{0.02, 0.05, 0.1} {
+		if got := r.Update(rate); got != 4 {
+			t.Fatalf("rate %g inside band moved width to %d", rate, got)
+		}
+	}
+	if got := r.Update(0.11); got != 8 {
+		t.Fatalf("rate above high water: width = %d, want 8", got)
+	}
+	if got := r.Update(0.01); got != 7 {
+		t.Fatalf("rate below low water: width = %d, want 7", got)
+	}
+}
+
+func TestRelaxerConfigValidation(t *testing.T) {
+	bad := []RelaxConfig{
+		{},                    // Max missing
+		{Max: 4, Initial: 5},  // Initial above Max
+		{Max: 4, Initial: -1}, // Initial negative
+		{Max: 4, HighWater: 0.02, LowWater: 0.05}, // inverted watermarks
+		{Max: 4, LowWater: -0.1},                  // negative low water
+	}
+	for i, cfg := range bad {
+		if _, err := NewRelaxer(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, cfg)
+		}
+	}
+}

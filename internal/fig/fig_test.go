@@ -108,6 +108,44 @@ func TestRunNativeSmallWorkload(t *testing.T) {
 	}
 }
 
+// TestRunNativeAdaptiveAblations exercises the contention-adaptive
+// knobs through the same path the streamsim flags take (-relax,
+// -fairclaim, -flat-topo): each configuration must run the native
+// workload to positive throughput, and the static-relax entries must
+// report the pinned width back through the stats snapshot.
+func TestRunNativeAdaptiveAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native run in -short mode")
+	}
+	cases := []struct {
+		name      string
+		cfg       NativeConfig
+		wantRelax int // 0 = don't check
+	}{
+		{"relax-static-2", NativeConfig{Model: pe.Dynamic, Threads: 3, Relax: 2}, 2},
+		{"relax-adaptive", NativeConfig{Model: pe.Dynamic, Threads: 2, Elastic: true, MaxThreads: 3, AdaptPeriod: 50 * time.Millisecond}, 0},
+		{"fair-claim", NativeConfig{Model: pe.Dynamic, Threads: 3, FairClaim: true}, 0},
+		{"flat-topo", NativeConfig{Model: pe.Dynamic, Threads: 3, FlatTopo: true}, 0},
+		{"all-on", NativeConfig{Model: pe.Dynamic, Threads: 3, Relax: 3, FairClaim: true, FlatTopo: true}, 3},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Duration = 300 * time.Millisecond
+			res, err := RunNative(sim.Workload{Width: 3, Depth: 4, Cost: 10}, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("non-positive native throughput %g", res.Throughput)
+			}
+			if tc.wantRelax != 0 && res.Stats.Relax != tc.wantRelax {
+				t.Fatalf("Stats.Relax = %d, want %d", res.Stats.Relax, tc.wantRelax)
+			}
+		})
+	}
+}
+
 func TestSortPanelsByID(t *testing.T) {
 	ps := AllPanels()
 	SortPanelsByID(ps)

@@ -130,3 +130,90 @@ func BenchmarkEnforcerPush(b *testing.B) {
 		}
 	}
 }
+
+func TestEnforcerPushEx(t *testing.T) {
+	e := NewEnforcer[int](2)
+	if r := e.PushEx(1); r != PushOK {
+		t.Fatalf("PushEx on empty queue = %v, want PushOK", r)
+	}
+	e.PushEx(2)
+	if r := e.PushEx(3); r != PushFull {
+		t.Fatalf("PushEx on full queue = %v, want PushFull", r)
+	}
+	if !e.ProdTryLock() {
+		t.Fatal("producer lock should be free")
+	}
+	if r := e.PushEx(4); r != PushBusy {
+		t.Fatalf("PushEx under a held producer lock = %v, want PushBusy", r)
+	}
+	e.ProdUnlock()
+}
+
+// TestEnforcerFairOrder drives the ticket primitives from several
+// goroutines and checks claims are granted strictly in ticket order.
+func TestEnforcerFairOrder(t *testing.T) {
+	const claimants = 8
+	const rounds = 500
+	e := NewEnforcer[int](1 << 12)
+	grants := make([]uint64, 0, claimants*rounds)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < claimants; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tk := e.FairTicket()
+				for !e.FairTurn(tk) {
+					runtime.Gosched()
+				}
+				for !e.ProdTryLock() {
+					runtime.Gosched()
+				}
+				mu.Lock()
+				grants = append(grants, tk)
+				mu.Unlock()
+				e.ProdUnlock()
+				e.FairAdvance()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(grants) != claimants*rounds {
+		t.Fatalf("granted %d claims, want %d", len(grants), claimants*rounds)
+	}
+	for i, g := range grants {
+		if g != uint64(i) {
+			t.Fatalf("grant %d went to ticket %d: fair claims out of order", i, g)
+		}
+	}
+}
+
+// TestEnforcerFairIdle: the line-idle check that bounds the fast-path
+// bypass — empty line reads idle, a taken ticket makes it busy until
+// retired, and it tracks through several queued claimants.
+func TestEnforcerFairIdle(t *testing.T) {
+	e := NewEnforcer[int](8)
+	if !e.FairIdle() {
+		t.Fatal("fresh enforcer's fair line is not idle")
+	}
+	a := e.FairTicket()
+	b := e.FairTicket()
+	if e.FairIdle() {
+		t.Fatal("line reads idle with two tickets outstanding")
+	}
+	if !e.FairTurn(a) || e.FairTurn(b) {
+		t.Fatal("head turn wrong with two tickets outstanding")
+	}
+	e.FairAdvance()
+	if e.FairIdle() {
+		t.Fatal("line reads idle with one ticket outstanding")
+	}
+	if !e.FairTurn(b) {
+		t.Fatal("second ticket not admitted after first retired")
+	}
+	e.FairAdvance()
+	if !e.FairIdle() {
+		t.Fatal("line not idle after every ticket retired")
+	}
+}

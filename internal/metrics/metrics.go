@@ -104,17 +104,32 @@ type Contention struct {
 	StealMiss *Counter
 	// Spill counts local-shard overflows redirected to the global list.
 	Spill *Counter
+	// Lateral counts port hints released into a neighbor's inbox under
+	// k-relaxation (relax width > 1) instead of the releaser's own
+	// shard.
+	Lateral *Counter
+	// StealSMT/StealLLC/StealRemote break Steal down by topology
+	// distance between thief and victim: same physical core, same
+	// last-level cache, and cross-domain respectively. Their sum equals
+	// Steal (to within increments in flight).
+	StealSMT    *Counter
+	StealLLC    *Counter
+	StealRemote *Counter
 }
 
 // NewContention returns a Contention set sized for the given number of
 // executing threads (see NewCounter).
 func NewContention(shards int) *Contention {
 	return &Contention{
-		PushFail:  NewCounter(shards),
-		PopFail:   NewCounter(shards),
-		Steal:     NewCounter(shards),
-		StealMiss: NewCounter(shards),
-		Spill:     NewCounter(shards),
+		PushFail:    NewCounter(shards),
+		PopFail:     NewCounter(shards),
+		Steal:       NewCounter(shards),
+		StealMiss:   NewCounter(shards),
+		Spill:       NewCounter(shards),
+		Lateral:     NewCounter(shards),
+		StealSMT:    NewCounter(shards),
+		StealLLC:    NewCounter(shards),
+		StealRemote: NewCounter(shards),
 	}
 }
 
@@ -124,21 +139,37 @@ func NewContention(shards int) *Contention {
 // endpoint) must take one snapshot and render from it, never mix
 // values from two snapshots.
 type ContentionSnapshot struct {
-	PushFail  uint64 `json:"push_fail"`
-	PopFail   uint64 `json:"pop_fail"`
-	Steal     uint64 `json:"steal"`
-	StealMiss uint64 `json:"steal_miss"`
-	Spill     uint64 `json:"spill"`
+	PushFail    uint64 `json:"push_fail"`
+	PopFail     uint64 `json:"pop_fail"`
+	Steal       uint64 `json:"steal"`
+	StealMiss   uint64 `json:"steal_miss"`
+	Spill       uint64 `json:"spill"`
+	Lateral     uint64 `json:"lateral"`
+	StealSMT    uint64 `json:"steal_smt"`
+	StealLLC    uint64 `json:"steal_llc"`
+	StealRemote uint64 `json:"steal_remote"`
+}
+
+// Events sums the snapshot's contention signals — the events-per-tuple
+// numerator the relaxation controller watches. Lateral is excluded: it
+// is a consequence of widening, and feeding it back would make the
+// controller self-exciting.
+func (s ContentionSnapshot) Events() uint64 {
+	return s.PushFail + s.PopFail + s.Steal + s.StealMiss + s.Spill
 }
 
 // Snapshot sums every meter.
 func (c *Contention) Snapshot() ContentionSnapshot {
 	return ContentionSnapshot{
-		PushFail:  c.PushFail.Total(),
-		PopFail:   c.PopFail.Total(),
-		Steal:     c.Steal.Total(),
-		StealMiss: c.StealMiss.Total(),
-		Spill:     c.Spill.Total(),
+		PushFail:    c.PushFail.Total(),
+		PopFail:     c.PopFail.Total(),
+		Steal:       c.Steal.Total(),
+		StealMiss:   c.StealMiss.Total(),
+		Spill:       c.Spill.Total(),
+		Lateral:     c.Lateral.Total(),
+		StealSMT:    c.StealSMT.Total(),
+		StealLLC:    c.StealLLC.Total(),
+		StealRemote: c.StealRemote.Total(),
 	}
 }
 

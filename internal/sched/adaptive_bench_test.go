@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streams/internal/elastic"
+	"streams/internal/lfq"
+	"streams/internal/metrics"
+)
+
+// adaptiveObtain is the benchmark's hint lookup, findWorkSharded's
+// order without the port claim: own inbox, own shard, steal every
+// victim nearest-first (shard then inbox), global list. Contention
+// meters are charged exactly where the scheduler charges them, because
+// the adaptive mode's controller reads them as its input signal.
+func adaptiveObtain(s *Scheduler, thr *Thread, port *int32) bool {
+	if thr.inbox.Pop(port) || thr.shard.PopBottom(port) {
+		return true
+	}
+	for i, v := range thr.victims {
+		if s.shards[v].Steal(port) || s.inboxes[v].Pop(port) {
+			s.chargeSteal(thr.id, int(thr.vDist[i]))
+			return true
+		}
+	}
+	if s.popFree(port, thr.id) {
+		return true
+	}
+	s.contention.PopFail.Add(thr.id, 1)
+	return false
+}
+
+// BenchmarkAdaptiveFreeList is the tentpole sweep behind
+// BENCH_adaptive.json: hint cycles under scarcity — half as many port
+// hints as workers, so threads contend for every hint — comparing the
+// static relaxation extremes against the online-adapted width:
+//
+//   - static1: every release lands on the releaser's own shard. The
+//     releaser re-pops it LIFO next cycle; starved workers must win a
+//     steal race against the owner, so completion serializes behind the
+//     racing.
+//   - staticmax: every release picks any of the k candidate landing
+//     spots; hints migrate to the threads that would otherwise steal.
+//   - adaptive: the width starts tight and the elastic.Relaxer widens
+//     it from the live contention meters — the same snapshot-delta
+//     signal the PE's adaptation loop feeds it.
+//
+// Acceptance (EXPERIMENTS.md): adaptive must match or beat the best
+// static width at both thread counts.
+func BenchmarkAdaptiveFreeList(b *testing.B) {
+	for _, mode := range []string{"static1", "staticmax", "adaptive"} {
+		for _, threads := range []int{2, 8} {
+			ports := max(1, threads/2)
+			name := fmt.Sprintf("%s/threads=%d/ports=%d", mode, threads, ports)
+			b.Run(name, func(b *testing.B) {
+				g := freeListBenchGraph(b, ports)
+				width := 1
+				if mode == "staticmax" {
+					width = threads
+				}
+				s := New(g, Config{MaxThreads: threads, RelaxWidth: width})
+				var cycles atomic.Uint64
+				stop := make(chan struct{})
+				if mode == "adaptive" {
+					rx, err := elastic.NewRelaxer(elastic.RelaxConfig{Max: threads})
+					if err != nil {
+						b.Fatal(err)
+					}
+					go func() {
+						tick := time.NewTicker(2 * time.Millisecond)
+						defer tick.Stop()
+						last, lastC := s.Contention(), uint64(0)
+						for {
+							select {
+							case <-stop:
+								return
+							case <-tick.C:
+								cur, c := s.Contention(), cycles.Load()
+								rate := 0.0
+								if d := c - lastC; d > 0 {
+									rate = float64(cur.Events()-last.Events()) / float64(d)
+								}
+								last, lastC = cur, c
+								s.SetRelax(rx.Update(rate))
+							}
+						}
+					}()
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < threads; w++ {
+					n := b.N / threads
+					if w < b.N%threads {
+						n++
+					}
+					wg.Add(1)
+					go func(thr *Thread, n int) {
+						defer wg.Done()
+						var port int32
+						for i := 0; i < n; i++ {
+							for !adaptiveObtain(s, thr, &port) {
+								runtime.Gosched()
+							}
+							s.makePortFree(port, thr)
+							cycles.Add(1)
+						}
+					}(s.threads[w], n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				close(stop)
+				b.ReportMetric(float64(s.Relax()), "final-k")
+			})
+		}
+	}
+}
+
+// BenchmarkPortClaim measures port-acquisition latency on one contended
+// producer lock, oversubscribed (more claimants than GOMAXPROCS would
+// usually schedule at once), for the two contended-claim policies:
+//
+//   - backoff: losers retry ProdTryLock under the §4.1.3 exponential
+//     back-off — a thread asleep at the cap can be bypassed arbitrarily
+//     often, so the tail is unbounded roulette.
+//   - fair: losers take a ticket and spin for their turn (pushFair's
+//     loop shape), so acquisitions happen in FIFO order and the tail is
+//     bounded by the line ahead.
+//
+// The uncontended fast path (ProdTryLock wins outright) is byte-for-byte
+// identical in both modes — that is the bypass seam — so the histogram
+// digests only contended acquisitions, where the policies differ.
+// ns/op is the full cycle; p50-ns/p99-ns/max-ns summarise the contended
+// latency distribution and contended counts how many acquisitions hit
+// it. Acceptance (EXPERIMENTS.md): fair must show the lower p99.
+func BenchmarkPortClaim(b *testing.B) {
+	const workers = 16
+	for _, mode := range []string{"backoff", "fair"} {
+		b.Run(fmt.Sprintf("claim=%s/threads=%d", mode, workers), func(b *testing.B) {
+			q := lfq.NewEnforcer[int](64)
+			hist := metrics.NewHistogram(workers)
+			// The holder yields mid-hold, so the lock is held across a
+			// scheduling boundary — the oversubscribed regime where every
+			// other claimant lands on the contended path.
+			var held atomic.Int64
+			var contended atomic.Int64
+			hold := func() {
+				held.Add(1)
+				runtime.Gosched()
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				n := b.N / workers
+				if w < b.N%workers {
+					n++
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						// Fast path mirrors pushFair: fair claimants take it
+						// only while the ticket line is idle, so a looping
+						// producer cannot starve a populated line.
+						if (mode != "fair" || q.FairIdle()) && q.ProdTryLock() {
+							hold()
+							q.ProdUnlock()
+							continue
+						}
+						contended.Add(1)
+						start := time.Now()
+						if mode == "fair" {
+							tk := q.FairTicket()
+							bo := backoff{delay: time.Microsecond, max: time.Millisecond}
+							for !q.FairTurn(tk) {
+								bo.wait()
+							}
+							bo = backoff{delay: time.Microsecond, max: time.Millisecond}
+							for !q.ProdTryLock() {
+								bo.wait()
+							}
+							hist.Record(w, time.Since(start))
+							hold()
+							q.ProdUnlock()
+							q.FairAdvance()
+							continue
+						}
+						bo := backoff{delay: time.Microsecond, max: time.Millisecond}
+						for !q.ProdTryLock() {
+							bo.wait()
+						}
+						hist.Record(w, time.Since(start))
+						hold()
+						q.ProdUnlock()
+					}
+				}(w, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			snap := hist.Snapshot()
+			b.ReportMetric(float64(contended.Load()), "contended")
+			b.ReportMetric(float64(snap.Quantile(0.50)), "p50-ns")
+			b.ReportMetric(float64(snap.Quantile(0.99)), "p99-ns")
+			b.ReportMetric(float64(snap.Max()), "max-ns")
+		})
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streams/internal/cpuutil"
 	"streams/internal/fault"
 	"streams/internal/graph"
 	"streams/internal/lfq"
@@ -67,6 +68,29 @@ type Config struct {
 	// typical graphs never spill, small enough that a thread cannot pin
 	// memory proportional to a huge port set.
 	ShardCap int
+	// RelaxWidth is the initial free-list relaxation width k: a
+	// released port hint may land in any of k candidate locations — the
+	// releaser's own shard (rank 0) or the inboxes of its k-1 nearest
+	// neighbors by topology. 0 and 1 both mean tight (today's
+	// own-shard-only ordering). SetRelax adjusts the width online; the
+	// PE's adaptation loop drives it from the contention meters.
+	RelaxWidth int
+	// FairClaim routes contended port claims through the Enforcer's
+	// ticket line: a producer that loses the port's producer try-lock
+	// takes a ticket and waits its turn instead of joining the back-off
+	// roulette, so oversubscribed threads acquire ports in
+	// bounded-bypass FIFO order. Default off pending benchmarks (see
+	// BENCH_adaptive.json); full queues still fall into reSchedule
+	// self-help either way.
+	FairClaim bool
+	// FlatTopo disables sysfs topology detection for the steal-victim
+	// ordering: every victim is treated as equally remote, recovering
+	// the flat randomized sweep (the -flat-topo ablation).
+	FlatTopo bool
+	// Topology injects an explicit CPU topology for the steal-victim
+	// ordering (tests and the simulator). Nil selects sysfs detection,
+	// or a flat topology under FlatTopo.
+	Topology *cpuutil.Topology
 
 	// ChainDepth bounds how many consecutive downstream operators one
 	// thread may execute inline through the chain path before falling
@@ -214,6 +238,15 @@ func (c Config) withDefaults(g *graph.Graph) Config {
 	if c.StallThreshold == 0 {
 		c.StallThreshold = 2 * c.WatchdogInterval
 	}
+	if c.RelaxWidth < 0 {
+		panic(fmt.Sprintf("sched: RelaxWidth %d is negative", c.RelaxWidth))
+	}
+	if c.RelaxWidth == 0 {
+		c.RelaxWidth = 1
+	}
+	if c.RelaxWidth > c.MaxThreads {
+		c.RelaxWidth = c.MaxThreads
+	}
 	return c
 }
 
@@ -245,6 +278,25 @@ type Scheduler struct {
 	// pushes to or pops the bottom of its shard; any thread may steal.
 	// Unused when useShards is false.
 	shards []*lfq.WSDeque
+	// inboxes are the per-thread lateral hint rings for the k-relaxed
+	// free list: when the relaxation width exceeds 1, a releasing
+	// thread may push a hint into a near neighbor's inbox instead of
+	// its own shard. Any thread may push to or pop from any inbox
+	// (they are MPMC), which is what makes shrinking the width safe:
+	// owners drain their own inbox on every find, thieves sweep all
+	// inboxes, so no hint is ever reachable only through a width that
+	// no longer exists. Unused when useShards is false.
+	inboxes []*lfq.MPMC[int32]
+	// inboxCap is each inbox's capacity (the shard capacity), kept for
+	// bounding inbox drains against concurrent lateral pushes.
+	inboxCap int
+	// relax is the current relaxation width k in [1, MaxThreads],
+	// written by SetRelax (the PE's adaptation loop) and read by every
+	// release; 1 = tight own-shard ordering.
+	relax atomic.Int32
+	// topo orders steal victims nearest-first (SMT sibling → LLC peer →
+	// remote); each Thread caches its own victim order at construction.
+	topo *cpuutil.Topology
 	// useShards selects the sharded free list: the default, reversed by
 	// the GlobalFreeList ablation (and by FreeListLIFO and
 	// BlockOnFullQueue, which are only well-defined on the single
@@ -320,6 +372,7 @@ type Scheduler struct {
 	inj         *fault.Injector
 	tr          *trace.Tracer      // nil when tracing is off
 	latency     *metrics.Histogram // nil when latency measurement is off
+	claimLat    *metrics.Histogram // fair-path port-claim wait times
 	faults      *metrics.Faults
 	faultsSeen  atomic.Bool
 	strikes     []atomic.Int32
@@ -389,6 +442,7 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		inj:                cfg.Fault,
 		tr:                 cfg.Tracer,
 		latency:            cfg.Latency,
+		claimLat:           metrics.NewHistogram(cfg.MaxThreads + cfg.SourceThreads),
 		faults:             metrics.NewFaults(cfg.MaxThreads + cfg.SourceThreads),
 		strikes:            make([]atomic.Int32, len(g.Nodes)),
 		quarantined:        make([]atomic.Bool, len(g.Nodes)),
@@ -399,14 +453,28 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		b := make([]tuple.Tuple, batchCap)
 		return &b
 	}
+	s.relax.Store(int32(cfg.RelaxWidth))
 	if s.useShards {
 		s.shards = make([]*lfq.WSDeque, cfg.MaxThreads)
+		s.inboxes = make([]*lfq.MPMC[int32], cfg.MaxThreads)
+		s.inboxCap = shardCap
+		s.topo = cfg.Topology
+		if s.topo == nil {
+			if cfg.FlatTopo {
+				s.topo = cpuutil.FlatTopology(cfg.MaxThreads)
+			} else {
+				s.topo = cpuutil.DetectTopology()
+			}
+		}
 	}
 	for i := range s.threads {
 		s.threads[i] = newThread(i, batchCap)
 		if s.useShards {
 			s.shards[i] = lfq.NewWSDeque(shardCap)
 			s.threads[i].shard = s.shards[i]
+			s.inboxes[i] = lfq.NewMPMC[int32](shardCap)
+			s.threads[i].inbox = s.inboxes[i]
+			s.threads[i].victims, s.threads[i].vDist = s.topo.VictimOrder(i, cfg.MaxThreads)
 		}
 	}
 	for _, p := range g.Ports {
@@ -522,6 +590,12 @@ type Stats struct {
 	Faults metrics.FaultsSnapshot
 	// Chain snapshots the inline chain-execution meters.
 	Chain metrics.ChainSnapshot
+	// Relax is the relaxation width in effect when the snapshot was
+	// taken (1 = tight own-shard ordering).
+	Relax int
+	// ClaimWait snapshots the fair-path port-claim wait histogram;
+	// empty unless FairClaim claims actually waited in the ticket line.
+	ClaimWait metrics.HistogramSnapshot
 }
 
 // Stats reads every meter in one pass (see the Stats type's contract).
@@ -534,6 +608,8 @@ func (s *Scheduler) Stats() Stats {
 		Contention:    s.contention.Snapshot(),
 		Faults:        s.faults.Snapshot(),
 		Chain:         s.chains.Snapshot(),
+		Relax:         int(s.relax.Load()),
+		ClaimWait:     s.claimLat.Snapshot(),
 	}
 }
 
@@ -876,23 +952,70 @@ func (c *ctx) suspendedNow() bool {
 	return false
 }
 
+// backoff is the paper's spin-then-sleep wait policy, shared by every
+// seam that must wait out brief contention: the first spinBudget waits
+// yield the processor (the common case — a lock holder or an MPMC slot
+// in transit resolves within a scheduling quantum), after which each
+// wait sleeps with the §4.1.3 exponential back-off, 1µs growing ×10 up
+// to the configured DelayThreshold.
+type backoff struct {
+	spins int
+	delay time.Duration
+	max   time.Duration
+}
+
+// backoffSpinBudget is how many waits yield before the sleeps start —
+// the same budget the global free-list push has always used.
+const backoffSpinBudget = 8
+
+func (s *Scheduler) newBackoff() backoff {
+	return backoff{delay: time.Microsecond, max: s.cfg.DelayThreshold}
+}
+
+// wait performs one wait step and returns.
+func (b *backoff) wait() {
+	if b.spins < backoffSpinBudget {
+		b.spins++
+		runtime.Gosched()
+		return
+	}
+	block(b.delay)
+	if b.delay < b.max {
+		b.delay *= 10
+	}
+}
+
+// blockOnFullAttempts bounds the BlockOnFullQueue wait: with the spin
+// budget exhausted the remaining attempts sleep at the back-off cap, so
+// the escape hatch to self-help still triggers in bounded time.
+const blockOnFullAttempts = 64
+
 // push is the paper's Figure 6 entry point: try the enforcer push, and if
 // it fails (full queue or producer-lock contention — we do not
-// distinguish), fall into reSchedule.
+// distinguish), fall into reSchedule. Under FairClaim the contended-lock
+// case is separated out and resolved through the Enforcer's ticket line
+// instead.
 func (s *Scheduler) push(t tuple.Tuple, c *ctx) {
 	if inj := s.inj; inj != nil {
 		inj.StallFault() // chaos seam: let the destination queue run full
 	}
 	q := s.queues[t.Port]
+	if s.cfg.FairClaim {
+		s.pushFair(q, t, c)
+		return
+	}
 	if q.Push(t) {
 		return
 	}
 	if s.cfg.BlockOnFullQueue {
 		// Ablation: wait for space like a plain bounded-queue runtime
-		// would. Bounded, so a full cycle of blocked producers still
-		// falls through to the self-help path instead of deadlocking.
-		for spins := 0; spins < 4096; spins++ {
-			runtime.Gosched()
+		// would — bounded and with the paper's back-off rather than a
+		// raw spin, so a full cycle of blocked producers burns little
+		// CPU and still falls through to self-help instead of
+		// deadlocking.
+		b := s.newBackoff()
+		for i := 0; i < blockOnFullAttempts; i++ {
+			b.wait()
 			if q.Push(t) {
 				return
 			}
@@ -902,6 +1025,62 @@ func (s *Scheduler) push(t tuple.Tuple, c *ctx) {
 		}
 	}
 	s.reSchedule(q, t, c)
+}
+
+// pushFair is the fair port-claim path (Config.FairClaim): when the
+// opportunistic push loses the producer try-lock, the thread takes a
+// ticket in the port's fair-claim line and waits its turn, so
+// oversubscribed producers acquire the port in FIFO order instead of
+// back-off roulette. The bypass is bounded two ways: the opportunistic
+// PushEx fast path is taken only while the ticket line is idle — a
+// producer looping on the fast path cannot starve a populated line —
+// and threads on the unfair Push path (queue drains' PushN, reSchedule
+// retries) hold the lock only across one queue operation, so a
+// turn-holder wins the lock CAS within a bounded number of such
+// bypasses. A ticket, once taken, is always
+// retired — even on shutdown — because an abandoned ticket would wedge
+// every claimant behind it; the wait is bounded since every ticket
+// holder ahead either pushes (bounded work) or retires the same way.
+// Full queues are not the ticket line's problem: they fall into
+// reSchedule self-help exactly as on the default path.
+func (s *Scheduler) pushFair(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *ctx) {
+	if q.FairIdle() {
+		switch q.PushEx(t) {
+		case lfq.PushOK:
+			return
+		case lfq.PushFull:
+			s.reSchedule(q, t, c)
+			return
+		}
+	}
+	// Producer lock contended (or a line is already waiting): claim
+	// fairly.
+	start := time.Now()
+	tk := q.FairTicket()
+	b := s.newBackoff()
+	for !q.FairTurn(tk) {
+		b.wait()
+	}
+	b = s.newBackoff()
+	for !q.ProdTryLock() {
+		b.wait()
+	}
+	ok := q.Queue().Push(t)
+	q.ProdUnlock()
+	q.FairAdvance()
+	wait := time.Since(start)
+	s.claimLat.Record(c.tid, wait)
+	if s.tr.On() {
+		w := uint64(wait)
+		if w > 1<<32-1 {
+			w = 1<<32 - 1
+		}
+		s.tr.Emit(c.tid, trace.KindFairClaim, trace.PackPair(t.Port, uint32(w)))
+	}
+	if !ok {
+		// Full queue discovered under the held lock; self-help drains it.
+		s.reSchedule(q, t, c)
+	}
 }
 
 // reSchedule repeatedly alternates between pushing the stuck tuple and
@@ -1293,6 +1472,31 @@ func (s *Scheduler) SetLevel(n int) int {
 	return n
 }
 
+// SetRelax adjusts the free-list relaxation width online (clamped to
+// [1, MaxThreads]) and returns the width in effect. Safe to call from
+// any goroutine at any time, including while releases and steals are in
+// flight: the width only selects where *future* hints land, and every
+// structure a past width could have used (all shards, all inboxes) is
+// always reachable by owners, thieves and the periodic sweep, so
+// shrinking mid-steal strands nothing
+// (TestRelaxShrinkNoStrandedPorts).
+func (s *Scheduler) SetRelax(k int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > s.cfg.MaxThreads {
+		k = s.cfg.MaxThreads
+	}
+	s.relax.Store(int32(k))
+	return k
+}
+
+// Relax returns the relaxation width currently in effect.
+func (s *Scheduler) Relax() int { return int(s.relax.Load()) }
+
+// ClaimWait returns a snapshot of the fair-claim wait histogram.
+func (s *Scheduler) ClaimWait() metrics.HistogramSnapshot { return s.claimLat.Snapshot() }
+
 // Level returns the current thread level.
 func (s *Scheduler) Level() int {
 	s.levelMu.Lock()
@@ -1572,22 +1776,28 @@ const (
 	// inspects; unusable ones migrate into the local shard, spreading
 	// the initial population and the spills across the threads.
 	globalPollBatch = 8
-	// freePushSpins bounds busy-spinning on a contended global push
-	// before falling back to the paper's exponential back-off.
-	freePushSpins = 8
 )
 
-// findWorkSharded is the sharded work search: the thread's own LIFO
-// cache first (no shared cache lines and no CAS in the common case),
-// then the other shards in randomized order (work stealing, oldest hint
-// first), then the global spill list. The periodic global poll keeps
-// spilled ports from starving while local work is plentiful.
+// findWorkSharded is the sharded work search: the thread's own lateral
+// inbox and LIFO cache first (no shared cache lines and no CAS in the
+// common case), then the other threads' shards and inboxes in
+// nearest-first topology order (work stealing, oldest hint first), then
+// the global spill list. The periodic tick polls the global list and
+// sweeps every inbox, so neither a spilled port nor a hint lateral-
+// pushed to a since-parked thread can starve while local work is
+// plentiful.
 func (s *Scheduler) findWorkSharded(t *tuple.Tuple, thr *Thread) bool {
 	if thr.findTick++; thr.findTick >= globalPollEvery {
 		thr.findTick = 0
 		if s.pollGlobal(t, thr) {
 			return true
 		}
+		if s.sweepInboxes(t, thr) {
+			return true
+		}
+	}
+	if s.popInbox(t, thr) {
+		return true
 	}
 	if s.popLocal(t, thr) {
 		return true
@@ -1596,6 +1806,45 @@ func (s *Scheduler) findWorkSharded(t *tuple.Tuple, thr *Thread) bool {
 		return true
 	}
 	return s.pollGlobal(t, thr)
+}
+
+// popInbox drains the thread's own lateral-hint inbox (k-relaxed
+// releases from neighbors land here). The walk is bounded by the inbox
+// capacity: concurrent lateral pushes could otherwise extend it
+// indefinitely, and anything left past the bound is found by the next
+// find or the periodic sweep.
+func (s *Scheduler) popInbox(t *tuple.Tuple, thr *Thread) bool {
+	var port int32
+	for i := 0; i < s.inboxCap; i++ {
+		if !thr.inbox.Pop(&port) {
+			return false
+		}
+		if s.tryTake(port, t) {
+			return true
+		}
+		s.makePortFree(port, thr)
+	}
+	return false
+}
+
+// sweepInboxes pops one hint from every other thread's inbox — the
+// safety net that reclaims hints lateral-pushed to a thread that has
+// since parked (a parked thread's own-inbox drain no longer runs, and
+// unlike its shard it cannot flush its inbox on the way down: others
+// keep pushing). Paced with the periodic global poll, so the steady-
+// state cost is one contended Pop per peer per globalPollEvery finds.
+func (s *Scheduler) sweepInboxes(t *tuple.Tuple, thr *Thread) bool {
+	var port int32
+	for _, v := range thr.victims {
+		if !s.inboxes[v].Pop(&port) {
+			continue
+		}
+		if s.tryTake(port, t) {
+			return true
+		}
+		s.makePortFree(port, thr)
+	}
+	return false
 }
 
 // popLocal walks the thread's own shard top-down: pop, try to take, and
@@ -1628,45 +1877,78 @@ func (s *Scheduler) popLocal(t *tuple.Tuple, thr *Thread) bool {
 	return found
 }
 
-// steal tries every other shard once, starting at a random victim and
-// wrapping, taking the oldest hint from each non-empty shard it visits.
-// A lost ticket race abandons that victim rather than retrying (the
-// paper's contention principle). Stolen-but-unusable hints recirculate
-// through the stealer's own shard, which also migrates ports away from
-// suspended threads' shards while the owners are not flushing them.
+// steal tries every other thread's shard and inbox once, nearest
+// victims first: the thread's topology-ordered victim list is walked in
+// runs of equal distance (SMT sibling, then LLC peers, then remote),
+// randomizing the start offset within each run so concurrent thieves
+// fan out instead of convoying on one victim. Preferring near victims
+// keeps the stolen hint — and the port state behind it — within the
+// cache domain that already holds it warm; the per-distance steal
+// meters (StealSMT/StealLLC/StealRemote) report how often that works
+// out. A lost ticket race abandons that victim rather than retrying
+// (the paper's contention principle). Stolen-but-unusable hints
+// recirculate through the stealer's own release path, which also
+// migrates ports away from suspended threads' shards while the owners
+// are not flushing them.
 func (s *Scheduler) steal(t *tuple.Tuple, thr *Thread) bool {
-	n := len(s.shards)
-	if n <= 1 {
-		return false
-	}
-	off := int(thr.nextRand() % uint32(n))
+	vs, ds := thr.victims, thr.vDist
 	stole := false
 	var port int32
-	for i := 0; i < n; i++ {
-		v := off + i
-		if v >= n {
-			v -= n
+	for gs := 0; gs < len(vs); {
+		ge := gs + 1
+		for ge < len(vs) && ds[ge] == ds[gs] {
+			ge++
 		}
-		if v == thr.id {
-			continue
+		g := ge - gs
+		off := 0
+		if g > 1 {
+			off = int(thr.nextRand() % uint32(g))
 		}
-		if !s.shards[v].Steal(&port) {
-			continue
+		for i := 0; i < g; i++ {
+			j := gs + off + i
+			if j >= ge {
+				j -= g
+			}
+			v := vs[j]
+			got := s.shards[v].Steal(&port)
+			if !got {
+				got = s.inboxes[v].Pop(&port)
+			}
+			if !got {
+				continue
+			}
+			dist := int(ds[gs])
+			s.chargeSteal(thr.id, dist)
+			if s.tr.On() {
+				s.tr.Emit(thr.id, trace.KindSteal,
+					trace.PackPair(v, uint32(dist)<<24|uint32(port)&0xffffff))
+			}
+			stole = true
+			if s.tryTake(port, t) {
+				return true
+			}
+			s.makePortFree(port, thr)
 		}
-		s.contention.Steal.Add(thr.id, 1)
-		if s.tr.On() {
-			s.tr.Emit(thr.id, trace.KindSteal, trace.PackPair(int32(v), uint32(port)))
-		}
-		stole = true
-		if s.tryTake(port, t) {
-			return true
-		}
-		s.makePortFree(port, thr)
+		gs = ge
 	}
 	if stole {
 		s.contention.StealMiss.Add(thr.id, 1)
 	}
 	return false
+}
+
+// chargeSteal counts one successful steal, both in the aggregate meter
+// and in the per-distance breakdown.
+func (s *Scheduler) chargeSteal(tid, dist int) {
+	s.contention.Steal.Add(tid, 1)
+	switch dist {
+	case cpuutil.DistSMT:
+		s.contention.StealSMT.Add(tid, 1)
+	case cpuutil.DistLLC:
+		s.contention.StealLLC.Add(tid, 1)
+	default:
+		s.contention.StealRemote.Add(tid, 1)
+	}
 }
 
 // pollGlobal pops a bounded number of ports from the global list —
@@ -1686,9 +1968,18 @@ func (s *Scheduler) pollGlobal(t *tuple.Tuple, thr *Thread) bool {
 	return false
 }
 
-// makePortFree returns a port hint to the free structure: the calling
-// thread's own shard under the sharded design (overflow spills to the
-// global list), the global list otherwise. Closed ports are dropped.
+// makePortFree returns a port hint to the free structure: under the
+// sharded design the calling thread's own shard, or — when the
+// relaxation width k exceeds 1 — any of its k-1 nearest neighbors'
+// inboxes (the k-relaxed release: rank 0 is the own shard, ranks
+// 1..k-1 the topology-ordered victims). Relaxing trades hint-ordering
+// quality for release-side spread: under steal contention the lateral
+// push hands the hint directly to the thread that would otherwise have
+// to steal it. Lateral pushes skip suspended targets (best effort; the
+// periodic sweep covers the race) and fall back to the own shard when
+// the target inbox is full or contended, so the hint always lands.
+// Overflow spills to the global list; the global list serves the
+// unsharded ablations directly. Closed ports are dropped.
 func (s *Scheduler) makePortFree(port int32, thr *Thread) {
 	if s.portClosed[port].Load() {
 		return
@@ -1697,6 +1988,19 @@ func (s *Scheduler) makePortFree(port int32, thr *Thread) {
 	if thr != nil {
 		tid = thr.id
 		if s.useShards {
+			if k := int(s.relax.Load()); k > 1 && len(thr.victims) > 0 {
+				w := k
+				if w > len(thr.victims)+1 {
+					w = len(thr.victims) + 1
+				}
+				if r := int(thr.nextRand() % uint32(w)); r > 0 {
+					v := thr.victims[r-1]
+					if !s.threads[v].suspended.Load() && s.inboxes[v].Push(port) {
+						s.contention.Lateral.Add(tid, 1)
+						return
+					}
+				}
+			}
 			if thr.shard.PushBottom(port) {
 				return
 			}
@@ -1711,28 +2015,18 @@ func (s *Scheduler) makePortFree(port int32, thr *Thread) {
 
 // pushGlobalFree pushes a port onto the global free list. The list is
 // sized to hold every port, so a failed push is almost always a slot in
-// transit (a consumer mid-pop): spin briefly, then fall back to the
-// paper's exponential back-off instead of busy-spinning forever on a
-// contended CAS. The push itself can never be abandoned — dropping the
-// hint would strand the port.
+// transit (a consumer mid-pop): the shared back-off helper spins
+// briefly, then falls into the paper's exponential back-off instead of
+// busy-spinning forever on a contended CAS. The push itself can never
+// be abandoned — dropping the hint would strand the port.
 func (s *Scheduler) pushGlobalFree(port int32, tid int) {
-	delay := time.Microsecond
-	for spins := 0; ; spins++ {
-		st := s.freePorts.PushEx(port)
-		if st == lfq.PushOK {
+	b := s.newBackoff()
+	for {
+		if s.freePorts.PushEx(port) == lfq.PushOK {
 			return
 		}
 		s.contention.PushFail.Add(tid, 1)
-		if st == lfq.PushBusy && spins < freePushSpins {
-			runtime.Gosched() // the consumer's seq store lands imminently
-			continue
-		}
-		// Still contended after the spin budget, or (unreachable by
-		// sizing) genuinely full: back off like a failed find does.
-		block(delay)
-		if delay < s.cfg.DelayThreshold {
-			delay *= 10
-		}
+		b.wait()
 	}
 }
 
@@ -1756,15 +2050,29 @@ func (s *Scheduler) parkIfAsked(thr *Thread) {
 	}
 }
 
-// drainShard moves every hint in thr's shard to the global list,
-// dropping closed ports. PopBottom is owner-only, so this must run on
-// thr's own goroutine (it does: parkIfAsked and schedule's exit).
+// drainShard moves every hint in thr's shard and inbox to the global
+// list, dropping closed ports. PopBottom is owner-only, so this must
+// run on thr's own goroutine (it does: parkIfAsked and schedule's
+// exit). The inbox drain is bounded rather than exhaustive: other
+// threads may lateral-push concurrently and a contended Pop can fail
+// spuriously, so emptiness is not a stable condition — the bound makes
+// the common case (quiet inbox) empty promptly, and the periodic sweep
+// plus thieves' inbox pops reclaim anything that lands after it.
 func (s *Scheduler) drainShard(thr *Thread) {
 	if !s.useShards {
 		return
 	}
 	var port int32
 	for thr.shard.PopBottom(&port) {
+		if s.portClosed[port].Load() {
+			continue
+		}
+		s.pushGlobalFree(port, thr.id)
+	}
+	for i := 0; i < 4*s.inboxCap; i++ {
+		if !thr.inbox.Pop(&port) {
+			break
+		}
 		if s.portClosed[port].Load() {
 			continue
 		}

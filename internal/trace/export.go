@@ -128,9 +128,9 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 				})
 			}
 		case KindSteal:
-			victim, port := UnpackPair(e.Arg)
+			victim, lo := UnpackPair(e.Arg)
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
-				"victim": victim, "port": port,
+				"victim": victim, "port": lo & 0xffffff, "dist": lo >> 24,
 			}))
 		case KindElastic:
 			level, thput := UnpackPair(e.Arg)
@@ -146,6 +146,16 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 			reason, port := UnpackPair(e.Arg)
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"reason": ChainStopReason(reason), "port": port,
+			}))
+		case KindRelax:
+			width, rate := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"width": width, "rate": rate,
+			}))
+		case KindFairClaim:
+			port, waitNs := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"port": port, "wait_ns": waitNs,
 			}))
 		case KindSpill, KindResched:
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{"port": e.Arg}))
