@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check chaos bench bench-contention bench-chain bench-adaptive trace-smoke
+.PHONY: all vet build test race check chaos bench bench-contention bench-chain bench-adaptive bench-vm trace-smoke
 
 all: check
 
@@ -31,14 +31,20 @@ chaos:
 # trace_event file (structure plus the event kinds the run must
 # produce); and run the tracer and endpoint tests under the race
 # detector. The chaos seed is fixed, so the required kinds are
-# deterministic.
+# deterministic. The second, chaos-free run validates the vm-fuse
+# instant separately: an armed injector makes every fused run decline
+# (faults must flow through the per-operator seams), so fusion can only
+# be observed without chaos.
 trace-smoke:
 	$(GO) run ./cmd/streamsim -native -w 10 -d 100 -cost 200 -threads 8 \
 		-elastic -adapt 100ms -chaos panic=0.0005 -quarantine 1 \
 		-latency -fairclaim -trace trace-smoke.json -dur 3s
 	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level,chain,chain-stop,relax-level trace-smoke.json
+	$(GO) run ./cmd/streamsim -native -w 1 -d 12 -cost 50 -threads 2 \
+		-vm -trace trace-vm-smoke.json -dur 2s
+	$(GO) run ./cmd/tracecheck -require chain,vm-fuse trace-vm-smoke.json
 	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./cmd/tracecheck
-	@rm -f trace-smoke.json
+	@rm -f trace-smoke.json trace-vm-smoke.json
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
@@ -60,6 +66,17 @@ bench-chain:
 	$(GO) test -bench BenchmarkPipelineChain -benchtime=20000x -run '^$$' ./internal/sched \
 		| $(GO) run ./cmd/benchjson > BENCH_chain.json
 	@echo wrote BENCH_chain.json
+
+# bench-vm compares the three operator dispatch forms on identical
+# logic — one Custom through the closure evaluator vs its bytecode
+# program, and a three-operator chain executed Process-to-Process vs as
+# one fused superinstruction program — and archives the results as
+# JSON. Iterations are fixed so all four cells run the same workload
+# and the closure/vm and chain/fused ratios are like-for-like.
+bench-vm:
+	$(GO) test -bench BenchmarkVMDispatch -benchtime=2000000x -run '^$$' ./internal/spl \
+		| $(GO) run ./cmd/benchjson > BENCH_vm.json
+	@echo wrote BENCH_vm.json
 
 # bench-adaptive sweeps the contention-adaptive benchmarks and archives
 # them as JSON: the k-relaxed free-list sweep (static width extremes vs

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"streams/internal/graph"
+	"streams/internal/vm"
+)
+
+// dumpPrograms prints every operator's compiled bytecode program in
+// node order (-dump-vm). Operators without a program — built-ins, or
+// logic the VM compiler rejected — are listed as closure fall-backs,
+// so the output doubles as a "why didn't this fuse" diagnostic.
+func dumpPrograms(w io.Writer, g *graph.Graph) {
+	for _, n := range g.Nodes {
+		p, ok := n.Op.(vm.Programmed)
+		if !ok || p.VMProgram() == nil {
+			fmt.Fprintf(w, "node %3d  %-20s closure (no program)\n", n.ID, n.Op.Name())
+			continue
+		}
+		fmt.Fprintf(w, "node %3d  %s\n", n.ID, n.Op.Name())
+		fmt.Fprint(w, vm.Disasm(p.VMProgram()))
+	}
+}

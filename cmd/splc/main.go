@@ -27,6 +27,7 @@ import (
 func main() {
 	var (
 		dump    = flag.Bool("dump", false, "print the lowered graph instead of running")
+		dumpVM  = flag.Bool("dump-vm", false, "print each operator's compiled bytecode program (operators without one fall back to the closure evaluator)")
 		dot     = flag.Bool("dot", false, "print the lowered graph as Graphviz DOT")
 		model   = flag.String("model", "", "override the threading model: manual, dedicated, dynamic")
 		threads = flag.Int("threads", 0, "dynamic model thread count (0 = annotation or 1)")
@@ -52,6 +53,10 @@ func main() {
 	g := compiled.Graph
 	if *dot {
 		fmt.Print(g.Dot())
+		return
+	}
+	if *dumpVM {
+		dumpPrograms(os.Stdout, g)
 		return
 	}
 	if *dump {

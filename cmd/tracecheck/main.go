@@ -46,8 +46,9 @@ var chainStopReasons = map[string]bool{
 // typed schema: a chain link must carry its 1-based depth and a
 // non-negative port, a chain-stop must name a known fall-back reason,
 // a steal must carry victim/port and a distance class in [0, 2], a
-// relax-level must carry a width of at least 1, and a fair-claim a
-// non-negative wait. Any other event name passes through untouched.
+// relax-level must carry a width of at least 1, a fair-claim a
+// non-negative wait, and a vm-fuse a fused segment count of at least 2
+// on a non-negative port. Any other event name passes through untouched.
 func checkArgs(e event) error {
 	num := func(key string, min float64) (float64, error) {
 		v, ok := e.Args[key]
@@ -109,6 +110,13 @@ func checkArgs(e event) error {
 			return err
 		}
 		if _, err := num("wait_ns", 0); err != nil {
+			return err
+		}
+	case "vm-fuse":
+		if _, err := num("segs", 2); err != nil {
+			return err
+		}
+		if _, err := num("port", 0); err != nil {
 			return err
 		}
 	}

@@ -174,6 +174,10 @@ func (s Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "chain: starts %d, links %d, tuples %d, stops depth %d budget %d lock %d occupied %d\n",
 			ch.Starts, ch.Links, ch.Tuples, ch.DepthStops, ch.BudgetStops, ch.LockMisses, ch.Occupied)
 	}
+	if v := st.VM; v != (metrics.VMSnapshot{}) {
+		fmt.Fprintf(w, "vm: programs %d, fused runs %d, fused tuples %d, fallbacks %d\n",
+			v.Programs, v.FusedRuns, v.FusedTuples, v.Fallbacks)
+	}
 	f := s.Faults
 	if f != (metrics.FaultsSnapshot{}) {
 		fmt.Fprintf(w, "faults: op panics %d, dead letters %d, quarantines %d, watchdog stalls %d\n",

@@ -237,6 +237,10 @@ type NativeConfig struct {
 	// scheduler (every flush goes through the queues), for chain-on
 	// versus chain-off comparisons (streamsim -nochain, BENCH_chain).
 	DisableChain bool
+	// VM attaches bytecode programs to the topology's workers so the
+	// dynamic scheduler can fuse chain runs into superinstruction
+	// dispatch loops (streamsim -vm).
+	VM bool
 	// Relax sets the free-list relaxation width (streamsim -relax).
 	// 0 means adaptive when Elastic is set (the PE's adaptation loop
 	// drives the width from the contention meters) and tight (width 1)
@@ -322,7 +326,7 @@ func nativeMaxThreads(cfg NativeConfig) int {
 // does not reproduce the paper's multicore numbers (see package
 // comment).
 func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
-	topo := ops.Topology{Width: w.Width, Depth: w.Depth, Cost: w.Cost}
+	topo := ops.Topology{Width: w.Width, Depth: w.Depth, Cost: w.Cost, VM: cfg.VM}
 	g, snk, err := topo.Build()
 	if err != nil {
 		return NativeResult{}, err

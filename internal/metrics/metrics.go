@@ -293,6 +293,55 @@ func (c *Chain) Snapshot() ChainSnapshot {
 	}
 }
 
+// VM bundles the bytecode-dispatch meters: how many operators compiled
+// to programs, how often the scheduler ran fused superinstruction
+// batches, the tuple volume through those fused loops, and how often a
+// fused attempt fell back to per-operator dispatch.
+type VM struct {
+	// Programs counts operator programs installed at graph build
+	// (charged once per fused run set, not per tuple).
+	Programs *Counter
+	// FusedRuns counts chain batches executed as one fused program.
+	FusedRuns *Counter
+	// FusedTuples counts tuples pushed through fused dispatch loops —
+	// each skipped per-operator Process calls and Submitter hops.
+	FusedTuples *Counter
+	// Fallbacks counts chain batches that were eligible for fused
+	// dispatch but declined (locks, occupancy, budget, puncts) and ran
+	// the per-operator path instead.
+	Fallbacks *Counter
+}
+
+// NewVM returns a VM meter set sized for the given number of executing
+// threads (see NewCounter).
+func NewVM(shards int) *VM {
+	return &VM{
+		Programs:    NewCounter(shards),
+		FusedRuns:   NewCounter(shards),
+		FusedTuples: NewCounter(shards),
+		Fallbacks:   NewCounter(shards),
+	}
+}
+
+// VMSnapshot is a point-in-time reading of a VM set, with the same
+// lower-bound semantics as Counter.Total.
+type VMSnapshot struct {
+	Programs    uint64 `json:"programs"`
+	FusedRuns   uint64 `json:"fused_runs"`
+	FusedTuples uint64 `json:"fused_tuples"`
+	Fallbacks   uint64 `json:"fallbacks"`
+}
+
+// Snapshot sums every meter.
+func (v *VM) Snapshot() VMSnapshot {
+	return VMSnapshot{
+		Programs:    v.Programs.Total(),
+		FusedRuns:   v.FusedRuns.Total(),
+		FusedTuples: v.FusedTuples.Total(),
+		Fallbacks:   v.Fallbacks.Total(),
+	}
+}
+
 // Welford accumulates streaming mean and standard deviation (Welford's
 // algorithm). The zero value is ready to use.
 type Welford struct {

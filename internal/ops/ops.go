@@ -13,7 +13,20 @@ import (
 
 	"streams/internal/graph"
 	"streams/internal/tuple"
+	"streams/internal/vm"
 )
+
+func init() {
+	// spin.work:ii(cost, seed) is the VM form of the Worker/Work body:
+	// burn cost flops seeded by the tuple sequence number, absorbing
+	// the result exactly like the closure path so the loop survives
+	// optimization.
+	vm.RegisterBuiltin("spin.work:ii", func(args []vm.Val) vm.Val {
+		r := Spin(int(args[0].I)/2, uint64(args[1].I))
+		workSink.Add(uint64(r))
+		return vm.Val{F: r}
+	})
+}
 
 // Generator is a source that produces tuples as fast as downstream
 // operators can absorb them, exactly like the paper's experiment sources.
@@ -100,6 +113,36 @@ type Worker struct {
 	OpName string
 	// Cost is the number of floating-point operations per tuple.
 	Cost int
+	// Prog, when set, lets the scheduler fuse this Worker into a
+	// superinstruction chain (see WorkerProgram). Unfused dispatch
+	// ignores it: the direct Spin call below is already optimal.
+	Prog *vm.Program
+}
+
+// VMProgram implements vm.Programmed.
+func (w *Worker) VMProgram() *vm.Program { return w.Prog }
+
+// WorkerProgram assembles the bytecode form of a Worker with the given
+// cost: push cost and the tuple's sequence number, call spin.work, pop,
+// forward. Layouts are empty — the native payload rides in the tuple's
+// fixed words, which forwarding segments preserve.
+func WorkerProgram(name string, cost int) *vm.Program {
+	b := vm.NewBuilder()
+	if cost > 0 {
+		b.ConstI(int64(cost))
+		b.Ins(vm.OpLoadSeq, 0, 0)
+		b.Call("spin.work:ii", 2)
+		b.Op(vm.OpPop)
+	}
+	b.Op(vm.OpEmit)
+	p, err := b.Finish(vm.Seg{Name: name}, vm.Layout{}, 0)
+	if err != nil {
+		return nil
+	}
+	if err := p.Bind(vm.Identity); err != nil {
+		return nil
+	}
+	return p
 }
 
 // Name implements graph.Operator.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"streams/internal/graph"
+	"streams/internal/vm"
 )
 
 // The evaluation graphs from §5 of the paper. Each experiment fixes the
@@ -28,6 +29,9 @@ type Topology struct {
 	Cost int
 	// Limit optionally bounds the source (0 = unbounded).
 	Limit uint64
+	// VM attaches bytecode programs to the workers so the scheduler can
+	// fuse chain runs into superinstruction dispatch loops.
+	VM bool
 }
 
 // Workers returns the total number of worker operators.
@@ -61,10 +65,16 @@ func (t Topology) Build() (*graph.Graph, *Sink, error) {
 			heads[w] = struct{ node, port int }{split, w}
 		}
 	}
+	// All workers share a cost, so one program serves every replica
+	// (programs are immutable after binding).
+	var prog *vm.Program
+	if t.VM {
+		prog = WorkerProgram("W", t.Cost)
+	}
 	for w := 0; w < t.Width; w++ {
 		prev, prevPort := heads[w].node, heads[w].port
 		for d := 0; d < t.Depth; d++ {
-			n := b.AddNode(&Worker{OpName: fmt.Sprintf("W%d,%d", w+1, d+1), Cost: t.Cost}, 1, 1)
+			n := b.AddNode(&Worker{OpName: fmt.Sprintf("W%d,%d", w+1, d+1), Cost: t.Cost, Prog: prog}, 1, 1)
 			b.Connect(prev, prevPort, n, 0)
 			prev, prevPort = n, 0
 		}

@@ -517,6 +517,10 @@ type SchedStats struct {
 	// started, links and tuples that bypassed the queues, and the
 	// fall-back reasons (depth, budget, lock, occupied).
 	Chain metrics.ChainSnapshot `json:"chain"`
+	// VM snapshots the fused bytecode-dispatch meters: operator
+	// programs installed, chain batches run as one fused program, the
+	// tuple volume through fused loops, and per-operator fall-backs.
+	VM metrics.VMSnapshot `json:"vm"`
 	// Relax is the free-list relaxation width in effect at snapshot
 	// time (1 = tight own-shard ordering).
 	Relax int `json:"relax"`
@@ -542,6 +546,7 @@ func (pe *PE) SchedStats() SchedStats {
 		Contention:   st.Contention,
 		Faults:       st.Faults,
 		Chain:        st.Chain,
+		VM:           st.VM,
 		Relax:        st.Relax,
 		ClaimWait:    st.ClaimWait,
 	}

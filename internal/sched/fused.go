@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"streams/internal/graph"
+	"streams/internal/trace"
+	"streams/internal/tuple"
+	"streams/internal/vm"
+)
+
+// Fused superinstruction dispatch (DESIGN.md "Operator bytecode &
+// superinstruction fusion"). When every operator along a chainable run
+// carries a bytecode program (vm.Programmed), the programs fuse at
+// startup into one multi-segment program. A chain batch arriving at the
+// run's entry port can then execute the whole run in a single dispatch
+// loop per tuple: no per-operator Process calls, no Submitter hops, no
+// per-operator batch flushes — values move between operators through VM
+// slots. The per-operator chain path remains the fallback whenever any
+// precondition fails, metered so the trade is observable.
+
+// fusedRun is one precomputed run: the fused program, the ports it
+// spans in chain order, and the owning node per segment (for panic
+// attribution and per-node execution counters). The machine and
+// emitter are reused across batches; exclusive use is guaranteed
+// because executing the run requires holding every spanned port's
+// consumer lock, including the entry port's.
+type fusedRun struct {
+	prog  *vm.Program
+	ports []int32
+	nodes []*graph.Node
+	mach  vm.Machine
+	emit  fusedEmitter
+}
+
+// fusedEmitter adapts the last node's execution context to vm.Emitter:
+// final-segment emissions submit on output port 0, flowing through the
+// normal routing, sequencing and coalescing machinery.
+type fusedEmitter struct{ ec *ctx }
+
+// Emit implements vm.Emitter.
+func (e *fusedEmitter) Emit(t tuple.Tuple) { e.ec.Submit(t, 0) }
+
+// buildFusedRuns precomputes the fused run (if any) rooted at every
+// chainable port. A run extends while the current node has a program,
+// exactly one output port with exactly one subscriber, and that
+// subscriber port is itself chainable with a programmed operator —
+// the same shape the inline chain path exploits, so fusion piggybacks
+// on chaining's locking discipline. Run length is capped at the chain
+// depth (but at least 2: a fused run shorter than 2 is pointless).
+func (s *Scheduler) buildFusedRuns() {
+	// Always allocated: tryChain indexes it unconditionally at commit.
+	s.fusedRuns = make([]*fusedRun, len(s.g.Ports))
+	if s.cfg.DisableVM || s.chainDepth <= 0 {
+		return
+	}
+	progOf := func(n *graph.Node) *vm.Program {
+		if pr, ok := n.Op.(vm.Programmed); ok {
+			return pr.VMProgram()
+		}
+		return nil
+	}
+	nProgs := 0
+	for _, n := range s.g.Nodes {
+		if progOf(n) != nil {
+			nProgs++
+		}
+	}
+	if nProgs > 0 {
+		s.vms.Programs.Add(0, uint64(nProgs))
+	}
+	maxLen := s.chainDepth
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	for _, entry := range s.g.Ports {
+		if !entry.Chainable {
+			continue
+		}
+		var progs []*vm.Program
+		var ports []int32
+		var nodes []*graph.Node
+		p := entry
+		for len(progs) < maxLen {
+			prog := progOf(p.Node)
+			if prog == nil || p.Node.NumOut != 1 {
+				break
+			}
+			progs = append(progs, prog)
+			ports = append(ports, int32(p.ID))
+			nodes = append(nodes, p.Node)
+			dests := p.Node.Outs[0]
+			if len(dests) != 1 {
+				break
+			}
+			next := s.g.Ports[dests[0]]
+			if !next.Chainable {
+				break
+			}
+			p = next
+		}
+		if len(progs) < 2 {
+			continue
+		}
+		fused, err := vm.Fuse(progs)
+		if err != nil {
+			continue
+		}
+		s.fusedRuns[entry.ID] = &fusedRun{prog: fused, ports: ports, nodes: nodes}
+	}
+}
+
+// tryFused attempts to execute batch through the fused run rooted at
+// its destination port. The caller (tryChain) already holds the entry
+// port's consumer lock with its queue observed empty and the thread's
+// chain budget covering one link. tryFused extends that commitment to
+// the whole run — locks and empty queues on every interior port, the
+// budget covering every link, no punctuation in the batch, no chaos
+// injector (faults must flow through the per-operator seams), no
+// quarantined node (dead-lettering is per-operator) — and declines to
+// the per-operator path otherwise, charging the fall-back meter.
+//
+// The invariant argument is the chain path's, run-wide: all spanned
+// ports' consumer locks are held with queues empty, so per-stream FIFO
+// and exclusivity hold for every interior hop; interior streams have
+// exactly one subscriber each, so skipping their sequence stamps is
+// unobservable; and the lock order is strictly downstream, so no wait
+// cycle can form (try-locks everywhere regardless).
+func (s *Scheduler) tryFused(c *ctx, fr *fusedRun, port int32, batch []tuple.Tuple) bool {
+	tid := c.tid
+	thr := c.thr
+	nSegs := len(fr.ports)
+	if s.inj != nil || len(batch)*nSegs > thr.chainBudget {
+		s.vms.Fallbacks.Add(tid, 1)
+		return false
+	}
+	for i := range batch {
+		if batch[i].Kind != tuple.Data {
+			s.vms.Fallbacks.Add(tid, 1)
+			return false
+		}
+	}
+	if s.faultsSeen.Load() {
+		for _, n := range fr.nodes {
+			if s.quarantined[n.ID].Load() {
+				s.vms.Fallbacks.Add(tid, 1)
+				return false
+			}
+		}
+	}
+	locked := 0
+	for _, pid := range fr.ports[1:] {
+		q := s.queues[pid]
+		if !q.ConsTryLock() {
+			break
+		}
+		if q.Queue().Len() != 0 {
+			q.ConsUnlock()
+			break
+		}
+		locked++
+	}
+	if locked != nSegs-1 {
+		for i := locked; i > 0; i-- {
+			s.queues[fr.ports[i]].ConsUnlock()
+		}
+		s.vms.Fallbacks.Add(tid, 1)
+		return false
+	}
+
+	// Committed: every precondition holds, every lock is held.
+	s.vms.FusedRuns.Add(tid, 1)
+	s.vms.FusedTuples.Add(tid, uint64(len(batch)))
+	if s.tr.On() {
+		s.tr.Emit(tid, trace.KindVMFuse, trace.PackPair(int32(nSegs), uint32(port)))
+	}
+	lastP := s.g.Ports[fr.ports[nSegs-1]]
+	ec := s.acquireCtx(lastP, tid, thr, true)
+	if ec.chainLeft = c.chainLeft - nSegs; ec.chainLeft < 0 {
+		ec.chainLeft = 0
+	}
+	fr.mach.Reset(fr.prog)
+	fr.emit.ec = ec
+	for i := range batch {
+		s.runFusedTuple(fr, batch[i], tid)
+	}
+	counts := fr.mach.SegCounts()
+	var total uint64
+	for i, n := range fr.nodes {
+		s.perNode[n.ID].Add(counts[i])
+		total += counts[i]
+	}
+	s.executed.Add(tid, total)
+	if thr.chainBudget -= int(total); thr.chainBudget < 0 {
+		thr.chainBudget = 0
+	}
+	thr.heartbeat.Add(1)
+	// Flush the last node's submissions (possibly opening further chain
+	// links past the run) before the interior locks release.
+	ec.endCoalesce()
+	for i := nSegs - 1; i > 0; i-- {
+		s.queues[fr.ports[i]].ConsUnlock()
+	}
+	fr.emit.ec = nil
+	s.releaseCtx(ec)
+	return true
+}
+
+// runFusedTuple pushes one tuple through the fused program under panic
+// containment: a panicking segment dead-letters the tuple and strikes
+// the segment's operator — the same attribution the per-operator path
+// gives — without unwinding the batch.
+func (s *Scheduler) runFusedTuple(fr *fusedRun, t tuple.Tuple, tid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.containPanic(tid, fr.nodes[fr.mach.CurSeg()], r, true)
+		}
+	}()
+	fr.mach.Run(fr.prog, t, &fr.emit)
+}

@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"streams/internal/fault"
+	"streams/internal/graph"
+	"streams/internal/metrics"
+	"streams/internal/ops"
+	"streams/internal/tuple"
+	"streams/internal/vm"
+)
+
+// progPipelineGraph is pipelineGraph with a bytecode program attached to
+// every worker, so chainable runs are eligible for fused dispatch.
+func progPipelineGraph(t *testing.T, depth int, limit uint64, cost int, snk *ops.Sink) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	src := b.AddNode(&ops.Generator{Limit: limit}, 0, 1)
+	prev := src
+	for i := 0; i < depth; i++ {
+		n := b.AddNode(&ops.Worker{Cost: cost, Prog: ops.WorkerProgram("W", cost)}, 1, 1)
+		b.Connect(prev, 0, n, 0)
+		prev = n
+	}
+	sn := b.AddNode(snk, 1, 0)
+	b.Connect(prev, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFusedFiresOnProgrammedPipeline proves fused dispatch actually runs
+// on the topology it was built for, and that its accounting matches the
+// per-operator path exactly: every tuple is still executed once per
+// operator, order is preserved, and the VM meters move.
+func TestFusedFiresOnProgrammedPipeline(t *testing.T) {
+	const n, depth = 20000, 10
+	var mu sync.Mutex
+	var seen []uint64
+	snk := newOrderSink(&mu, &seen)
+	g := progPipelineGraph(t, depth, n, 0, snk)
+	s := runGraph(t, g, Config{MaxThreads: 4}, 2)
+	if len(seen) != n {
+		t.Fatalf("sink saw %d tuples, want %d", len(seen), n)
+	}
+	for i, v := range seen {
+		if v != uint64(i) {
+			t.Fatalf("position %d: tuple %d out of order", i, v)
+		}
+	}
+	// Execution counters must be path-independent: depth workers plus
+	// the sink each execute every tuple exactly once.
+	if got, want := s.Executed(), uint64(n*(depth+1)); got != want {
+		t.Fatalf("Executed = %d, want %d", got, want)
+	}
+	v := s.Stats().VM
+	if v.Programs != depth {
+		t.Errorf("Programs = %d, want %d (one per worker)", v.Programs, depth)
+	}
+	if v.FusedRuns == 0 {
+		t.Fatalf("fused dispatch never fired on a programmed %d-deep pipeline: %+v", depth, v)
+	}
+	if v.FusedTuples < v.FusedRuns {
+		t.Errorf("fused tuples %d < fused runs %d: every run moves at least one tuple", v.FusedTuples, v.FusedRuns)
+	}
+}
+
+// TestDisableVMMetersZero: under the -novm ablation the fused path must
+// be fully off — correct delivery, correct order, and not a single VM
+// meter moved (programs are not even counted: the walk never runs).
+func TestDisableVMMetersZero(t *testing.T) {
+	const n = 10000
+	var mu sync.Mutex
+	var seen []uint64
+	snk := newOrderSink(&mu, &seen)
+	g := progPipelineGraph(t, 8, n, 0, snk)
+	s := runGraph(t, g, Config{MaxThreads: 4, DisableVM: true}, 2)
+	if len(seen) != n {
+		t.Fatalf("sink saw %d tuples, want %d", len(seen), n)
+	}
+	for i, v := range seen {
+		if v != uint64(i) {
+			t.Fatalf("position %d: tuple %d out of order", i, v)
+		}
+	}
+	if v := s.Stats().VM; v != (metrics.VMSnapshot{}) {
+		t.Fatalf("VM meters moved with DisableVM: %+v", v)
+	}
+}
+
+// TestFusedDeclinesUnderChaos: with a chaos injector armed, faults must
+// flow through the per-operator seams, so every would-be fused run falls
+// back — metered — and conservation still holds.
+func TestFusedDeclinesUnderChaos(t *testing.T) {
+	const n = 12000
+	inj := fault.New(fault.Config{Seed: 42, PanicRate: 0.005})
+	snk := &ops.Sink{}
+	g := progPipelineGraph(t, 10, n, 0, snk)
+	s := runGraph(t, g, Config{MaxThreads: 4, Fault: inj, QuarantineAfter: 1 << 30}, 2)
+	v := s.Stats().VM
+	if v.FusedRuns != 0 {
+		t.Fatalf("fused dispatch ran under chaos: %+v", v)
+	}
+	if v.Fallbacks == 0 {
+		t.Error("no metered fall-backs: chain commits should have declined fusion")
+	}
+	fs := s.Faults()
+	if fs.OpPanics == 0 {
+		t.Fatal("injector never fired")
+	}
+	if got := snk.Count() + fs.DeadLetters; got != n {
+		t.Errorf("delivered %d + dead-lettered %d = %d, want %d", snk.Count(), fs.DeadLetters, got, n)
+	}
+}
+
+// panicProgram forwards its tuple, but divides by seq%interval first, so
+// tuples whose source sequence number is a multiple of interval panic
+// with the VM's division-by-zero error.
+func panicProgram(t *testing.T, name string, interval int64) *vm.Program {
+	t.Helper()
+	b := vm.NewBuilder()
+	b.ConstI(1)
+	b.Ins(vm.OpLoadSeq, 0, 0)
+	b.ConstI(interval)
+	b.Op(vm.OpModI)
+	b.Op(vm.OpDivI)
+	b.Op(vm.OpPop)
+	b.Op(vm.OpEmit)
+	p, err := b.Finish(vm.Seg{Name: name}, vm.Layout{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind(vm.Identity); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// seqPanicky is the closure twin of panicProgram: both dispatch forms
+// must panic on exactly the same tuples, so dead-letter counts are
+// deterministic whichever path a given batch takes.
+type seqPanicky struct {
+	name     string
+	interval uint64
+	prog     *vm.Program
+}
+
+func (p *seqPanicky) Name() string           { return p.name }
+func (p *seqPanicky) VMProgram() *vm.Program { return p.prog }
+
+func (p *seqPanicky) Process(out graph.Submitter, t tuple.Tuple, _ int) {
+	if t.Seq%p.interval == 0 {
+		panic("seqPanicky: induced failure")
+	}
+	out.Submit(t, 0)
+}
+
+// TestFusedPanicContainment: a segment panic inside a fused run must
+// dead-letter only the offending tuple, attribute the strike to the
+// segment's operator, and leave the rest of the batch (and the run)
+// intact — exactly the containment the per-operator path gives. Chains
+// only commit at ports flushed from worker contexts (sources have no
+// thread), so a plain worker sits upstream of the panicking operator to
+// make its port a fused-run entry. The panicking operator is then the
+// run's first segment, whose input stream is always sequence-stamped,
+// so both dispatch forms agree on the panic set.
+func TestFusedPanicContainment(t *testing.T) {
+	const n, interval = 10000, 250
+	b := graph.NewBuilder()
+	src := b.AddNode(&ops.Generator{Limit: n}, 0, 1)
+	up := b.AddNode(&ops.Worker{OpName: "Up", Prog: ops.WorkerProgram("Up", 0)}, 1, 1)
+	bad := b.AddNode(&seqPanicky{
+		name:     "Bad",
+		interval: interval,
+		prog:     panicProgram(t, "Bad", interval),
+	}, 1, 1)
+	w := b.AddNode(&ops.Worker{Prog: ops.WorkerProgram("W", 0)}, 1, 1)
+	snk := &ops.Sink{}
+	sn := b.AddNode(snk, 1, 0)
+	b.Connect(src, 0, up, 0)
+	b.Connect(up, 0, bad, 0)
+	b.Connect(bad, 0, w, 0)
+	b.Connect(w, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One worker thread: the panicking node's queue is drained only by
+	// the thread that just flushed to it, so it is empty at every flush
+	// and the chain (hence the fused run) commits deterministically —
+	// keeping the FusedRuns assertion below robust under -race timing.
+	s := runGraph(t, g, Config{MaxThreads: 1, QuarantineAfter: 1 << 30}, 1)
+	fs := s.Faults()
+	if fs.OpPanics != n/interval {
+		t.Errorf("OpPanics = %d, want %d", fs.OpPanics, n/interval)
+	}
+	if got, want := snk.Count(), uint64(n-n/interval); got != want {
+		t.Errorf("sink saw %d tuples, want %d", got, want)
+	}
+	if got := snk.Count() + fs.DeadLetters; got != n {
+		t.Errorf("delivered %d + dead-lettered %d = %d, want %d", snk.Count(), fs.DeadLetters, got, n)
+	}
+	if v := s.Stats().VM; v.FusedRuns == 0 {
+		t.Errorf("fused dispatch never fired, containment path untested: %+v", v)
+	}
+}

@@ -112,6 +112,11 @@ type Config struct {
 	// (the -nochain ablation): every flush goes through the queues as in
 	// the paper's original design.
 	DisableChain bool
+	// DisableVM turns fused superinstruction dispatch off (the -novm
+	// ablation): chain batches always execute through the per-operator
+	// path even when every operator along the run carries a bytecode
+	// program.
+	DisableVM bool
 
 	// Fault optionally installs a chaos injector at the scheduler's
 	// seams (operator execution, queue pushes). Nil — the default —
@@ -364,6 +369,12 @@ type Scheduler struct {
 	chainBudget0 int
 	chains       *metrics.Chain
 
+	// Fused superinstruction dispatch (fused.go). fusedRuns holds the
+	// precomputed run per entry port (nil = none, including when
+	// DisableVM or chaining is off); vms holds the sharded meters.
+	fusedRuns []*fusedRun
+	vms       *metrics.VM
+
 	// Fault containment. inj is the chaos injector (nil when disabled —
 	// the seams then cost a nil check). faultsSeen flips true on the
 	// first recovered panic and gates the per-span quarantine lookup, so
@@ -439,6 +450,7 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		chainDepth:         cfg.ChainDepth,
 		chainBudget0:       cfg.ChainTupleBudget,
 		chains:             metrics.NewChain(cfg.MaxThreads + cfg.SourceThreads),
+		vms:                metrics.NewVM(cfg.MaxThreads + cfg.SourceThreads),
 		inj:                cfg.Fault,
 		tr:                 cfg.Tracer,
 		latency:            cfg.Latency,
@@ -491,6 +503,7 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 	}
 	s.openPorts.Store(int32(nPorts))
 	s.sourcesLeft.Store(int32(len(g.SourceNodes)))
+	s.buildFusedRuns()
 	s.labelTraceRings()
 	if nPorts == 0 {
 		s.beginPortsClosed()
@@ -590,6 +603,8 @@ type Stats struct {
 	Faults metrics.FaultsSnapshot
 	// Chain snapshots the inline chain-execution meters.
 	Chain metrics.ChainSnapshot
+	// VM snapshots the fused bytecode-dispatch meters.
+	VM metrics.VMSnapshot
 	// Relax is the relaxation width in effect when the snapshot was
 	// taken (1 = tight own-shard ordering).
 	Relax int
@@ -608,6 +623,7 @@ func (s *Scheduler) Stats() Stats {
 		Contention:    s.contention.Snapshot(),
 		Faults:        s.faults.Snapshot(),
 		Chain:         s.chains.Snapshot(),
+		VM:            s.vms.Snapshot(),
 		Relax:         int(s.relax.Load()),
 		ClaimWait:     s.claimLat.Snapshot(),
 	}
@@ -879,7 +895,16 @@ func (s *Scheduler) tryChain(c *ctx, port int32, batch []tuple.Tuple) bool {
 		return false
 	}
 	// Committed: the lock is held, the queue is empty, the budgets
-	// allow it. Execute the batch as if it had been drained here.
+	// allow it. When a fused run is rooted here, try to execute the
+	// whole run as one program first; a decline falls through to the
+	// per-operator link below with the lock still held.
+	if fr := s.fusedRuns[port]; fr != nil {
+		if s.tryFused(c, fr, port, batch) {
+			q.ConsUnlock()
+			return true
+		}
+	}
+	// Execute the batch as if it had been drained here.
 	thr.chainBudget -= len(batch)
 	depth := s.chainDepth - c.chainLeft + 1
 	if depth == 1 {

@@ -1,0 +1,120 @@
+package spl
+
+import (
+	"streams/internal/tuple"
+	"streams/internal/vm"
+)
+
+// This file is the value-model bridge between the SPL runtime (boxed
+// Value / Tup maps) and the VM (unboxed Val lanes). Two pieces:
+//
+//   - the builtin registrations: every whitelisted signature in
+//     vmBuiltinSigs wraps the SAME eval function the closure
+//     interpreter calls, so the two paths agree on every edge case
+//     (substring bounds panics, toInt leniency, spin's burn) by
+//     construction rather than by re-implementation;
+//   - tupCodec, which copies Tup payloads into slot windows and back.
+
+func init() {
+	for name, sigs := range vmBuiltinSigs {
+		for _, sig := range sigs {
+			vm.RegisterBuiltin(name+":"+sig.args, bridgeBuiltin(name, sig))
+		}
+	}
+}
+
+// bridgeBuiltin wraps builtins[name].eval for one argument signature.
+func bridgeBuiltin(name string, sig vmSig) vm.BuiltinFunc {
+	eval := builtins[name].eval
+	letters := sig.args
+	ret := sig.ret
+	return func(args []vm.Val) vm.Val {
+		boxed := make([]Value, len(args))
+		for i := range args {
+			switch letters[i] {
+			case 'i':
+				boxed[i] = args[i].I
+			case 'f':
+				boxed[i] = args[i].F
+			case 's':
+				boxed[i] = args[i].S
+			default:
+				boxed[i] = args[i].I != 0
+			}
+		}
+		return valFromValue(eval(Pos{}, boxed), ret)
+	}
+}
+
+func valFromValue(v Value, k vm.Kind) vm.Val {
+	switch k {
+	case vm.KInt:
+		return vm.Val{I: v.(int64)}
+	case vm.KFloat:
+		return vm.Val{F: v.(float64)}
+	case vm.KStr:
+		return vm.Val{S: v.(string)}
+	default:
+		if v.(bool) {
+			return vm.Val{I: 1}
+		}
+		return vm.Val{}
+	}
+}
+
+// tupCodec translates Tup payloads at program boundaries. Load runs
+// once per input tuple; Store once per fresh emit. Inside a fused
+// chain neither runs at interior hops — values stay in slots.
+type tupCodec struct{}
+
+func (tupCodec) Load(t *tuple.Tuple, in vm.Layout, slots []vm.Val) {
+	tv := t.Ref.(Tup)
+	for i, f := range in.Fields {
+		switch f.Kind {
+		case vm.KInt:
+			slots[i] = vm.Val{I: tv[f.Name].(int64)}
+		case vm.KFloat:
+			slots[i] = vm.Val{F: tv[f.Name].(float64)}
+		case vm.KStr:
+			slots[i] = vm.Val{S: tv[f.Name].(string)}
+		default:
+			slots[i] = vm.Val{I: b2iVal(tv[f.Name].(bool))}
+		}
+	}
+}
+
+func (tupCodec) Store(slots []vm.Val, out vm.Layout) any {
+	tv := make(Tup, len(out.Fields))
+	for i, f := range out.Fields {
+		switch f.Kind {
+		case vm.KInt:
+			tv[f.Name] = slots[i].I
+		case vm.KFloat:
+			tv[f.Name] = slots[i].F
+		case vm.KStr:
+			tv[f.Name] = slots[i].S
+		default:
+			tv[f.Name] = slots[i].I != 0
+		}
+	}
+	return tv
+}
+
+func b2iVal(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bindVM binds p to the Tup codec, returning nil (closure fallback)
+// when binding fails — e.g. a builtin registration is missing.
+func bindVM(p *vm.Program) *vm.Program {
+	if p == nil {
+		return nil
+	}
+	if err := p.Bind(tupCodec{}); err != nil {
+		return nil
+	}
+	return p
+}

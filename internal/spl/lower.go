@@ -12,6 +12,7 @@ import (
 	"streams/internal/graph"
 	"streams/internal/ops"
 	"streams/internal/tuple"
+	"streams/internal/vm"
 )
 
 // Options controls compilation.
@@ -24,6 +25,10 @@ type Options struct {
 	// WriterFor opens FileSink outputs; nil uses os.Create. Returned
 	// writers implementing io.Closer are closed at final punctuation.
 	WriterFor func(file string) (io.WriteCloser, error)
+	// NoVM disables bytecode compilation; every operator keeps its
+	// closure evaluator. The scheduler's fused dispatch needs programs,
+	// so this also forces chain batches through the per-operator path.
+	NoVM bool
 }
 
 // Compiled is the result of compiling an SPL program: an executable
@@ -114,7 +119,17 @@ type lowerer struct {
 	opts  Options
 	out   *Compiled
 	depth int
+	// paramVals caches constant-folded parameter expressions so each
+	// source expression is evaluated exactly once per compilation, even
+	// when an operator probes the same parameter at several types
+	// (Throttle retries rate as int64 after float64 fails).
+	paramVals map[*ParamAssign]Value
 }
+
+// paramEvalHook, when non-nil, observes each parameter-expression
+// evaluation (by parameter name). Tests use it to pin down the
+// evaluate-exactly-once guarantee of the fold cache.
+var paramEvalHook func(name string)
 
 func (lw *lowerer) pickMain(prog *Program) (*Composite, error) {
 	name := lw.opts.Main
@@ -369,9 +384,23 @@ func (lw *lowerer) operatorFactory(inv *Invocation, name string, params map[stri
 		if !okp {
 			return nil, nil
 		}
-		v, err := constEval(p.Expr)
-		if err != nil {
-			return nil, errf(p.Pos, "parameter %q: %v", pname, err)
+		v, cached := lw.paramVals[p]
+		if !cached {
+			if paramEvalHook != nil {
+				paramEvalHook(pname)
+			}
+			var err error
+			v, err = constEval(p.Expr)
+			if err != nil {
+				return nil, errf(p.Pos, "parameter %q: %v", pname, err)
+			}
+			// Cache before the type check: a retry at a different
+			// expected type (Throttle's float64-then-int64 rate) must
+			// not re-evaluate the expression.
+			if lw.paramVals == nil {
+				lw.paramVals = map[*ParamAssign]Value{}
+			}
+			lw.paramVals[p] = v
 		}
 		got := typeOfValue(v)
 		if !assignable(want, got) {
@@ -501,8 +530,15 @@ func (lw *lowerer) operatorFactory(inv *Invocation, name string, params map[stri
 			ot = *outType
 		}
 		stateBlock := inv.State
+		// Stateless single-in single-out Custom operators compile to
+		// bytecode; anything else (state, multi-port, dropped output)
+		// keeps the interpreter.
+		var prog *vm.Program
+		if !lw.opts.NoVM && stateBlock == nil && len(inPorts) == 1 && outType != nil && blocks[0] != nil {
+			prog = bindVM(compileCustomVM(name, blocks[0], inTypes[0], inNames[0], ot, inv.OutStream))
+		}
 		return func(int) graph.Operator {
-			op := &customOp{name: name, blocks: blocks, inTypes: inTypes, inNames: inNames, outType: ot, hasOut: outType != nil}
+			op := &customOp{name: name, blocks: blocks, inTypes: inTypes, inNames: inNames, outType: ot, hasOut: outType != nil, prog: prog}
 			if stateBlock != nil {
 				// Each replica owns its state, initialized once here.
 				op.state = newEnv(nil)
@@ -539,8 +575,12 @@ func (lw *lowerer) operatorFactory(inv *Invocation, name string, params map[stri
 		if !t.equal(Boolean) {
 			return nil, 0, 0, errf(p.Pos, "filter expression has type %s, want boolean", t)
 		}
+		var prog *vm.Program
+		if !lw.opts.NoVM {
+			prog = bindVM(compileFilterVM(name, p.Expr, inPorts[0].typ))
+		}
 		return func(int) graph.Operator {
-			return &filterOp{name: name, pred: p.Expr}
+			return &filterOp{name: name, pred: p.Expr, prog: prog}
 		}, 1, 1, nil
 
 	case "Work":
@@ -559,8 +599,12 @@ func (lw *lowerer) operatorFactory(inv *Invocation, name string, params map[stri
 		} else if v != nil {
 			cost = v.(int64)
 		}
+		var wprog *vm.Program
+		if !lw.opts.NoVM {
+			wprog = bindVM(compileWorkVM(name, int(cost), inPorts[0].typ))
+		}
 		return func(int) graph.Operator {
-			return &workOp{name: name, cost: int(cost)}
+			return &workOp{name: name, cost: int(cost), prog: wprog}
 		}, 1, 1, nil
 
 	case "Aggregate":
@@ -851,15 +895,40 @@ type customOp struct {
 	outType TupleType
 	hasOut  bool
 
+	// prog, when non-nil, is the bytecode form of the (stateless,
+	// single-port) onTuple block; Process runs it instead of the
+	// interpreter. mach/emit are reused across tuples — per-port
+	// consumer locks serialize Process, so no further locking.
+	prog *vm.Program
+	mach vm.Machine
+	emit submitEmitter
+
 	stateMu sync.Mutex
 	state   *renv
 }
 
+// submitEmitter adapts graph.Submitter to vm.Emitter on output port 0.
+// Each operator instance keeps one and rebinds its target per Process
+// call, so the hot path allocates no closure.
+type submitEmitter struct{ out graph.Submitter }
+
+// Emit implements vm.Emitter.
+func (e *submitEmitter) Emit(t tuple.Tuple) { e.out.Submit(t, 0) }
+
 // Name implements graph.Operator.
 func (c *customOp) Name() string { return c.name }
 
+// VMProgram implements vm.Programmed.
+func (c *customOp) VMProgram() *vm.Program { return c.prog }
+
 // Process implements graph.Operator.
 func (c *customOp) Process(out graph.Submitter, t tuple.Tuple, inPort int) {
+	if c.prog != nil {
+		c.emit.out = out
+		c.mach.Run(c.prog, t, &c.emit)
+		c.emit.out = nil
+		return
+	}
 	blk := c.blocks[inPort]
 	if blk == nil {
 		return
@@ -893,13 +962,25 @@ func (c *customOp) Process(out graph.Submitter, t tuple.Tuple, inPort int) {
 type filterOp struct {
 	name string
 	pred Expr
+	prog *vm.Program
+	mach vm.Machine
+	emit submitEmitter
 }
 
 // Name implements graph.Operator.
 func (f *filterOp) Name() string { return f.name }
 
+// VMProgram implements vm.Programmed.
+func (f *filterOp) VMProgram() *vm.Program { return f.prog }
+
 // Process implements graph.Operator.
 func (f *filterOp) Process(out graph.Submitter, t tuple.Tuple, _ int) {
+	if f.prog != nil {
+		f.emit.out = out
+		f.mach.Run(f.prog, t, &f.emit)
+		f.emit.out = nil
+		return
+	}
 	tv := t.Ref.(Tup)
 	env := newEnv(nil)
 	for k, v := range tv {
@@ -915,10 +996,17 @@ func (f *filterOp) Process(out graph.Submitter, t tuple.Tuple, _ int) {
 type workOp struct {
 	name string
 	cost int
+	// prog exists for fusion only: a bytecode spin-and-forward is no
+	// faster than the direct call below, so unfused dispatch keeps the
+	// closure path, but a chain can absorb this operator as a segment.
+	prog *vm.Program
 }
 
 // Name implements graph.Operator.
 func (w *workOp) Name() string { return w.name }
+
+// VMProgram implements vm.Programmed.
+func (w *workOp) VMProgram() *vm.Program { return w.prog }
 
 // Process implements graph.Operator.
 func (w *workOp) Process(out graph.Submitter, t tuple.Tuple, _ int) {

@@ -1,0 +1,32 @@
+package spl
+
+import "testing"
+
+// TestParamExprEvaluatedOnce pins the lowering-time fold cache for
+// parameter expressions: every parameter is constant-folded exactly
+// once per assignment, even when the operator probes it at more than
+// one expected type (Throttle retries an integer rate after float64 —
+// the retry must hit the cache, not re-evaluate).
+func TestParamExprEvaluatedOnce(t *testing.T) {
+	counts := map[string]int{}
+	paramEvalHook = func(name string) { counts[name]++ }
+	defer func() { paramEvalHook = nil }()
+
+	const src = `
+composite Main {
+  graph
+    stream<int64 x> N = Beacon() { param iterations: 2 + 3; }
+    stream<int64 x> T = Throttle(N) { param rate: 50 * 2; }
+    () as Out = FileSink(T) { param file: "/dev/null"; }
+}
+`
+	if _, err := Compile(src, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"iterations", "rate", "file"} {
+		if counts[name] != 1 {
+			t.Errorf("parameter %q evaluated %d times, want exactly 1 (all: %v)",
+				name, counts[name], counts)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package spl
+
+import (
+	"strings"
+	"testing"
+
+	"streams/internal/graph"
+	"streams/internal/tuple"
+	"streams/internal/vm"
+)
+
+// BenchmarkVMDispatch compares the three dispatch forms on the same
+// operator logic (make bench-vm archives it as BENCH_vm.json):
+//
+//	single/closure — one Custom operator, tree-walking evaluator
+//	single/vm      — the same operator through its bytecode program
+//	chain3/closure — three Customs linked Process-to-Process, the work
+//	                 an inline chain link does per operator
+//	chain3/fused   — the three programs fused into one superinstruction
+//	                 program: one dispatch loop, attribute values moving
+//	                 through VM slots instead of fresh Tup maps
+const benchProgram = `
+composite Main {
+  graph
+    stream<int64 x, int64 y> N = Beacon() { param iterations: 1; }
+    stream<int64 a, int64 b> S1 = Custom(N) {
+      logic onTuple N: { submit({ a = x * 3 + y, b = x - 1 }, S1); }
+    }
+    stream<int64 c> S2 = Custom(S1) {
+      logic onTuple S1: { submit({ c = a * a + b * 2 }, S2); }
+    }
+    stream<int64 r> S3 = Custom(S2) {
+      logic onTuple S2: { submit({ r = c % 1000 + 7 }, S3); }
+    }
+    () as Out = FileSink(S3) { param file: "/dev/null"; }
+}
+`
+
+// benchOps compiles benchProgram and returns the three Custom operators
+// in pipeline order.
+func benchOps(b *testing.B, opts Options) [3]graph.Operator {
+	b.Helper()
+	compiled, err := Compile(benchProgram, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out [3]graph.Operator
+	for _, n := range compiled.Graph.Nodes {
+		switch {
+		case strings.HasSuffix(n.Op.Name(), "/S1"):
+			out[0] = n.Op
+		case strings.HasSuffix(n.Op.Name(), "/S2"):
+			out[1] = n.Op
+		case strings.HasSuffix(n.Op.Name(), "/S3"):
+			out[2] = n.Op
+		}
+	}
+	for i, op := range out {
+		if op == nil {
+			b.Fatalf("operator S%d not found in compiled graph", i+1)
+		}
+	}
+	return out
+}
+
+// nullSub drops submissions: the benchmarks measure operator dispatch,
+// not downstream routing.
+type nullSub struct{ n int }
+
+func (s *nullSub) Submit(tuple.Tuple, int) { s.n++ }
+
+// chainSub links one operator's output to the next operator's Process,
+// modelling the per-operator work of an inline chain link.
+type chainSub struct {
+	next graph.Operator
+	out  graph.Submitter
+}
+
+func (s *chainSub) Submit(t tuple.Tuple, _ int) { s.next.Process(s.out, t, 0) }
+
+func benchTuple() tuple.Tuple {
+	return tuple.Tuple{Ref: Tup{"x": int64(7), "y": int64(9)}}
+}
+
+func BenchmarkVMDispatch(b *testing.B) {
+	b.Run("single/closure", func(b *testing.B) {
+		op := benchOps(b, Options{NoVM: true})[0]
+		sink := &nullSub{}
+		t := benchTuple()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.Process(sink, t, 0)
+		}
+	})
+	b.Run("single/vm", func(b *testing.B) {
+		op := benchOps(b, Options{})[0]
+		if op.(vm.Programmed).VMProgram() == nil {
+			b.Fatal("S1 did not compile to bytecode")
+		}
+		sink := &nullSub{}
+		t := benchTuple()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.Process(sink, t, 0)
+		}
+	})
+	b.Run("chain3/closure", func(b *testing.B) {
+		ops := benchOps(b, Options{NoVM: true})
+		sink := &nullSub{}
+		link := &chainSub{next: ops[0], out: &chainSub{next: ops[1], out: &chainSub{next: ops[2], out: sink}}}
+		t := benchTuple()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			link.Submit(t, 0)
+		}
+	})
+	b.Run("chain3/fused", func(b *testing.B) {
+		ops := benchOps(b, Options{})
+		progs := make([]*vm.Program, 3)
+		for i, op := range ops {
+			progs[i] = op.(vm.Programmed).VMProgram()
+			if progs[i] == nil {
+				b.Fatalf("S%d did not compile to bytecode", i+1)
+			}
+		}
+		fused, err := vm.Fuse(progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var m vm.Machine
+		var emitted int
+		emit := vm.EmitFunc(func(tuple.Tuple) { emitted++ })
+		t := benchTuple()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Run(fused, t, emit)
+		}
+	})
+}

@@ -1,0 +1,324 @@
+package spl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"streams/internal/tuple"
+	"streams/internal/vm"
+)
+
+// Differential test between the two expression dispatch forms: the
+// closure evaluator (eval in check.go) and the bytecode VM
+// (compileExprVM + vm.Machine). On every expression the VM accepts, the
+// two must agree exactly — same value, or a panic on both sides. The
+// generator only produces constructs inside the VM's documented subset,
+// so a compilation fall-back here is itself a bug.
+
+// diffInType is the input tuple type the generated expressions range
+// over: two attributes per scalar kind, so binary operators can mix
+// attributes and literals of matching kinds.
+var diffInType = TupleType{Fields: []TField{
+	{Name: "a", Type: Int64},
+	{Name: "b", Type: Int64},
+	{Name: "f", Type: Float64},
+	{Name: "g", Type: Float64},
+	{Name: "s", Type: RString},
+	{Name: "t", Type: RString},
+	{Name: "p", Type: Boolean},
+	{Name: "q", Type: Boolean},
+}}
+
+var diffFields = map[vm.Kind][]string{
+	vm.KInt:   {"a", "b"},
+	vm.KFloat: {"f", "g"},
+	vm.KStr:   {"s", "t"},
+	vm.KBool:  {"p", "q"},
+}
+
+// Literal pools. Zeros and short strings are deliberately common: they
+// drive the error paths (division by zero, substring out of range,
+// toInt parse failures) the two evaluators must agree on too.
+var (
+	diffInts    = []int64{-3, -1, 0, 0, 1, 2, 7, 100}
+	diffFloats  = []float64{-2.5, -1, 0, 0, 0.5, 1, 3.75, 1e6}
+	diffStrings = []string{"", "a", "abc", "héllo", "42", "-7", "3.5", "xyzzy"}
+)
+
+func diffLit(r *rand.Rand, k vm.Kind) Expr {
+	switch k {
+	case vm.KInt:
+		return &IntLit{V: diffInts[r.Intn(len(diffInts))]}
+	case vm.KFloat:
+		return &FloatLit{V: diffFloats[r.Intn(len(diffFloats))]}
+	case vm.KStr:
+		return &StringLit{V: diffStrings[r.Intn(len(diffStrings))]}
+	default:
+		return &BoolLit{V: r.Intn(2) == 0}
+	}
+}
+
+// diffLeaf is a literal, a bare attribute reference, or the
+// stream-qualified spelling of the same attribute (S.x) — the three
+// ways a value enters an expression.
+func diffLeaf(r *rand.Rand, k vm.Kind) Expr {
+	switch r.Intn(3) {
+	case 0:
+		return diffLit(r, k)
+	case 1:
+		return &Ident{Name: diffFields[k][r.Intn(2)]}
+	default:
+		return &AttrExpr{X: &Ident{Name: "S"}, Name: diffFields[k][r.Intn(2)]}
+	}
+}
+
+// genExpr produces a random well-typed expression of VM kind k with at
+// most depth levels of nesting, drawn from the full supported surface:
+// typed arithmetic, comparisons, equality, short-circuit logic,
+// conditionals, and the whitelisted builtins (including the panicking
+// edges of substring and toInt, and the deliberately unfoldable spin).
+func genExpr(r *rand.Rand, k vm.Kind, depth int) Expr {
+	if depth <= 0 {
+		return diffLeaf(r, k)
+	}
+	d := depth - 1
+	switch k {
+	case vm.KInt:
+		switch r.Intn(7) {
+		case 0:
+			op := []Kind{PLUS, MINUS, STAR, SLASH, PERCENT}[r.Intn(5)]
+			return &BinaryExpr{Op: op, X: genExpr(r, k, d), Y: genExpr(r, k, d)}
+		case 1:
+			return &UnaryExpr{Op: MINUS, X: genExpr(r, k, d)}
+		case 2:
+			return &CondExpr{C: genExpr(r, vm.KBool, d), T: genExpr(r, k, d), F: genExpr(r, k, d)}
+		case 3:
+			return &CallExpr{Name: "length", Args: []Expr{genExpr(r, vm.KStr, d)}}
+		case 4:
+			return &CallExpr{Name: "findFirst", Args: []Expr{genExpr(r, vm.KStr, d), genExpr(r, vm.KStr, d), genExpr(r, vm.KInt, d)}}
+		case 5:
+			return &CallExpr{Name: "toInt", Args: []Expr{genExpr(r, vm.KStr, d)}}
+		default:
+			return &BinaryExpr{Op: PLUS, X: genExpr(r, k, d), Y: genExpr(r, k, d)}
+		}
+	case vm.KFloat:
+		switch r.Intn(6) {
+		case 0:
+			op := []Kind{PLUS, MINUS, STAR, SLASH}[r.Intn(4)]
+			return &BinaryExpr{Op: op, X: genExpr(r, k, d), Y: genExpr(r, k, d)}
+		case 1:
+			return &UnaryExpr{Op: MINUS, X: genExpr(r, k, d)}
+		case 2:
+			return &CondExpr{C: genExpr(r, vm.KBool, d), T: genExpr(r, k, d), F: genExpr(r, k, d)}
+		case 3:
+			return &CallExpr{Name: "toFloat64", Args: []Expr{genExpr(r, vm.KInt, d)}}
+		case 4:
+			// spin burns real CPU: keep the argument a small literal.
+			return &CallExpr{Name: "spin", Args: []Expr{&IntLit{V: r.Int63n(4)}}}
+		default:
+			return &CallExpr{Name: "toFloat64", Args: []Expr{genExpr(r, vm.KFloat, d)}}
+		}
+	case vm.KStr:
+		switch r.Intn(6) {
+		case 0:
+			return &BinaryExpr{Op: PLUS, X: genExpr(r, k, d), Y: genExpr(r, k, d)}
+		case 1:
+			return &CondExpr{C: genExpr(r, vm.KBool, d), T: genExpr(r, k, d), F: genExpr(r, k, d)}
+		case 2:
+			name := []string{"lower", "upper"}[r.Intn(2)]
+			return &CallExpr{Name: name, Args: []Expr{genExpr(r, k, d)}}
+		case 3:
+			return &CallExpr{Name: "substring", Args: []Expr{genExpr(r, vm.KStr, d), genExpr(r, vm.KInt, d), genExpr(r, vm.KInt, d)}}
+		case 4:
+			arg := []vm.Kind{vm.KInt, vm.KFloat, vm.KStr, vm.KBool}[r.Intn(4)]
+			return &CallExpr{Name: "toString", Args: []Expr{genExpr(r, arg, d)}}
+		default:
+			return &BinaryExpr{Op: PLUS, X: genExpr(r, k, d), Y: genExpr(r, k, d)}
+		}
+	default: // bool
+		switch r.Intn(6) {
+		case 0:
+			ok := []vm.Kind{vm.KInt, vm.KFloat, vm.KStr}[r.Intn(3)]
+			op := []Kind{LANGLE, RANGLE, LEQ, GEQ}[r.Intn(4)]
+			return &BinaryExpr{Op: op, X: genExpr(r, ok, d), Y: genExpr(r, ok, d)}
+		case 1:
+			ok := []vm.Kind{vm.KInt, vm.KFloat, vm.KStr, vm.KBool}[r.Intn(4)]
+			op := []Kind{EQ, NEQ}[r.Intn(2)]
+			return &BinaryExpr{Op: op, X: genExpr(r, ok, d), Y: genExpr(r, ok, d)}
+		case 2:
+			op := []Kind{ANDAND, OROR}[r.Intn(2)]
+			return &BinaryExpr{Op: op, X: genExpr(r, k, d), Y: genExpr(r, k, d)}
+		case 3:
+			return &UnaryExpr{Op: NOT, X: genExpr(r, k, d)}
+		case 4:
+			return &CondExpr{C: genExpr(r, k, d), T: genExpr(r, k, d), F: genExpr(r, k, d)}
+		default:
+			return &UnaryExpr{Op: NOT, X: genExpr(r, k, d)}
+		}
+	}
+}
+
+func exprStr(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprint(x.V)
+	case *FloatLit:
+		return fmt.Sprintf("%g", x.V)
+	case *StringLit:
+		return fmt.Sprintf("%q", x.V)
+	case *BoolLit:
+		return fmt.Sprint(x.V)
+	case *Ident:
+		return x.Name
+	case *AttrExpr:
+		return exprStr(x.X) + "." + x.Name
+	case *UnaryExpr:
+		return fmt.Sprintf("(%v %s)", x.Op, exprStr(x.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %v %s)", exprStr(x.X), x.Op, exprStr(x.Y))
+	case *CondExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", exprStr(x.C), exprStr(x.T), exprStr(x.F))
+	case *CallExpr:
+		s := x.Name + "("
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += exprStr(a)
+		}
+		return s + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func randTup(r *rand.Rand) Tup {
+	return Tup{
+		"a": diffInts[r.Intn(len(diffInts))],
+		"b": diffInts[r.Intn(len(diffInts))],
+		"f": diffFloats[r.Intn(len(diffFloats))],
+		"g": diffFloats[r.Intn(len(diffFloats))],
+		"s": diffStrings[r.Intn(len(diffStrings))],
+		"t": diffStrings[r.Intn(len(diffStrings))],
+		"p": r.Intn(2) == 0,
+		"q": r.Intn(2) == 0,
+	}
+}
+
+// runClosureExpr evaluates e in the closure evaluator over in.
+func runClosureExpr(e Expr, in Tup) (out Value, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	env := newEnv(nil)
+	for k, v := range in {
+		env.vars[k] = v
+	}
+	env.vars["S"] = in
+	return eval(e, env), false
+}
+
+// runVMExpr pushes in through the compiled program and reads back the
+// single output attribute.
+func runVMExpr(p *vm.Program, in Tup) (out Value, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	var m vm.Machine
+	var got Tup
+	m.Run(p, tuple.Tuple{Ref: in}, vm.EmitFunc(func(o tuple.Tuple) {
+		got = o.Ref.(Tup)
+	}))
+	return got["r"], false
+}
+
+// sameValue compares two same-typed scalar results, treating NaN as
+// equal to NaN (float division can produce it on both paths).
+func sameValue(a, b Value) bool {
+	if af, ok := a.(float64); ok {
+		bf, ok := b.(float64)
+		return ok && (af == bf || (math.IsNaN(af) && math.IsNaN(bf)))
+	}
+	return a == b
+}
+
+func diffOne(t *testing.T, e Expr, p *vm.Program, in Tup) (panicked bool) {
+	t.Helper()
+	cv, cp := runClosureExpr(e, in)
+	vv, vp := runVMExpr(p, in)
+	if cp != vp {
+		t.Fatalf("panic disagreement on %s\ninput %v\nclosure panicked=%v, vm panicked=%v",
+			exprStr(e), in, cp, vp)
+	}
+	if cp {
+		return true
+	}
+	if !sameValue(cv, vv) {
+		t.Fatalf("value disagreement on %s\ninput %v\nclosure %v (%T), vm %v (%T)",
+			exprStr(e), in, cv, cv, vv, vv)
+	}
+	return false
+}
+
+// TestVMDifferentialRandomExprs is the property test: on a fixed seed,
+// hundreds of random well-typed expressions, each executed on several
+// random inputs, must agree between the two evaluators. The seed is
+// fixed so failures reproduce; the final counters prove the sweep
+// exercised both the value path and the panic path.
+func TestVMDifferentialRandomExprs(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	kinds := []vm.Kind{vm.KInt, vm.KFloat, vm.KStr, vm.KBool}
+	values, panics := 0, 0
+	for i := 0; i < 600; i++ {
+		e := genExpr(r, kinds[r.Intn(len(kinds))], 1+r.Intn(3))
+		p := bindVM(compileExprVM(e, diffInType, "S"))
+		if p == nil {
+			t.Fatalf("trial %d: VM rejected a generated expression: %s", i, exprStr(e))
+		}
+		for j := 0; j < 4; j++ {
+			if diffOne(t, e, p, randTup(r)) {
+				panics++
+			} else {
+				values++
+			}
+		}
+	}
+	if values == 0 || panics == 0 {
+		t.Fatalf("sweep did not cover both outcomes: %d values, %d panics", values, panics)
+	}
+}
+
+// TestVMDifferentialEdgeCases pins the known-sharp edges explicitly, so
+// a generator drift can never silently drop them: integer division and
+// modulo by zero, float division by zero (Inf and NaN, no panic),
+// substring out of range and clamped, toInt parse failure, and the
+// unfoldable spin call.
+func TestVMDifferentialEdgeCases(t *testing.T) {
+	in := Tup{"a": int64(0), "b": int64(7), "f": 0.0, "g": 0.0, "s": "abc", "t": "12x", "p": true, "q": false}
+	cases := []Expr{
+		&BinaryExpr{Op: SLASH, X: &IntLit{V: 1}, Y: &Ident{Name: "a"}},
+		&BinaryExpr{Op: PERCENT, X: &Ident{Name: "b"}, Y: &Ident{Name: "a"}},
+		&BinaryExpr{Op: SLASH, X: &FloatLit{V: 1}, Y: &Ident{Name: "g"}},
+		&BinaryExpr{Op: SLASH, X: &Ident{Name: "f"}, Y: &Ident{Name: "g"}},
+		&CallExpr{Name: "substring", Args: []Expr{&Ident{Name: "s"}, &IntLit{V: 1}, &IntLit{V: 100}}},
+		&CallExpr{Name: "substring", Args: []Expr{&Ident{Name: "s"}, &IntLit{V: 5}, &IntLit{V: 1}}},
+		&CallExpr{Name: "substring", Args: []Expr{&Ident{Name: "s"}, &IntLit{V: -1}, &IntLit{V: 1}}},
+		&CallExpr{Name: "toInt", Args: []Expr{&Ident{Name: "t"}}},
+		&CallExpr{Name: "toInt", Args: []Expr{&StringLit{V: "42"}}},
+		&CallExpr{Name: "spin", Args: []Expr{&IntLit{V: 3}}},
+		&BinaryExpr{Op: ANDAND, X: &Ident{Name: "q"}, Y: &BinaryExpr{Op: EQ, X: &BinaryExpr{Op: SLASH, X: &IntLit{V: 1}, Y: &Ident{Name: "a"}}, Y: &IntLit{V: 1}}},
+	}
+	for _, e := range cases {
+		p := bindVM(compileExprVM(e, diffInType, "S"))
+		if p == nil {
+			t.Fatalf("VM rejected edge case: %s", exprStr(e))
+		}
+		diffOne(t, e, p, in)
+	}
+}

@@ -157,6 +157,11 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"port": port, "wait_ns": waitNs,
 			}))
+		case KindVMFuse:
+			segs, port := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"segs": segs, "port": port,
+			}))
 		case KindSpill, KindResched:
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{"port": e.Arg}))
 		case KindQuarantine:

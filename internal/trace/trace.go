@@ -82,6 +82,11 @@ const (
 	// the ticket line; arg packs port<<32|waitNs (saturating at
 	// 2^32-1 ≈ 4.3s).
 	KindFairClaim
+	// KindVMFuse marks a chain batch committed to fused bytecode
+	// dispatch: the whole operator run executed as one superinstruction
+	// program, no per-operator Process calls; arg packs segs<<32|port,
+	// where segs is the fused chain length.
+	KindVMFuse
 
 	numKinds
 )
@@ -150,6 +155,8 @@ func (k Kind) String() string {
 		return "relax-level"
 	case KindFairClaim:
 		return "fair-claim"
+	case KindVMFuse:
+		return "vm-fuse"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

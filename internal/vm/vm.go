@@ -1,0 +1,394 @@
+// Package vm implements a small typed, stack-based bytecode VM over
+// tuple values — the portable form of operator logic. SPL logic blocks
+// and parameter expressions compile to Programs (internal/spl), native
+// library operators can carry hand-assembled Programs (internal/ops),
+// and the scheduler fuses linear runs of programmed operators into one
+// superinstruction Program executed in a single dispatch loop per
+// input tuple (internal/sched), extending inline chain execution past
+// the per-operator Process call boundary.
+//
+// Programs are deterministic, encoding/binary-serializable and
+// content-hashed (encode.go), so equal logic hashes equally across
+// processes — the placement key distributed re-placement needs: a
+// closure cannot move to another host, a bytecode program can.
+//
+// The value model is deliberately small: a Val is an unboxed
+// (int64, float64, string) triple and every opcode is typed (OpAddI
+// vs OpAddF vs OpCatS), so the common int/float paths never box into
+// interfaces and never dispatch on a runtime tag. Booleans live in the
+// int lane as 0/1. Operators whose logic needs richer values (lists,
+// nested tuples) simply do not compile and keep their closure path —
+// the VM is an opt-in fast path, never a semantic fork.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streams/internal/tuple"
+)
+
+// Kind is the static type of a slot, stack cell or tuple attribute.
+type Kind uint8
+
+const (
+	// KInt is a 64-bit signed integer (SPL int32/int64 both widen here).
+	KInt Kind = iota
+	// KFloat is a 64-bit float.
+	KFloat
+	// KStr is an immutable string (SPL rstring and timestamp).
+	KStr
+	// KBool is a boolean carried in the int lane as 0/1.
+	KBool
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KStr:
+		return "str"
+	case KBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Val is one unboxed VM value. Exactly one lane is meaningful; the
+// static Kind of the producing opcode or slot says which. Keeping all
+// three lanes in one struct trades 24 bytes of width for tag-free
+// dispatch: the interpreter never asks a value what it is.
+type Val struct {
+	// I is the int lane (ints and booleans).
+	I int64
+	// F is the float lane.
+	F float64
+	// S is the string lane.
+	S string
+}
+
+// Field is one named, typed tuple attribute in a Layout.
+type Field struct {
+	// Name is the attribute name.
+	Name string
+	// Kind is the attribute's VM type.
+	Kind Kind
+}
+
+// Layout maps a tuple type onto a contiguous slot window: attribute i
+// of the layout lives at slot window[i]. Attribute-index resolution
+// happens once at compile time; at run time the boundary codec walks
+// the layout in order and the program body addresses slots by index —
+// no per-tuple map lookups.
+type Layout struct {
+	// Fields are the attributes in slot order.
+	Fields []Field
+}
+
+// Equal reports whether two layouts agree in names and kinds.
+func (l Layout) Equal(o Layout) bool {
+	if len(l.Fields) != len(o.Fields) {
+		return false
+	}
+	for i, f := range l.Fields {
+		if o.Fields[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// Op is a bytecode opcode. The numbering is part of the serialized
+// format: append new opcodes before numOps, never renumber.
+type Op uint16
+
+const (
+	// OpNop does nothing.
+	OpNop Op = iota
+	// OpConstI pushes Ints[A].
+	OpConstI
+	// OpConstF pushes Floats[A].
+	OpConstF
+	// OpConstS pushes Strs[A].
+	OpConstS
+	// OpLoad pushes slot A.
+	OpLoad
+	// OpStore pops into slot A.
+	OpStore
+	// OpLoadSeq pushes the current template tuple's Seq as an int.
+	OpLoadSeq
+	// OpPop discards the top of stack.
+	OpPop
+
+	// OpAddI..OpNegI are int arithmetic. OpDivI and OpModI panic with
+	// *Error on a zero divisor, matching the closure evaluator.
+	OpAddI
+	OpSubI
+	OpMulI
+	OpDivI
+	OpModI
+	OpNegI
+
+	// OpAddF..OpNegF are float arithmetic; division by zero yields
+	// ±Inf/NaN per Go semantics, again matching the closure evaluator.
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
+	OpNegF
+
+	// OpCatS concatenates two strings.
+	OpCatS
+
+	// Comparisons pop two operands and push a bool (0/1 in the int
+	// lane), one typed family per lane.
+	OpEqI
+	OpNeI
+	OpLtI
+	OpLeI
+	OpGtI
+	OpGeI
+	OpEqF
+	OpNeF
+	OpLtF
+	OpLeF
+	OpGtF
+	OpGeF
+	OpEqS
+	OpNeS
+	OpLtS
+	OpLeS
+	OpGtS
+	OpGeS
+
+	// OpNotB negates a bool.
+	OpNotB
+
+	// OpJump sets pc to A (a segment-absolute code index; A may equal
+	// the segment end, meaning return).
+	OpJump
+	// OpJumpIfFalse pops a bool and jumps to A when it is 0.
+	OpJumpIfFalse
+	// OpJumpIfTrue pops a bool and jumps to A when it is 1.
+	OpJumpIfTrue
+
+	// OpCall pops B arguments (last argument on top) and calls bound
+	// builtin Builtins[A], pushing its result.
+	OpCall
+	// OpEmit emits the tuple currently materialized in the segment's
+	// out window: the last segment's emit produces an output tuple,
+	// an inner segment's emit feeds the next segment inline.
+	OpEmit
+	// OpDrop ends the current segment immediately without emitting —
+	// the filter-drop path.
+	OpDrop
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpConstI: "const.i", OpConstF: "const.f", OpConstS: "const.s",
+	OpLoad: "load", OpStore: "store", OpLoadSeq: "load.seq", OpPop: "pop",
+	OpAddI: "add.i", OpSubI: "sub.i", OpMulI: "mul.i", OpDivI: "div.i", OpModI: "mod.i", OpNegI: "neg.i",
+	OpAddF: "add.f", OpSubF: "sub.f", OpMulF: "mul.f", OpDivF: "div.f", OpNegF: "neg.f",
+	OpCatS: "cat.s",
+	OpEqI:  "eq.i", OpNeI: "ne.i", OpLtI: "lt.i", OpLeI: "le.i", OpGtI: "gt.i", OpGeI: "ge.i",
+	OpEqF: "eq.f", OpNeF: "ne.f", OpLtF: "lt.f", OpLeF: "le.f", OpGtF: "gt.f", OpGeF: "ge.f",
+	OpEqS: "eq.s", OpNeS: "ne.s", OpLtS: "lt.s", OpLeS: "le.s", OpGtS: "gt.s", OpGeS: "ge.s",
+	OpNotB: "not.b",
+	OpJump: "jump", OpJumpIfFalse: "jump.false", OpJumpIfTrue: "jump.true",
+	OpCall: "call", OpEmit: "emit", OpDrop: "drop",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint16(o))
+}
+
+// Instr is one fixed-width instruction. Fixed width keeps decode
+// trivial and fusion relocation a pure index shift.
+type Instr struct {
+	// Op is the opcode.
+	Op Op
+	// A is the first operand (constant index, slot, target, builtin).
+	A int32
+	// B is the second operand (argument count for OpCall).
+	B int32
+}
+
+// Seg is one operator's code and slot region inside a Program. A
+// single-operator program has exactly one segment; Fuse concatenates
+// segments with disjoint slot regions so an inner emit can hand its
+// out window to the next segment's in window without clobbering live
+// locals (a filter's out window aliases its in window, and a custom
+// segment may emit more than once and keep running).
+type Seg struct {
+	// Start and End delimit the segment's code, [Start, End).
+	Start int32
+	// End is one past the segment's last instruction; a pc of End (or
+	// OpDrop) returns from the segment.
+	End int32
+	// InBase is the first slot of the input attribute window.
+	InBase int32
+	// NIn is the input window length.
+	NIn int32
+	// OutBase is the first slot of the output attribute window; for
+	// forwarding operators (filter, work) it aliases InBase.
+	OutBase int32
+	// NOut is the output window length.
+	NOut int32
+	// Fresh marks segments whose emit builds a fresh payload from the
+	// out window (custom operators); forwarding segments pass the
+	// template tuple through unchanged.
+	Fresh bool
+	// Name is the owning operator's name, for fault attribution and
+	// disassembly.
+	Name string
+	// Out is the output window's layout (used by Fresh emits and by
+	// fusion compatibility checks).
+	Out Layout
+}
+
+// Program is one compiled, serializable unit of operator logic. The
+// exported fields are the portable form covered by Encode and the
+// content hash; codec and funcs are process-local bindings
+// re-established with Bind after decode.
+type Program struct {
+	// In is the first segment's input layout.
+	In Layout
+	// NumSlots is the total slot count across all segments' windows
+	// and locals.
+	NumSlots int32
+	// MaxStack bounds the operand stack (summed across segments when
+	// fused, since inner emits run nested segments on one stack).
+	MaxStack int32
+	// Code is the instruction stream, all segments concatenated.
+	Code []Instr
+	// Ints, Floats and Strs are the constant pools.
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	// Builtins are the names OpCall resolves through the registry at
+	// Bind time (signature-mangled, e.g. "substring:sii").
+	Builtins []string
+	// Segs are the operator segments in execution order (≥ 1).
+	Segs []Seg
+
+	codec RefCodec
+	funcs []BuiltinFunc
+}
+
+// RefCodec bridges tuple payloads (tuple.Tuple.Ref) and slot windows.
+// The VM cannot name concrete payload types (internal/spl's Tup is a
+// named map type the spl package owns), so the owning package supplies
+// the conversion and the program carries it after Bind. Load may panic
+// on a malformed payload exactly as the closure path's type assertion
+// would.
+type RefCodec interface {
+	// Load decodes t's payload into slots, one attribute per layout
+	// field, in order.
+	Load(t *tuple.Tuple, in Layout, slots []Val)
+	// Store builds a fresh payload from slots per the layout.
+	Store(slots []Val, out Layout) any
+}
+
+type identityCodec struct{}
+
+func (identityCodec) Load(*tuple.Tuple, Layout, []Val) {}
+func (identityCodec) Store([]Val, Layout) any          { return nil }
+
+// Identity is the codec for programs with empty layouts whose tuples
+// carry their payload inline (native library operators): nothing to
+// decode, forwarding keeps the tuple bit-identical.
+var Identity RefCodec = identityCodec{}
+
+// BuiltinFunc is a bound builtin. It may panic (with *Error or the
+// closure evaluator's own runtime-error type) exactly as the closure
+// path would; the span recovery above the operator contains either.
+type BuiltinFunc func(args []Val) Val
+
+var (
+	regMu      sync.RWMutex
+	builtinReg = map[string]BuiltinFunc{}
+)
+
+// RegisterBuiltin installs a builtin under a signature-mangled name.
+// Registration happens in package init functions (spl, ops); duplicate
+// names panic to surface collisions immediately.
+func RegisterBuiltin(name string, fn BuiltinFunc) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := builtinReg[name]; dup {
+		panic("vm: duplicate builtin " + name)
+	}
+	builtinReg[name] = fn
+}
+
+// Builtins returns the registered builtin names, sorted (diagnostics).
+func Builtins() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(builtinReg))
+	for n := range builtinReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bind attaches the process-local halves a decoded or freshly built
+// program needs to run: the payload codec and the builtin functions
+// its name table references. Bind fails if any builtin is unknown —
+// a program shipped from a newer build degrades to the closure path
+// instead of crashing mid-tuple.
+func (p *Program) Bind(codec RefCodec) error {
+	funcs := make([]BuiltinFunc, len(p.Builtins))
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for i, name := range p.Builtins {
+		fn, ok := builtinReg[name]
+		if !ok {
+			return fmt.Errorf("vm: unknown builtin %q", name)
+		}
+		funcs[i] = fn
+	}
+	p.codec = codec
+	p.funcs = funcs
+	return nil
+}
+
+// Codec returns the codec bound to the program (nil before Bind).
+func (p *Program) Codec() RefCodec { return p.codec }
+
+// Programmed is implemented by operators that carry a compiled VM
+// program alongside their closure path. The scheduler and the splc
+// disassembler discover programs through this interface; a nil return
+// means "closure only" for this instance.
+type Programmed interface {
+	VMProgram() *Program
+}
+
+// Error is a VM runtime error. It panics out of Machine.Run exactly
+// as the closure evaluator's RuntimeError panics out of Process, so
+// the scheduler's span recovery contains both identically.
+type Error struct {
+	// Seg is the segment index that was executing.
+	Seg int
+	// PC is the faulting instruction's code index.
+	PC int32
+	// Msg describes the fault.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("vm: seg %d pc %d: %s", e.Seg, e.PC, e.Msg)
+}

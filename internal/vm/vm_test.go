@@ -1,0 +1,330 @@
+package vm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"streams/internal/tuple"
+)
+
+// sliceCodec is the test codec: payloads are plain []Val in layout
+// order, so boundary conversion is a copy in each direction.
+type sliceCodec struct{}
+
+func (sliceCodec) Load(t *tuple.Tuple, in Layout, slots []Val) {
+	copy(slots, t.Ref.([]Val))
+}
+func (sliceCodec) Store(slots []Val, out Layout) any {
+	vs := make([]Val, len(slots))
+	copy(vs, slots)
+	return vs
+}
+
+func init() {
+	RegisterBuiltin("test.add2:ii", func(args []Val) Val {
+		return Val{I: args[0].I + args[1].I}
+	})
+}
+
+var intIn = Layout{Fields: []Field{{Name: "x", Kind: KInt}}}
+
+// funcProg builds a fresh single-segment program computing
+// out.x = in.x*mul + add. Slot 0 is the in window, slot 1 the out.
+func funcProg(t *testing.T, name string, mul, add int64) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(mul)
+	b.Op(OpMulI)
+	b.ConstI(add)
+	b.Op(OpAddI)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: name, Out: intIn}, intIn, 2)
+	if err != nil {
+		t.Fatalf("funcProg: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return p
+}
+
+// filterProg builds a forwarding program keeping tuples with
+// x % mod == keep.
+func filterProg(t *testing.T, name string, mod, keep int64) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(mod)
+	b.Op(OpModI)
+	b.ConstI(keep)
+	b.Op(OpEqI)
+	j := b.Jump(OpJumpIfFalse)
+	b.Op(OpEmit)
+	drop := b.Op(OpDrop)
+	b.PatchTo(j, drop)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 0, NOut: 1, Name: name, Out: intIn}, intIn, 1)
+	if err != nil {
+		t.Fatalf("filterProg: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return p
+}
+
+func runAll(t *testing.T, p *Program, inputs []int64) []tuple.Tuple {
+	t.Helper()
+	var m Machine
+	var outs []tuple.Tuple
+	for i, x := range inputs {
+		in := tuple.Tuple{Seq: uint64(i), Ref: []Val{{I: x}}}
+		m.Run(p, in, EmitFunc(func(o tuple.Tuple) { outs = append(outs, o) }))
+	}
+	return outs
+}
+
+func refInts(outs []tuple.Tuple) []int64 {
+	var vs []int64
+	for _, o := range outs {
+		vs = append(vs, o.Ref.([]Val)[0].I)
+	}
+	return vs
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := funcProg(t, "f", 3, 1)
+	enc := p.Encode()
+	q, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := q.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind decoded: %v", err)
+	}
+	in := []int64{0, 1, 2, 41}
+	got, want := refInts(runAll(t, q, in)), refInts(runAll(t, p, in))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded program disagrees: got %v want %v", got, want)
+	}
+	if p.HashString() != q.HashString() {
+		t.Fatalf("hash changed across round trip: %s vs %s", p.HashString(), q.HashString())
+	}
+	if !reflect.DeepEqual(enc, q.Encode()) {
+		t.Fatalf("re-encode differs from original encoding")
+	}
+}
+
+func TestHashEquality(t *testing.T) {
+	a := funcProg(t, "f", 3, 1)
+	b := funcProg(t, "f", 3, 1)
+	if a.HashString() != b.HashString() {
+		t.Fatalf("independently built equal programs hash differently")
+	}
+	c := funcProg(t, "f", 3, 2)
+	if a.HashString() == c.HashString() {
+		t.Fatalf("different programs share a hash")
+	}
+	d := funcProg(t, "g", 3, 1)
+	if a.HashString() == d.HashString() {
+		t.Fatalf("operator name not covered by hash")
+	}
+}
+
+func TestFilterAndArithmetic(t *testing.T) {
+	p := filterProg(t, "even", 2, 0)
+	got := refInts(runAll(t, p, []int64{0, 1, 2, 3, 4, 5}))
+	if want := []int64{0, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("filter kept %v, want %v", got, want)
+	}
+}
+
+func TestForwardPreservesTuple(t *testing.T) {
+	p := filterProg(t, "all", 1, 0)
+	in := tuple.Tuple{Seq: 7, Stamp: 99, Ref: []Val{{I: 4}}}
+	in.Words[3] = 42
+	var m Machine
+	var out tuple.Tuple
+	m.Run(p, in, EmitFunc(func(o tuple.Tuple) { out = o }))
+	if out.Seq != 7 || out.Stamp != 99 || out.Words[3] != 42 {
+		t.Fatalf("forwarding did not preserve the tuple: %+v", out)
+	}
+}
+
+func TestDivisionByZeroPanics(t *testing.T) {
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(0)
+	b.Op(OpDivI)
+	b.Ins(OpStore, 0, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 0, NOut: 1, Name: "div", Out: intIn}, intIn, 1)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if _, ok := r.(*Error); !ok {
+			t.Fatalf("want *Error panic, got %v", r)
+		}
+	}()
+	var m Machine
+	m.Run(p, tuple.Tuple{Ref: []Val{{I: 5}}}, EmitFunc(func(tuple.Tuple) {}))
+}
+
+func TestBuiltinCall(t *testing.T) {
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(10)
+	b.Call("test.add2:ii", 2)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "c", Out: intIn}, intIn, 2)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	got := refInts(runAll(t, p, []int64{1, 2}))
+	if want := []int64{11, 12}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("builtin call: got %v want %v", got, want)
+	}
+}
+
+func TestBindUnknownBuiltin(t *testing.T) {
+	p := &Program{
+		Builtins: []string{"no.such.builtin"},
+		Segs:     []Seg{{}},
+	}
+	if err := p.Bind(sliceCodec{}); err == nil {
+		t.Fatalf("bind of unknown builtin succeeded")
+	}
+}
+
+func TestFuse(t *testing.T) {
+	progs := []*Program{
+		funcProg(t, "a", 2, 1), // x -> 2x+1
+		filterProg(t, "b", 3, 0),
+		funcProg(t, "c", 10, 0),
+	}
+	fused, err := Fuse(progs)
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	if len(fused.Segs) != 3 {
+		t.Fatalf("fused segs = %d, want 3", len(fused.Segs))
+	}
+	inputs := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	// Reference: run the three programs by hand, feeding outputs on.
+	var want []int64
+	var m Machine
+	for i, x := range inputs {
+		t0 := tuple.Tuple{Seq: uint64(i), Ref: []Val{{I: x}}}
+		m.Run(progs[0], t0, EmitFunc(func(t1 tuple.Tuple) {
+			m2 := &Machine{}
+			m2.Run(progs[1], t1, EmitFunc(func(t2 tuple.Tuple) {
+				m3 := &Machine{}
+				m3.Run(progs[2], t2, EmitFunc(func(t3 tuple.Tuple) {
+					want = append(want, t3.Ref.([]Val)[0].I)
+				}))
+			}))
+		}))
+	}
+	got := refInts(runAll(t, fused, inputs))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fused disagrees with sequential: got %v want %v", got, want)
+	}
+
+	// Per-segment entry counts reflect the filter's drops.
+	var fm Machine
+	fm.Reset(fused)
+	for i, x := range inputs {
+		fm.Run(fused, tuple.Tuple{Seq: uint64(i), Ref: []Val{{I: x}}}, EmitFunc(func(tuple.Tuple) {}))
+	}
+	counts := fm.SegCounts()
+	if counts[0] != 10 || counts[1] != 10 || counts[2] != uint64(len(want)) {
+		t.Fatalf("seg counts = %v (kept %d)", counts, len(want))
+	}
+
+	// The fused program round-trips and hashes deterministically too.
+	enc := fused.Encode()
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode fused: %v", err)
+	}
+	if back.HashString() != fused.HashString() {
+		t.Fatalf("fused hash unstable across round trip")
+	}
+	fused2, err := Fuse(progs)
+	if err != nil {
+		t.Fatalf("refuse: %v", err)
+	}
+	if fused2.HashString() != fused.HashString() {
+		t.Fatalf("fusing twice gives different hashes")
+	}
+}
+
+func TestFuseLayoutMismatch(t *testing.T) {
+	a := funcProg(t, "a", 2, 1)
+	b := NewBuilder()
+	b.Op(OpEmit)
+	other := Layout{Fields: []Field{{Name: "y", Kind: KFloat}}}
+	q, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 0, NOut: 1, Name: "q", Out: other}, other, 1)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := q.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if _, err := Fuse([]*Program{a, q}); err == nil {
+		t.Fatalf("fuse of mismatched layouts succeeded")
+	}
+}
+
+func TestMultiEmitSegment(t *testing.T) {
+	// A custom segment that emits x+1 and then x+2: both must pass
+	// through a downstream forwarding filter without clobbering the
+	// emitter's live state.
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(1)
+	b.Op(OpAddI)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(2)
+	b.Op(OpAddI)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	twice, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "twice", Out: intIn}, intIn, 2)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := twice.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	fused, err := Fuse([]*Program{twice, filterProg(t, "all", 1, 0)})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	got := refInts(runAll(t, fused, []int64{10, 20}))
+	if want := []int64{11, 12, 21, 22}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("multi-emit through fusion: got %v want %v", got, want)
+	}
+}
+
+func TestDisasmMentionsEverything(t *testing.T) {
+	p := funcProg(t, "f", 3, 1)
+	s := Disasm(p)
+	for _, want := range []string{p.HashString(), "mul.i", "store", "emit", "int x", `"f"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("disasm missing %q in:\n%s", want, s)
+		}
+	}
+}
