@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check chaos bench bench-contention bench-chain bench-adaptive bench-vm trace-smoke
+.PHONY: all vet build test race check chaos chaos-ingest bench bench-contention bench-chain bench-adaptive bench-vm bench-ingest trace-smoke
 
 all: check
 
@@ -24,6 +24,19 @@ check: vet build test race
 # fixed in the tests, so failures reproduce exactly.
 chaos:
 	$(GO) test -race -count=1 -run Chaos -v ./internal/sched ./internal/pe ./internal/fuse ./internal/xport
+
+# chaos-ingest soaks the network front door under the race detector:
+# concurrent two-class clients overdrive the admission layer while
+# seeded client-flood, wedged-reader and connection-reset faults fire,
+# with the scheduler watchdog armed. Passing means the run drained
+# cleanly, the watchdog stayed quiet, and the admission boundary
+# conserved exactly (sink count == admitted count). The ingest property
+# tests (Block loss-freedom, shed FIFO + punctuation survival) ride
+# along under the same -race run.
+chaos-ingest:
+	$(GO) test -race -count=1 -v \
+		-run 'TestChaosIngest|TestBlockNoAdmittedTupleDropped|TestShedOldestFIFOAndPunctSurvival|TestShedNewestKeepsBacklog' \
+		./internal/ingest
 
 # trace-smoke proves the observability path end to end: run the real
 # runtime on a mixed topology with the scheduler tracer, latency
@@ -93,3 +106,16 @@ bench-adaptive:
 	  $(GO) test -bench BenchmarkPortClaim -benchtime=200000x -timeout 20m -run '^$$' ./internal/sched ) \
 		| $(GO) run ./cmd/benchjson > BENCH_adaptive.json
 	@echo wrote BENCH_adaptive.json
+
+# bench-ingest runs the overload SLO experiment (EXPERIMENTS.md): a
+# gold/bronze tenant mix offered 1x and 2x the contracted capacity by
+# open-loop generators over real TCP connections. The archived metrics
+# are the acceptance criteria — admitted_tps within ~10% of the
+# contract at 2x, shed_frac accounting for the excess, and gold's p99
+# flat across loads while bronze absorbs the shedding. -benchtime=1x:
+# each cell is one fixed-duration offered-load sweep, not an op to be
+# iterated.
+bench-ingest:
+	$(GO) test -bench BenchmarkIngestOverload -benchtime=1x -run '^$$' ./internal/ingest \
+		| $(GO) run ./cmd/benchjson > BENCH_ingest.json
+	@echo wrote BENCH_ingest.json

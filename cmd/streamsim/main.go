@@ -25,11 +25,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"streams/internal/debugz"
 	"streams/internal/fault"
 	"streams/internal/fig"
+	"streams/internal/ingest"
 	"streams/internal/metrics"
 	"streams/internal/pe"
 	"streams/internal/sim"
@@ -69,7 +71,13 @@ func main() {
 		maxthreads = flag.Int("maxthreads", 0, "native: dynamic thread-level cap (default: -threads)")
 		traceOut   = flag.String("trace", "", "native: write a Chrome trace_event file of scheduler decisions to this path (open in chrome://tracing or Perfetto)")
 		latency    = flag.Bool("latency", false, "native: measure end-to-end tuple latency from source stamp to sink drain")
-		debugAddr  = flag.String("debug-addr", "", "native: serve /debugz, /debugz/stats, /debugz/trace and /debug/pprof on this address for the duration of the run")
+		debugAddr  = flag.String("debug-addr", "", "native: serve /debugz, /debugz/stats, /debugz/trace, /debugz/tenants and /debug/pprof on this address for the duration of the run")
+
+		ingestAddr   = flag.String("ingest-addr", "", "native: serve the multi-tenant network ingest front end on this address and make it the graph's source (replaces the synthetic generator)")
+		tenants      = flag.String("tenants", "gold:20000:512:block:guaranteed,bronze:20000:512", "native: ingest tenant spec, comma-separated name:rate[:burst[:policy[:class]]] (class: guaranteed or besteffort)")
+		shedPolicy   = flag.String("shed-policy", "shed-oldest", "native: default full-queue policy for tenants that do not name one (block, shed-oldest, shed-newest)")
+		ingestGen    = flag.Float64("ingest-gen", 0, "native: offered load in tuples/s per tenant from built-in open-loop generators over the run (0 = external clients only)")
+		backlogLimit = flag.Int("backlog-limit", 0, "native: runtime backlog above which best-effort ingest traffic is shed at the door (0 = gate off)")
 	)
 	flag.Parse()
 
@@ -133,7 +141,16 @@ func main() {
 		}
 		var tr *trace.Tracer
 		if *traceOut != "" || *debugAddr != "" {
-			tr = trace.New(rings, 0)
+			// The ingest front end gets one ring of its own past the
+			// scheduler's allocation.
+			extra := 0
+			if *ingestAddr != "" {
+				extra = 1
+			}
+			tr = trace.New(rings+extra, 0)
+			if extra > 0 {
+				tr.SetLabel(rings, "ingest")
+			}
 			cfg.Tracer = tr
 		}
 		if *latency || *debugAddr != "" {
@@ -141,17 +158,77 @@ func main() {
 			// the dynamic ring count is a fine size for every model.
 			cfg.Latency = metrics.NewHistogram(rings)
 		}
-		if *debugAddr != "" {
-			cfg.OnStart = func(p *pe.PE) {
+		var ingSrv *ingest.Server
+		var livePE atomic.Pointer[pe.PE]
+		if *ingestAddr != "" {
+			defPol, err := ingest.ParsePolicy(*shedPolicy)
+			if err != nil {
+				fatal(err)
+			}
+			tcs, err := ingest.ParseTenants(*tenants, defPol)
+			if err != nil {
+				fatal(err)
+			}
+			ingCfg := ingest.Config{
+				Tenants:      tcs,
+				Fault:        inj,
+				BacklogLimit: *backlogLimit,
+			}
+			if *backlogLimit > 0 {
+				// The PE does not exist yet; the pump reads it through
+				// this indirection once OnStart publishes it.
+				ingCfg.Backlog = func() int {
+					if p := livePE.Load(); p != nil {
+						return p.Backlog()
+					}
+					return 0
+				}
+			}
+			if tr != nil {
+				ingCfg.Tracer = tr
+				ingCfg.TraceRing = rings
+			}
+			ingSrv, err = ingest.NewServer(ingCfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ingSrv.Listen(*ingestAddr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("ingest front end: %s (%d tenants, default policy %s)\n",
+				ingSrv.Addr(), len(tcs), defPol)
+			cfg.Source = ingSrv
+		}
+		onStart := func(p *pe.PE) {
+			livePE.Store(p)
+			if *debugAddr != "" {
 				srv, err := debugz.Serve(*debugAddr, debugz.Options{
 					PE: p, Tracer: tr, Latency: cfg.Latency, Workload: w.String(),
+					Ingest: ingSrv,
 				})
 				if err != nil {
 					fatal(err)
 				}
 				fmt.Printf("debug endpoint: http://%s/debugz\n", srv.Addr())
 			}
+			if ingSrv != nil && *ingestGen > 0 {
+				// Built-in open-loop generators: one per tenant at the
+				// requested offered rate, running past the measurement
+				// window so load never tails off mid-run.
+				for _, spec := range strings.Split(*tenants, ",") {
+					name := strings.TrimSpace(strings.SplitN(spec, ":", 2)[0])
+					if name == "" {
+						continue
+					}
+					g := &ingest.LoadGen{
+						Addr: ingSrv.Addr(), Tenant: name,
+						Rate: *ingestGen, Duration: *dur * 2,
+					}
+					go func() { _, _ = g.Run() }()
+				}
+			}
 		}
+		cfg.OnStart = onStart
 		res, err := fig.RunNative(w, cfg)
 		if err != nil {
 			fatal(err)
@@ -159,7 +236,13 @@ func main() {
 		fmt.Printf("sink throughput: %.4g tuples/s\n", res.Throughput)
 		// All remaining lines render through the same snapshot path the
 		// /debugz endpoint serves, so the two views cannot drift.
-		debugz.FromNative(m, w.String(), res, tr).WriteText(os.Stdout)
+		snap := debugz.FromNative(m, w.String(), res, tr)
+		if ingSrv != nil {
+			in := ingSrv.Snapshot()
+			snap.Ingest = &in
+			ingSrv.Close()
+		}
+		snap.WriteText(os.Stdout)
 		if *traceOut != "" {
 			if err := writeTrace(*traceOut, tr); err != nil {
 				fatal(err)

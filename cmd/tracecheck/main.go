@@ -119,6 +119,13 @@ func checkArgs(e event) error {
 		if _, err := num("port", 0); err != nil {
 			return err
 		}
+	case "admit", "shed", "throttle":
+		if _, err := num("tenant", 0); err != nil {
+			return err
+		}
+		if _, err := num("count", 1); err != nil {
+			return err
+		}
 	}
 	return nil
 }

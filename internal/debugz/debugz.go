@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"streams/internal/fig"
+	"streams/internal/ingest"
 	"streams/internal/metrics"
 	"streams/internal/pe"
 	"streams/internal/trace"
@@ -48,6 +49,9 @@ type Options struct {
 	// CtxSwitch optionally carries the modeled §5.1 context-switch
 	// estimate for the workload's panel.
 	CtxSwitch *fig.CtxSwitchEstimate
+	// Ingest is the network front end, when the run has one; it adds
+	// the per-tenant admission panel and the /debugz/tenants endpoint.
+	Ingest *ingest.Server
 }
 
 // LatencySummary is the JSON-friendly digest of a latency histogram
@@ -101,6 +105,8 @@ type Snapshot struct {
 	TraceKinds map[string]int `json:"trace_kinds,omitempty"`
 	// CtxSwitch is the modeled context-switch estimate, when supplied.
 	CtxSwitch *fig.CtxSwitchEstimate `json:"ctx_switch,omitempty"`
+	// Ingest is the admission-control state (nil without a front end).
+	Ingest *ingest.Snapshot `json:"ingest,omitempty"`
 }
 
 // Collect takes one consistent snapshot of the run. Multi-counter
@@ -123,6 +129,10 @@ func Collect(o Options) Snapshot {
 	}
 	if o.Tracer != nil {
 		s.TraceKinds = trace.Kinds(o.Tracer.Snapshot())
+	}
+	if o.Ingest != nil {
+		in := o.Ingest.Snapshot()
+		s.Ingest = &in
 	}
 	return s
 }
@@ -202,6 +212,32 @@ func (s Snapshot) WriteText(w io.Writer) {
 	if s.CtxSwitch != nil {
 		fmt.Fprintf(w, "%s\n", s.CtxSwitch)
 	}
+	if in := s.Ingest; in != nil {
+		writeIngest(w, *in)
+	}
+}
+
+// writeIngest renders the admission panel: one totals line, one line
+// per tenant.
+func writeIngest(w io.Writer, in ingest.Snapshot) {
+	tot := in.Totals
+	state := ""
+	if in.Overloaded {
+		state = ", OVERLOADED"
+	}
+	if in.Draining {
+		state += ", draining"
+	}
+	fmt.Fprintf(w, "ingest: admitted %d, shed %d, throttled %d, rejected %d, conns %d, evicted %d%s\n",
+		tot.Admitted, tot.Shed, tot.Throttled, tot.Rejected, tot.Conns, tot.Evicted, state)
+	for _, tn := range in.Tenants {
+		class := "besteffort"
+		if tn.Guaranteed {
+			class = "guaranteed"
+		}
+		fmt.Fprintf(w, "  tenant %s (%s, %s): admitted %d, shed %d, throttled %d, queue %d/%d, bucket %.0f%%\n",
+			tn.Name, class, tn.Policy, tn.Admitted, tn.Shed, tn.Throttled, tn.Depth, tn.Cap, tn.Fill*100)
+	}
 }
 
 // Handler returns the endpoint's mux: /debugz, /debugz/stats,
@@ -226,6 +262,22 @@ func Handler(o Options) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = o.Tracer.Export(w)
+	})
+	mux.HandleFunc("/debugz/tenants", func(w http.ResponseWriter, r *http.Request) {
+		if o.Ingest == nil {
+			http.Error(w, "no ingest front end configured (run with -ingest-addr)", http.StatusNotFound)
+			return
+		}
+		in := o.Ingest.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(in)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeIngest(w, in)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"streams/internal/graph"
+	"streams/internal/ingest"
 	"streams/internal/metrics"
 	"streams/internal/ops"
 	"streams/internal/pe"
@@ -152,5 +153,59 @@ func TestWriteTextChainLine(t *testing.T) {
 	Snapshot{Model: "dynamic"}.WriteText(&without)
 	if strings.Contains(without.String(), "chain:") {
 		t.Fatalf("panel shows chain line with zero meters:\n%s", without.String())
+	}
+}
+
+func TestTenantsEndpoint(t *testing.T) {
+	// A live ingest front end renders its admission panel on /debugz,
+	// serves /debugz/tenants in both formats, and 404s when absent.
+	ing, err := ingest.NewServer(ingest.Config{
+		Tenants: []ingest.TenantConfig{
+			{Name: "gold", Rate: 1000, Burst: 32, Policy: ingest.Block, Guaranteed: true},
+			{Name: "bronze", Policy: ingest.ShedOldest, QueueCap: 64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Close()
+	h := Handler(Options{Ingest: ing})
+
+	get := func(path string, wantCode int) string {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != wantCode {
+			t.Fatalf("GET %s: status %d, want %d", path, rw.Code, wantCode)
+		}
+		return rw.Body.String()
+	}
+
+	text := get("/debugz/tenants", http.StatusOK)
+	for _, want := range []string{"ingest: admitted 0", "tenant gold (guaranteed, block)", "tenant bronze (besteffort, shed-oldest)", "queue 0/64"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("tenants panel missing %q:\n%s", want, text)
+		}
+	}
+	var sn ingest.Snapshot
+	if err := json.Unmarshal([]byte(get("/debugz/tenants?format=json", http.StatusOK)), &sn); err != nil {
+		t.Fatal(err)
+	}
+	if len(sn.Tenants) != 2 || sn.Tenants[0].Name != "gold" {
+		t.Fatalf("tenants JSON: %+v", sn)
+	}
+	// The main panel carries the same section.
+	if !strings.Contains(get("/debugz", http.StatusOK), "ingest: admitted") {
+		t.Fatal("/debugz panel missing the ingest section")
+	}
+
+	// Without a front end the endpoint 404s.
+	none := Handler(Options{})
+	req := httptest.NewRequest("GET", "/debugz/tenants", nil)
+	rw := httptest.NewRecorder()
+	none.ServeHTTP(rw, req)
+	if rw.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rw.Code)
 	}
 }

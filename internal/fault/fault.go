@@ -48,6 +48,17 @@ const (
 	ConnDrop
 	// ConnLatency sleeps at the transport write seam.
 	ConnLatency
+	// ClientSlow sleeps at the ingest connection-read seam, modeling a
+	// client that dribbles its frames byte by byte and holds server
+	// resources (the slow-loris shape the idle evictor must catch).
+	ClientSlow
+	// ClientReset closes the ingest connection at the read seam,
+	// simulating a client that disappears mid-frame.
+	ClientReset
+	// ClientFlood fires at the ingest admission seam: the frame is
+	// offered to admission multiple times, modeling a burst that
+	// ignores the client's nominal rate and must be absorbed or shed.
+	ClientFlood
 
 	// NumSites is the number of injection sites.
 	NumSites
@@ -66,6 +77,12 @@ func (s Site) String() string {
 		return "drop"
 	case ConnLatency:
 		return "lat"
+	case ClientSlow:
+		return "cslow"
+	case ClientReset:
+		return "creset"
+	case ClientFlood:
+		return "flood"
 	default:
 		return fmt.Sprintf("Site(%d)", uint8(s))
 	}
@@ -98,6 +115,13 @@ type Config struct {
 	// LatencyRate fires ConnLatency, sleeping LatencyFor (default 1ms).
 	LatencyRate float64
 	LatencyFor  time.Duration
+	// ClientSlowRate fires ClientSlow, sleeping ClientSlowFor (default 1ms).
+	ClientSlowRate float64
+	ClientSlowFor  time.Duration
+	// ClientResetRate fires ClientReset.
+	ClientResetRate float64
+	// FloodRate fires ClientFlood.
+	FloodRate float64
 }
 
 // cacheLine spaces the per-site call counters so concurrent sites do not
@@ -113,8 +137,12 @@ type Injector struct {
 	seed    uint64
 	// thresh[s] is the firing threshold: the site fires when the hash of
 	// its next sequence number falls below it. rate 1 maps to ^uint64(0).
-	thresh [NumSites]uint64
-	delay  [NumSites]time.Duration
+	// Atomic so sites can be registered or retuned after the injector is
+	// already being consulted (ingest connections appear at runtime).
+	thresh [NumSites]atomic.Uint64
+	// delay[s] holds the site's sleep in nanoseconds, atomic for the same
+	// reason as thresh.
+	delay [NumSites]atomic.Int64
 	// calls[s*cacheLine] sequences consultations of site s; the sequence
 	// number, not the caller, determines the decision.
 	calls [NumSites * cacheLine]atomic.Uint64
@@ -126,26 +154,44 @@ type Injector struct {
 func New(cfg Config) *Injector {
 	in := &Injector{seed: splitmix64(cfg.Seed ^ 0x6c617563)}
 	set := func(s Site, rate float64, d time.Duration, dflt time.Duration) {
-		if rate < 0 {
-			rate = 0
-		}
-		if rate >= 1 {
-			in.thresh[s] = ^uint64(0)
-		} else {
-			in.thresh[s] = uint64(rate * float64(1<<63) * 2)
-		}
 		if d == 0 {
 			d = dflt
 		}
-		in.delay[s] = d
+		in.Set(s, rate, d)
 	}
 	set(OpPanic, cfg.PanicRate, 0, 0)
 	set(OpSlow, cfg.SlowRate, cfg.SlowFor, 100*time.Microsecond)
 	set(QueueStall, cfg.StallRate, cfg.StallFor, 100*time.Microsecond)
 	set(ConnDrop, cfg.DropRate, 0, 0)
 	set(ConnLatency, cfg.LatencyRate, cfg.LatencyFor, time.Millisecond)
+	set(ClientSlow, cfg.ClientSlowRate, cfg.ClientSlowFor, time.Millisecond)
+	set(ClientReset, cfg.ClientResetRate, 0, 0)
+	set(ClientFlood, cfg.FloodRate, 0, 0)
 	in.enabled.Store(true)
 	return in
+}
+
+// Set registers or retunes one site at runtime: rate (clamped to [0, 1])
+// becomes the site's firing probability, and a positive d becomes its
+// sleep. A zero d keeps the existing delay, so callers can adjust the
+// rate alone. Concurrent consultations observe the new values on their
+// next decision; the site's sequence counter is not reset, so the
+// decision stream stays deterministic in (seed, site, ordinal).
+func (in *Injector) Set(s Site, rate float64, d time.Duration) {
+	if in == nil || s >= NumSites {
+		return
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate >= 1 {
+		in.thresh[s].Store(^uint64(0))
+	} else {
+		in.thresh[s].Store(uint64(rate * float64(1<<63) * 2))
+	}
+	if d > 0 {
+		in.delay[s].Store(int64(d))
+	}
 }
 
 // Enabled reports whether the injector is firing. Nil receivers report
@@ -168,7 +214,7 @@ func (in *Injector) Should(s Site) bool {
 	if in == nil || !in.enabled.Load() {
 		return false
 	}
-	th := in.thresh[s]
+	th := in.thresh[s].Load()
 	if th == 0 {
 		return false
 	}
@@ -186,7 +232,7 @@ func (in *Injector) Delay(s Site) time.Duration {
 	if in == nil {
 		return 0
 	}
-	return in.delay[s]
+	return time.Duration(in.delay[s].Load())
 }
 
 // OpFault is the operator-execution seam: it may sleep (OpSlow) and may
@@ -197,7 +243,7 @@ func (in *Injector) OpFault() {
 		return
 	}
 	if in.Should(OpSlow) {
-		time.Sleep(in.delay[OpSlow])
+		time.Sleep(time.Duration(in.delay[OpSlow].Load()))
 	}
 	if in.Should(OpPanic) {
 		panic(InjectedPanic{})
@@ -211,7 +257,7 @@ func (in *Injector) StallFault() {
 		return
 	}
 	if in.Should(QueueStall) {
-		time.Sleep(in.delay[QueueStall])
+		time.Sleep(time.Duration(in.delay[QueueStall].Load()))
 	}
 }
 
@@ -290,6 +336,12 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 				cfg.DropRate = rate
 			case ConnLatency:
 				cfg.LatencyRate, cfg.LatencyFor = rate, dur
+			case ClientSlow:
+				cfg.ClientSlowRate, cfg.ClientSlowFor = rate, dur
+			case ClientReset:
+				cfg.ClientResetRate = rate
+			case ClientFlood:
+				cfg.FloodRate = rate
 			}
 			return nil
 		}
@@ -308,8 +360,14 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 			_ = apply(ConnDrop)
 		case "lat", "latency":
 			_ = apply(ConnLatency)
+		case "cslow":
+			_ = apply(ClientSlow)
+		case "creset":
+			_ = apply(ClientReset)
+		case "flood":
+			_ = apply(ClientFlood)
 		default:
-			return nil, fmt.Errorf("fault: unknown site %q (panic, slow, stall, drop, lat, all)", name)
+			return nil, fmt.Errorf("fault: unknown site %q (panic, slow, stall, drop, lat, cslow, creset, flood, all)", name)
 		}
 	}
 	return New(cfg), nil

@@ -135,6 +135,64 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestSetAfterStart: a site left cold at construction can be registered
+// later — the shape ingest needs for connections that appear at runtime.
+func TestSetAfterStart(t *testing.T) {
+	in := New(Config{Seed: 5})
+	for i := 0; i < 64; i++ {
+		if in.Should(ClientReset) {
+			t.Fatal("unregistered site fired")
+		}
+	}
+	in.Set(ClientReset, 1, 0)
+	if !in.Should(ClientReset) {
+		t.Fatal("site registered after start did not fire")
+	}
+	in.Set(ClientSlow, 0.5, 3*time.Millisecond)
+	if got := in.Delay(ClientSlow); got != 3*time.Millisecond {
+		t.Fatalf("Set delay %v, want 3ms", got)
+	}
+	// Retune the rate alone; the delay must survive.
+	in.Set(ClientSlow, 1, 0)
+	if got := in.Delay(ClientSlow); got != 3*time.Millisecond {
+		t.Fatalf("rate-only Set clobbered delay: %v", got)
+	}
+	if !in.Should(ClientSlow) {
+		t.Fatal("retuned rate-1 site did not fire")
+	}
+	// Turning a site off must stick.
+	in.Set(ClientReset, 0, 0)
+	for i := 0; i < 64; i++ {
+		if in.Should(ClientReset) {
+			t.Fatal("rate-0 retune still fired")
+		}
+	}
+	// Out-of-range sites and nil receivers are no-ops, not panics.
+	in.Set(NumSites, 1, 0)
+	var nilIn *Injector
+	nilIn.Set(OpPanic, 1, 0)
+}
+
+// TestParseSpecIngestSites: the client-facing sites parse and honor
+// their durations.
+func TestParseSpecIngestSites(t *testing.T) {
+	in, err := ParseSpec("cslow=1:2ms,creset=1,flood=1", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Delay(ClientSlow); got != 2*time.Millisecond {
+		t.Fatalf("cslow delay %v, want 2ms", got)
+	}
+	for _, s := range []Site{ClientSlow, ClientReset, ClientFlood} {
+		if !in.Should(s) {
+			t.Errorf("rate-1 site %s did not fire", s)
+		}
+	}
+	if ClientSlow.String() != "cslow" || ClientReset.String() != "creset" || ClientFlood.String() != "flood" {
+		t.Fatal("ingest site names drifted from their spec keys")
+	}
+}
+
 func TestGoroutineDump(t *testing.T) {
 	d := GoroutineDump(1 << 16)
 	if !strings.Contains(d, "goroutine") {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"streams/internal/fault"
+	"streams/internal/graph"
 	"streams/internal/metrics"
 	"streams/internal/ops"
 	"streams/internal/pe"
@@ -277,6 +278,11 @@ type NativeConfig struct {
 	// the debug endpoint uses to attach to a running PE without this
 	// package importing the server.
 	OnStart func(*pe.PE)
+	// Source, if non-nil, replaces the workload's synthetic Generator
+	// with a caller-provided source operator (streamsim -ingest-addr
+	// places the network front end here). Throughput is still measured
+	// at the sink, so it reports whatever the source actually feeds.
+	Source graph.Source
 }
 
 // NativeResult reports a native run: measured sink throughput plus the
@@ -327,7 +333,16 @@ func nativeMaxThreads(cfg NativeConfig) int {
 // comment).
 func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 	topo := ops.Topology{Width: w.Width, Depth: w.Depth, Cost: w.Cost, VM: cfg.VM}
-	g, snk, err := topo.Build()
+	var (
+		g   *graph.Graph
+		snk *ops.Sink
+		err error
+	)
+	if cfg.Source != nil {
+		g, snk, err = topo.BuildWithSource(cfg.Source)
+	} else {
+		g, snk, err = topo.Build()
+	}
 	if err != nil {
 		return NativeResult{}, err
 	}

@@ -1,0 +1,139 @@
+package ingest_test
+
+// BenchmarkIngestOverload is the overload SLO experiment: a two-class
+// tenant mix (gold guaranteed + bronze best-effort, equal contracts)
+// is offered load at 1x and 2x the contracted capacity by open-loop
+// generators. The acceptance criteria from the robustness issue:
+//
+//   - at 2x offered load, admitted throughput stays within ~10% of the
+//     contracted capacity (the admission layer polices the excess
+//     rather than collapsing),
+//   - shed+throttled accounts for the remainder,
+//   - gold's p99 ingest-to-sink latency stays bounded while bronze
+//     takes all the shedding.
+//
+// Run it through `make bench-ingest`, which archives the ReportMetric
+// values as BENCH_ingest.json via cmd/benchjson.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streams/internal/ingest"
+	"streams/internal/metrics"
+	"streams/internal/ops"
+	"streams/internal/pe"
+	"streams/internal/tuple"
+)
+
+func BenchmarkIngestOverload(b *testing.B) {
+	for _, load := range []struct {
+		name string
+		mult float64
+	}{{"1x", 1}, {"2x", 2}} {
+		b.Run("load="+load.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runOverloadCell(b, load.mult)
+			}
+		})
+	}
+}
+
+// runOverloadCell runs one offered-load cell and reports its metrics.
+func runOverloadCell(b *testing.B, mult float64) {
+	const (
+		classRate = 20000.0 // contracted tuples/s per class
+		capacity  = 2 * classRate
+		dur       = 300 * time.Millisecond
+	)
+	srv, err := ingest.NewServer(ingest.Config{
+		Tenants: []ingest.TenantConfig{
+			// Gold polices too (shed-newest past contract) so its
+			// latency reflects scheduling, not generator back-pressure;
+			// its clients stay inside the contract anyway.
+			{Name: "gold", Policy: ingest.ShedNewest, Rate: classRate, Burst: 1024, Guaranteed: true, QueueCap: 4096},
+			{Name: "bronze", Policy: ingest.ShedOldest, Rate: classRate, Burst: 1024, QueueCap: 4096},
+		},
+		// Tag admitted tuples with the tenant ID in the last payload
+		// word so the sink can attribute latency to a class.
+		TagWord: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	latGold := metrics.NewHistogram(8)
+	latBronze := metrics.NewHistogram(8)
+	snk := &ops.Sink{OnTuple: func(t tuple.Tuple) {
+		if t.Stamp == 0 {
+			return
+		}
+		d := time.Duration(time.Now().UnixNano() - t.Stamp)
+		if t.Words[7] == 0 {
+			latGold.Record(int(t.Words[0]), d)
+		} else {
+			latBronze.Record(int(t.Words[0]), d)
+		}
+	}}
+	p := buildPipeline(b, srv, snk, &punctCounter{}, pe.Config{
+		Model:   pe.Dynamic,
+		Threads: 2,
+		// Latency turns on source-seam stamping, which the per-class
+		// histograms above read.
+		Latency: metrics.NewHistogram(8),
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+
+	// Gold offers its contract; bronze absorbs the rest of the offered
+	// multiple, which is where the overload (if any) lands.
+	goldRate := classRate
+	bronzeRate := mult*capacity - goldRate
+	gens := []*ingest.LoadGen{
+		{Addr: srv.Addr(), Tenant: "gold", Rate: goldRate, Duration: dur},
+		{Addr: srv.Addr(), Tenant: "bronze", Rate: bronzeRate, Duration: dur},
+	}
+	var wg sync.WaitGroup
+	var sentMu sync.Mutex
+	sent := uint64(0)
+	start := time.Now()
+	for _, g := range gens {
+		wg.Add(1)
+		go func(g *ingest.LoadGen) {
+			defer wg.Done()
+			n, err := g.Run()
+			if err != nil {
+				b.Error(err)
+			}
+			sentMu.Lock()
+			sent += n
+			sentMu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	waitFor(b, 10*time.Second, "queues to drain", func() bool {
+		for _, tn := range srv.Snapshot().Tenants {
+			if tn.Depth > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	stopWait(b, p)
+
+	sn := srv.Snapshot()
+	secs := elapsed.Seconds()
+	refused := sn.Totals.Shed + sn.Totals.Throttled + sn.Totals.Rejected
+	b.ReportMetric(float64(sn.Totals.Admitted)/secs, "admitted_tps")
+	b.ReportMetric(float64(sent)/secs, "offered_tps")
+	if sent > 0 {
+		b.ReportMetric(float64(refused)/float64(sent), "shed_frac")
+	}
+	b.ReportMetric(float64(latGold.Snapshot().Quantile(0.99)), "gold_p99_ns")
+	b.ReportMetric(float64(latBronze.Snapshot().Quantile(0.99)), "bronze_p99_ns")
+}

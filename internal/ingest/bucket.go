@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucket is a lock-free token bucket implemented as GCRA (the generic
+// cell rate algorithm): the whole state is one atomic nanosecond
+// timestamp, the theoretical arrival time (TAT) of the next conforming
+// tuple. A take advances the TAT by the per-tuple cost; the take
+// conforms as long as the advanced TAT stays within the burst allowance
+// of now. Compared with a counted bucket there is no refill loop and no
+// lock — concurrent takers race one CAS, and a lost race just reloads,
+// which matches the runtime's abandon-on-contention ethos.
+type bucket struct {
+	tat atomic.Int64
+	// costNs is the token cost of one tuple: 1e9 / rate.
+	costNs int64
+	// burstNs is the allowance: costNs × burst tuples.
+	burstNs int64
+}
+
+// newBucket returns a bucket admitting rate tuples/s with the given
+// burst depth (minimum 1).
+func newBucket(rate float64, burst int) *bucket {
+	cost := int64(1e9 / rate)
+	if cost < 1 {
+		cost = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{costNs: cost, burstNs: cost * int64(burst)}
+}
+
+// take tries to reserve one tuple at time now (UnixNano). It returns
+// (true, 0) when the tuple conforms, or (false, wait) where wait is how
+// long the caller would have to delay the tuple for it to conform — the
+// shaping interval a blocking tenant sleeps, and a policing tenant's
+// signal to drop.
+func (b *bucket) take(now int64) (bool, time.Duration) {
+	for {
+		cur := b.tat.Load()
+		base := cur
+		if now > base {
+			base = now
+		}
+		next := base + b.costNs
+		if over := next - now - b.burstNs; over > 0 {
+			return false, time.Duration(over)
+		}
+		if b.tat.CompareAndSwap(cur, next) {
+			return true, 0
+		}
+	}
+}
+
+// fill reports how much of the burst allowance is committed at time
+// now, in [0, 1]: 0 means a full bucket of tokens, 1 means the next
+// take would not conform.
+func (b *bucket) fill(now int64) float64 {
+	ahead := b.tat.Load() - now
+	if ahead <= 0 {
+		return 0
+	}
+	f := float64(ahead) / float64(b.burstNs)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,87 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketConformance checks the GCRA arithmetic: a full burst is
+// admitted instantly, the next take reports the per-tuple wait, and
+// tokens come back as time passes.
+func TestBucketConformance(t *testing.T) {
+	b := newBucket(1000, 10) // 1ms per tuple, 10-deep burst
+	now := time.Now().UnixNano()
+	for i := 0; i < 10; i++ {
+		ok, _ := b.take(now)
+		if !ok {
+			t.Fatalf("take %d within burst refused", i)
+		}
+	}
+	ok, wait := b.take(now)
+	if ok {
+		t.Fatal("take past burst conformed")
+	}
+	if wait <= 0 || wait > time.Millisecond {
+		t.Fatalf("wait = %v, want (0, 1ms]", wait)
+	}
+	// One tuple's worth of time later there is exactly one token.
+	later := now + int64(time.Millisecond)
+	if ok, _ := b.take(later); !ok {
+		t.Fatal("token did not come back after one interval")
+	}
+	if ok, _ := b.take(later); ok {
+		t.Fatal("second token appeared from nowhere")
+	}
+}
+
+// TestBucketFill checks the debugz gauge's range and direction.
+func TestBucketFill(t *testing.T) {
+	b := newBucket(1000, 10)
+	now := time.Now().UnixNano()
+	if f := b.fill(now); f != 0 {
+		t.Fatalf("fresh bucket fill = %v, want 0", f)
+	}
+	for i := 0; i < 10; i++ {
+		b.take(now)
+	}
+	if f := b.fill(now); f < 0.9 || f > 1 {
+		t.Fatalf("exhausted bucket fill = %v, want ~1", f)
+	}
+}
+
+// TestBucketConcurrentRate races many takers against one bucket and
+// checks the admitted count never exceeds the contract: burst plus
+// rate×elapsed, regardless of interleaving. This is the property the
+// single-CAS design has to uphold.
+func TestBucketConcurrentRate(t *testing.T) {
+	const rate, burst, takers = 50000, 100, 8
+	b := newBucket(rate, burst)
+	start := time.Now()
+	var wg sync.WaitGroup
+	admitted := make([]int, takers)
+	for g := 0; g < takers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for time.Since(start) < 50*time.Millisecond {
+				if ok, _ := b.take(time.Now().UnixNano()); ok {
+					admitted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	limit := burst + int(float64(rate)*elapsed.Seconds()) + burst/10 // slack for timer skew
+	if total > limit {
+		t.Fatalf("admitted %d > contract %d over %v", total, limit, elapsed)
+	}
+	if total < burst {
+		t.Fatalf("admitted %d < burst %d: bucket refused its own allowance", total, burst)
+	}
+}

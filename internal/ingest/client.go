@@ -1,0 +1,148 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"streams/internal/tuple"
+	"streams/internal/xport"
+)
+
+// Client is a binary-protocol ingest producer: one TCP connection
+// streaming frames for one tenant. It is what streamsim's load
+// generator and the tests speak; real clients only need the few dozen
+// lines here (preamble + xport frames).
+//
+// A Client is not safe for concurrent use; open one per producer
+// goroutine, like an xport export.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	seq  uint64
+}
+
+// Dial connects to an ingest server and sends the tenant preamble.
+func Dial(addr, ten string) (*Client, error) {
+	if ten == "" || len(ten) > maxTenantName {
+		return nil, fmt.Errorf("ingest: invalid tenant name %q", ten)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, bw: bufio.NewWriterSize(conn, 16<<10)}
+	c.bw.WriteString(magic)
+	c.bw.WriteByte(version)
+	var n [2]byte
+	binary.BigEndian.PutUint16(n[:], uint16(len(ten)))
+	c.bw.Write(n[:])
+	c.bw.WriteString(ten)
+	return c, nil
+}
+
+// Send buffers one tuple, assigning the connection sequence number.
+func (c *Client) Send(t tuple.Tuple) error {
+	c.seq++
+	t.Seq = c.seq
+	var buf [xport.FrameSize]byte
+	xport.EncodeFrame(buf[:], t)
+	_, err := c.bw.Write(buf[:])
+	return err
+}
+
+// Flush pushes buffered frames onto the wire.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Close flushes, sends the end-of-stream FinalMark, and closes the
+// connection.
+func (c *Client) Close() error {
+	c.Send(tuple.Final())
+	c.bw.Flush()
+	return c.conn.Close()
+}
+
+// Abort closes the connection without the end-of-stream mark — a
+// client crash, from the server's point of view.
+func (c *Client) Abort() error { return c.conn.Close() }
+
+// LoadGen is an open-loop load generator: it offers tuples at a fixed
+// rate regardless of what the server admits, which is the honest way to
+// measure overload behavior (a closed-loop generator slows down with
+// the server and hides the shedding). Payload Words[0] carries a
+// per-generator monotone counter so tests can check FIFO survival.
+type LoadGen struct {
+	// Addr, Tenant configure the connection.
+	Addr   string
+	Tenant string
+	// Rate is the offered load in tuples/s (required > 0).
+	Rate float64
+	// Duration bounds the run; Stop also ends it.
+	Duration time.Duration
+
+	sent    atomic.Uint64
+	stopped atomic.Bool
+	done    chan struct{}
+}
+
+// Run offers the load, returning the count of tuples written to the
+// wire (whether or not admitted). Blocking-policy back-pressure shows
+// up as this count falling short of Rate×Duration.
+func (g *LoadGen) Run() (uint64, error) {
+	g.done = make(chan struct{})
+	defer close(g.done)
+	c, err := Dial(g.Addr, g.Tenant)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	interval := time.Duration(float64(time.Second) / g.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	end := start.Add(g.Duration)
+	next := start
+	var i uint64
+	for !g.stopped.Load() {
+		now := time.Now()
+		if !now.Before(end) {
+			break
+		}
+		// Open loop: send every tuple whose deadline has passed, then
+		// sleep to the next one. Flush per burst, not per tuple.
+		burst := 0
+		for !next.After(now) {
+			if err := c.Send(tuple.NewData(i, uint64(now.UnixNano()))); err != nil {
+				return g.sent.Load(), err
+			}
+			i++
+			g.sent.Add(1)
+			burst++
+			next = next.Add(interval)
+		}
+		if burst > 0 {
+			if err := c.Flush(); err != nil {
+				return g.sent.Load(), err
+			}
+		}
+		if d := next.Sub(time.Now()); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return g.sent.Load(), nil
+}
+
+// Sent returns the tuples written so far (readable while running).
+func (g *LoadGen) Sent() uint64 { return g.sent.Load() }
+
+// Stop ends the run early and waits for Run to return.
+func (g *LoadGen) Stop() {
+	g.stopped.Store(true)
+	if g.done != nil {
+		<-g.done
+	}
+}

@@ -1,0 +1,114 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"streams/internal/fault"
+	"streams/internal/tuple"
+	"streams/internal/xport"
+)
+
+// snapshotJSON marshals a Snapshot for the stats endpoint and debugz.
+func snapshotJSON(sn Snapshot) ([]byte, error) { return json.MarshalIndent(sn, "", "  ") }
+
+// serveHTTP runs the HTTP side of the front door on a connection whose
+// first bytes were not the binary magic. Requests are read straight off
+// the socket with http.ReadRequest in a keep-alive loop — the listener
+// already demultiplexed the protocols, so there is no http.Server in
+// the path, and the same idle-eviction deadline covers both protocols.
+//
+// The one endpoint is POST /ingest?tenant=NAME with a body of
+// concatenated binary frames; the response is a JSON disposition count
+// so batch clients can observe their own shedding. GET /ingest/stats
+// returns the server Snapshot for scripted probes.
+func (s *Server) serveHTTP(conn net.Conn, br *bufio.Reader, tid int) {
+	for !s.draining.Load() {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		req, err := http.ReadRequest(br)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.met.Evicted.Add(tid, 1)
+			}
+			return
+		}
+		keep := s.handleRequest(conn, br, req, tid)
+		req.Body.Close()
+		if !keep {
+			return
+		}
+	}
+}
+
+// handleRequest serves one request and reports whether the connection
+// should be kept for another.
+func (s *Server) handleRequest(conn net.Conn, br *bufio.Reader, req *http.Request, tid int) bool {
+	switch {
+	case req.Method == http.MethodPost && req.URL.Path == "/ingest":
+		return s.handleBatch(conn, req, tid)
+	case req.Method == http.MethodGet && req.URL.Path == "/ingest/stats":
+		b, err := snapshotJSON(s.Snapshot())
+		if err != nil {
+			writeResponse(conn, http.StatusInternalServerError, "text/plain", []byte(err.Error()))
+			return false
+		}
+		writeResponse(conn, http.StatusOK, "application/json", b)
+		return true
+	default:
+		writeResponse(conn, http.StatusNotFound, "text/plain", []byte("ingest: POST /ingest or GET /ingest/stats\n"))
+		return false
+	}
+}
+
+// handleBatch admits a body of concatenated frames for one tenant.
+func (s *Server) handleBatch(conn net.Conn, req *http.Request, tid int) bool {
+	tn := s.byName[req.URL.Query().Get("tenant")]
+	if tn == nil {
+		s.met.Rejected.Add(tid, 1)
+		writeResponse(conn, http.StatusForbidden, "text/plain", []byte("ingest: unknown tenant\n"))
+		return false
+	}
+	inj := s.cfg.Fault
+	var counts [4]uint64 // indexed by Disposition
+	var buf [xport.FrameSize]byte
+	for {
+		if _, err := io.ReadFull(req.Body, buf[:]); err != nil {
+			if err != io.EOF {
+				s.met.Rejected.Add(tid, 1)
+				writeResponse(conn, http.StatusBadRequest, "text/plain", []byte("ingest: truncated frame\n"))
+				return false
+			}
+			break
+		}
+		t, err := xport.DecodeFrame(buf[:])
+		if err != nil {
+			s.met.Rejected.Add(tid, 1)
+			writeResponse(conn, http.StatusBadRequest, "text/plain", []byte(err.Error()+"\n"))
+			return false
+		}
+		if t.Kind == tuple.FinalMark {
+			continue // end-of-batch marker; never forwarded (see serveFrames)
+		}
+		counts[s.admit(tn, t, tid)]++
+		if inj.Should(fault.ClientFlood) {
+			counts[s.admit(tn, t, tid)]++
+		}
+	}
+	body := fmt.Sprintf("{\"admitted\":%d,\"throttled\":%d,\"shed\":%d,\"rejected\":%d}\n",
+		counts[Admitted], counts[Throttled], counts[Shed], counts[Rejected])
+	writeResponse(conn, http.StatusOK, "application/json", []byte(body))
+	return req.ProtoAtLeast(1, 1) && !req.Close
+}
+
+// writeResponse emits a minimal HTTP/1.1 response. Content-Length is
+// always set so keep-alive framing works without chunking.
+func writeResponse(conn net.Conn, status int, ctype string, body []byte) {
+	fmt.Fprintf(conn, "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		status, http.StatusText(status), ctype, len(body))
+	conn.Write(body)
+}

@@ -1,0 +1,333 @@
+package ingest_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/ingest"
+	"streams/internal/ops"
+	"streams/internal/pe"
+	"streams/internal/tuple"
+	"streams/internal/xport"
+)
+
+// punctCounter is a pass-through operator that counts window
+// punctuation — the probe for the "punctuation is never shed"
+// guarantee.
+type punctCounter struct {
+	n atomic.Uint64
+}
+
+func (p *punctCounter) Name() string { return "PunctCount" }
+func (p *punctCounter) Process(out graph.Submitter, t tuple.Tuple, _ int) {
+	out.Submit(t, 0)
+}
+func (p *punctCounter) OnPunct(_ graph.Submitter, kind tuple.Kind, _ int) {
+	if kind == tuple.WindowMark {
+		p.n.Add(1)
+	}
+}
+
+// buildPipeline wires srv → punctCounter → sink and returns the PE.
+func buildPipeline(t testing.TB, srv *ingest.Server, snk *ops.Sink, pc *punctCounter, cfg pe.Config) *pe.PE {
+	t.Helper()
+	b := graph.NewBuilder()
+	src := b.AddNode(srv, 0, 1)
+	mid := b.AddNode(pc, 1, 1)
+	b.Connect(src, 0, mid, 0)
+	sn := b.AddNode(snk, 1, 0)
+	b.Connect(mid, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pe.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stopWait stops the PE and bounds the drain.
+func stopWait(t testing.TB, p *pe.PE) {
+	t.Helper()
+	p.Stop()
+	if err := p.WaitTimeout(30 * time.Second); err != nil {
+		t.Fatalf("PE did not drain: %v", err)
+	}
+}
+
+// TestIngestEndToEnd drives the binary protocol through a live PE: all
+// offered tuples are admitted (Block policy, no contract), every one
+// reaches the sink, punctuation arrives, and the drain is clean.
+func TestIngestEndToEnd(t *testing.T) {
+	srv, err := ingest.NewServer(ingest.Config{
+		Tenants: []ingest.TenantConfig{{Name: "acme", Policy: ingest.Block}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snk, pc := &ops.Sink{}, &punctCounter{}
+	p := buildPipeline(t, srv, snk, pc, pe.Config{Model: pe.Dynamic, Threads: 2})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ingest.Dial(srv.Addr(), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N, puncts = 5000, 10
+	for i := 0; i < N; i++ {
+		if err := c.Send(tuple.NewData(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%(N/puncts) == N/puncts-1 {
+			c.Send(tuple.Window())
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "admission of all tuples", func() bool {
+		return srv.Metrics().Snapshot().Admitted >= N+puncts
+	})
+	stopWait(t, p)
+	if got := snk.Count(); got != N {
+		t.Fatalf("sink saw %d tuples, want %d", got, N)
+	}
+	if got := pc.n.Load(); got != puncts {
+		t.Fatalf("punct counter saw %d window marks, want %d", got, puncts)
+	}
+	sn := srv.Snapshot()
+	if sn.Totals.Shed != 0 || sn.Totals.Rejected != 0 {
+		t.Fatalf("loss on a loss-free run: %+v", sn.Totals)
+	}
+	if !sn.Draining {
+		t.Fatal("snapshot after stop should report draining")
+	}
+}
+
+// TestIngestHTTP exercises the HTTP face of the front door: batch POST
+// with disposition accounting, the stats endpoint, keep-alive reuse,
+// and unknown-tenant rejection.
+func TestIngestHTTP(t *testing.T) {
+	srv, err := ingest.NewServer(ingest.Config{
+		Tenants: []ingest.TenantConfig{{Name: "acme", Policy: ingest.ShedNewest, QueueCap: 4096}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snk, pc := &ops.Sink{}, &punctCounter{}
+	p := buildPipeline(t, srv, snk, pc, pe.Config{Model: pe.Dynamic, Threads: 2})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer stopWait(t, p)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const N = 100
+	body := make([]byte, 0, N*xport.FrameSize)
+	var frame [xport.FrameSize]byte
+	for i := 0; i < N; i++ {
+		tp := tuple.NewData(uint64(i))
+		tp.Seq = uint64(i + 1)
+		xport.EncodeFrame(frame[:], tp)
+		body = append(body, frame[:]...)
+	}
+	post := func(tenant string) (*http.Response, error) {
+		fmt.Fprintf(conn, "POST /ingest?tenant=%s HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\n\r\n", tenant, len(body))
+		if _, err := conn.Write(body); err != nil {
+			return nil, err
+		}
+		return http.ReadResponse(newReader(conn), nil)
+	}
+	resp, err := post("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch POST status %d", resp.StatusCode)
+	}
+	var counts struct {
+		Admitted, Throttled, Shed, Rejected uint64
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&counts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if counts.Admitted != N || counts.Shed != 0 {
+		t.Fatalf("dispositions = %+v, want %d admitted", counts, N)
+	}
+
+	// Keep-alive: the same connection serves the stats probe.
+	fmt.Fprintf(conn, "GET /ingest/stats HTTP/1.1\r\nHost: x\r\n\r\n")
+	resp, err = http.ReadResponse(newReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn ingest.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(sn.Tenants) != 1 || sn.Tenants[0].Name != "acme" {
+		t.Fatalf("stats snapshot = %+v", sn)
+	}
+
+	// Unknown tenant: rejected with 403, connection closed.
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprintf(conn2, "POST /ingest?tenant=nobody HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+	resp, err = http.ReadResponse(newReader(conn2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown tenant status %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	waitFor(t, 10*time.Second, "batch to drain", func() bool { return snk.Count() == N })
+}
+
+// TestIdleEviction proves a connected-but-silent client is evicted at
+// the idle deadline rather than holding resources forever.
+func TestIdleEviction(t *testing.T) {
+	srv, err := ingest.NewServer(ingest.Config{
+		Tenants:     []ingest.TenantConfig{{Name: "acme"}},
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ingest.Dial(srv.Addr(), "acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Abort()
+	waitFor(t, 5*time.Second, "idle eviction", func() bool {
+		return srv.Metrics().Snapshot().Evicted >= 1
+	})
+}
+
+// TestUnknownTenantPreamble checks the binary preamble rejects a tenant
+// the server was not configured with.
+func TestUnknownTenantPreamble(t *testing.T) {
+	srv, err := ingest.NewServer(ingest.Config{Tenants: []ingest.TenantConfig{{Name: "acme"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ingest.Dial(srv.Addr(), "nobody")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	defer c.Abort()
+	waitFor(t, 5*time.Second, "preamble rejection", func() bool {
+		return srv.Metrics().Snapshot().Rejected >= 1
+	})
+}
+
+// TestParsePolicy covers the flag-facing parsers.
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]ingest.Policy{
+		"block": ingest.Block, "shed-oldest": ingest.ShedOldest,
+		"oldest": ingest.ShedOldest, "Shed-Newest": ingest.ShedNewest,
+	} {
+		got, err := ingest.ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if back, err := ingest.ParsePolicy(want.String()); err != nil || back != want {
+			t.Fatalf("Policy.String round trip broke for %v", want)
+		}
+	}
+	if _, err := ingest.ParsePolicy("drop-tables"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	ts, err := ingest.ParseTenants("gold:50000:500:block:guaranteed, bronze:25000::shed-oldest", ingest.ShedNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("parsed %d tenants, want 2", len(ts))
+	}
+	g, b := ts[0], ts[1]
+	if g.Name != "gold" || g.Rate != 50000 || g.Burst != 500 || g.Policy != ingest.Block || !g.Guaranteed {
+		t.Fatalf("gold = %+v", g)
+	}
+	if b.Name != "bronze" || b.Rate != 25000 || b.Burst != 0 || b.Policy != ingest.ShedOldest || b.Guaranteed {
+		t.Fatalf("bronze = %+v", b)
+	}
+	for _, bad := range []string{"", ":100", "x:abc", "x:1:-2", "x:1:1:what", "x:1:1:block:royal"} {
+		if _, err := ingest.ParseTenants(bad, ingest.Block); err == nil {
+			t.Fatalf("ParseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+// newReader returns the one bufio.Reader for conn, so successive
+// http.ReadResponse calls on a keep-alive connection never lose bytes
+// buffered by an earlier call.
+func newReader(conn net.Conn) *bufio.Reader {
+	readerMu.Lock()
+	defer readerMu.Unlock()
+	br, ok := bufReaders[conn]
+	if !ok {
+		br = bufio.NewReader(conn)
+		bufReaders[conn] = br
+	}
+	return br
+}
+
+var (
+	readerMu   sync.Mutex
+	bufReaders = map[net.Conn]*bufio.Reader{}
+)

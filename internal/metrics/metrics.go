@@ -342,6 +342,65 @@ func (v *VM) Snapshot() VMSnapshot {
 	}
 }
 
+// Ingest bundles the admission-control meters for the network front
+// end: tuple dispositions at the admission seam (admitted past the
+// token bucket into a tenant queue, throttled by the bucket, shed by a
+// queue-overflow or priority policy), plus connection-level events.
+type Ingest struct {
+	// Admitted counts tuples accepted into a tenant queue.
+	Admitted *Counter
+	// Shed counts tuples dropped by a shed policy: queue overflow
+	// under shed-oldest/shed-newest, or best-effort tuples refused at
+	// admission while the runtime is backlogged.
+	Shed *Counter
+	// Throttled counts tuples rejected by a tenant's token bucket.
+	Throttled *Counter
+	// Rejected counts tuples refused for structural reasons: unknown
+	// tenant, malformed frame, or arrival after drain began.
+	Rejected *Counter
+	// Conns counts accepted client connections.
+	Conns *Counter
+	// Evicted counts connections closed by the idle/slow-client
+	// evictor rather than by the client.
+	Evicted *Counter
+}
+
+// NewIngest returns an Ingest meter set sized for the given number of
+// concurrently-counting threads (see NewCounter).
+func NewIngest(shards int) *Ingest {
+	return &Ingest{
+		Admitted:  NewCounter(shards),
+		Shed:      NewCounter(shards),
+		Throttled: NewCounter(shards),
+		Rejected:  NewCounter(shards),
+		Conns:     NewCounter(shards),
+		Evicted:   NewCounter(shards),
+	}
+}
+
+// IngestSnapshot is a point-in-time reading of an Ingest set, with the
+// same lower-bound semantics as Counter.Total.
+type IngestSnapshot struct {
+	Admitted  uint64 `json:"admitted"`
+	Shed      uint64 `json:"shed"`
+	Throttled uint64 `json:"throttled"`
+	Rejected  uint64 `json:"rejected"`
+	Conns     uint64 `json:"conns"`
+	Evicted   uint64 `json:"evicted"`
+}
+
+// Snapshot sums every meter.
+func (g *Ingest) Snapshot() IngestSnapshot {
+	return IngestSnapshot{
+		Admitted:  g.Admitted.Total(),
+		Shed:      g.Shed.Total(),
+		Throttled: g.Throttled.Total(),
+		Rejected:  g.Rejected.Total(),
+		Conns:     g.Conns.Total(),
+		Evicted:   g.Evicted.Total(),
+	}
+}
+
 // Welford accumulates streaming mean and standard deviation (Welford's
 // algorithm). The zero value is ready to use.
 type Welford struct {

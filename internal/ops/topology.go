@@ -45,11 +45,19 @@ func (t Topology) String() string {
 // Build materializes the topology, returning the graph and its sink for
 // throughput readout.
 func (t Topology) Build() (*graph.Graph, *Sink, error) {
+	return t.BuildWithSource(&Generator{Limit: t.Limit})
+}
+
+// BuildWithSource materializes the topology with a caller-provided
+// source operator in place of the synthetic Generator — the seam that
+// lets a network front end (ingest.Server) feed the paper's worker
+// graphs. The source must submit on out-port 0.
+func (t Topology) BuildWithSource(source graph.Source) (*graph.Graph, *Sink, error) {
 	if t.Width < 1 || t.Depth < 1 {
 		return nil, nil, fmt.Errorf("ops: width %d and depth %d must be positive", t.Width, t.Depth)
 	}
 	b := graph.NewBuilder()
-	src := b.AddNode(&Generator{Limit: t.Limit}, 0, 1)
+	src := b.AddNode(source, 0, 1)
 	snk := &Sink{}
 	sn := b.AddNode(snk, 1, 0)
 

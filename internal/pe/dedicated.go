@@ -219,7 +219,15 @@ func (r *dedicatedRunner) sourceDone(i int) {
 	}
 }
 
-func (r *dedicatedRunner) executed() uint64               { return r.exec.Total() }
+func (r *dedicatedRunner) executed() uint64 { return r.exec.Total() }
+
+func (r *dedicatedRunner) backlog() int {
+	total := 0
+	for _, q := range r.queues {
+		total += q.Queue().Len()
+	}
+	return total
+}
 func (r *dedicatedRunner) sinkDelivered() uint64          { return r.sink.Total() }
 func (r *dedicatedRunner) done() <-chan struct{}          { return r.drain.doneCh }
 func (r *dedicatedRunner) faults() metrics.FaultsSnapshot { return r.contain.snapshot() }

@@ -100,6 +100,7 @@ func (f *fusedRunner) sourceDone(i int) {
 }
 
 func (f *fusedRunner) executed() uint64               { return f.exec.Total() }
+func (f *fusedRunner) backlog() int                   { return 0 }
 func (f *fusedRunner) sinkDelivered() uint64          { return f.sink.Total() }
 func (f *fusedRunner) done() <-chan struct{}          { return f.drain.doneCh }
 func (f *fusedRunner) faults() metrics.FaultsSnapshot { return f.contain.snapshot() }

@@ -172,6 +172,9 @@ type runner interface {
 	executed() uint64
 	// sinkDelivered returns tuples delivered to sinks.
 	sinkDelivered() uint64
+	// backlog returns the total tuple occupancy across the runner's
+	// queues (0 for the queueless manual model).
+	backlog() int
 	// done is closed when the graph has drained.
 	done() <-chan struct{}
 	// faults snapshots the fault-containment meters.
@@ -267,6 +270,20 @@ func (pe *PE) Start() error {
 	}
 	if err := pe.runner.start(); err != nil {
 		return err
+	}
+	// Hand the shutdown deadline to sources that drain buffered work on
+	// stop (the ingest front end flushes admitted tuples): their flush
+	// must fit inside the same budget the runner's shutdown gets, or
+	// Stop would blow its bound before the scheduler even begins.
+	if dd := pe.cfg.ShutdownTimeout; dd >= 0 {
+		if dd == 0 {
+			dd = 60 * time.Second
+		}
+		for _, n := range pe.g.SourceNodes {
+			if s, ok := n.Op.(interface{ SetDrainDeadline(time.Duration) }); ok {
+				s.SetDrainDeadline(dd)
+			}
+		}
 	}
 	for i, n := range pe.g.SourceNodes {
 		pe.sourcesWG.Add(1)
@@ -498,6 +515,11 @@ func (pe *PE) OperatorCounts() map[string]uint64 {
 // SinkDelivered returns tuples delivered to sink operators since Start.
 func (pe *PE) SinkDelivered() uint64 { return pe.runner.sinkDelivered() }
 
+// Backlog returns the total tuple occupancy across the runner's input
+// queues (0 under the queueless manual model). Racy by design: it is an
+// overload signal for admission control, not an accounting value.
+func (pe *PE) Backlog() int { return pe.runner.backlog() }
+
 // SchedStats bundles the dynamic scheduler's slow-path meters: how often
 // threads fell into self-help (reschedules), came up empty from a work
 // search (find failures), and hit free-structure contention events.
@@ -655,6 +677,7 @@ func (d *dynamicRunner) sourceSubmitter(i int) graph.Submitter {
 func (d *dynamicRunner) sourceDone(i int)               { d.s.SourceDone(d.g.SourceNodes[i], i) }
 func (d *dynamicRunner) executed() uint64               { return d.s.Executed() }
 func (d *dynamicRunner) sinkDelivered() uint64          { return d.s.SinkDelivered() }
+func (d *dynamicRunner) backlog() int                   { return d.s.Backlog() }
 func (d *dynamicRunner) done() <-chan struct{}          { return d.s.Done() }
 func (d *dynamicRunner) faults() metrics.FaultsSnapshot { return d.s.Faults() }
 func (d *dynamicRunner) lastFault() string              { return d.s.LastFault() }

@@ -629,6 +629,20 @@ func (s *Scheduler) Stats() Stats {
 	}
 }
 
+// Backlog returns the total tuple occupancy across every input-port
+// queue — a racy but order-of-magnitude-faithful overload signal. The
+// ingest front end polls it as its global admission gate: a backlog
+// near the aggregate queue capacity means the runtime is saturated and
+// best-effort traffic should be shed at the door instead of queued.
+// O(ports); each Len is two atomic loads.
+func (s *Scheduler) Backlog() int {
+	total := 0
+	for _, q := range s.queues {
+		total += q.Queue().Len()
+	}
+	return total
+}
+
 // LastFault describes the most recent contained fault (a recovered
 // panic or a watchdog stall report), or "" when none has occurred.
 func (s *Scheduler) LastFault() string {

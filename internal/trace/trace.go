@@ -87,6 +87,17 @@ const (
 	// program, no per-operator Process calls; arg packs segs<<32|port,
 	// where segs is the fused chain length.
 	KindVMFuse
+	// KindAdmit marks a batch of tuples admitted past ingest admission
+	// into a tenant queue; arg packs tenant<<32|count.
+	KindAdmit
+	// KindShed marks a batch of tuples dropped by an ingest shed
+	// policy (queue overflow under shed-oldest/shed-newest, or priority
+	// shedding under global overload); arg packs tenant<<32|count.
+	KindShed
+	// KindThrottle marks a batch rejected by a tenant's token bucket —
+	// the client exceeded its contracted rate; arg packs
+	// tenant<<32|count.
+	KindThrottle
 
 	numKinds
 )
@@ -157,6 +168,12 @@ func (k Kind) String() string {
 		return "fair-claim"
 	case KindVMFuse:
 		return "vm-fuse"
+	case KindAdmit:
+		return "admit"
+	case KindShed:
+		return "shed"
+	case KindThrottle:
+		return "throttle"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

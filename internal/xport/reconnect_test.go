@@ -39,6 +39,41 @@ func (k *killableListener) killActive() {
 	}
 }
 
+// TestReconnectJitterDecorrelated: two exports — even with the same
+// boundary name, as happens when a restarted PE re-creates its links —
+// must not share a retry schedule. A shared schedule means every link
+// dropped by one outage redials at the same instants, defeating the
+// backoff's jitter.
+func TestReconnectJitterDecorrelated(t *testing.T) {
+	schedule := func() []time.Duration {
+		e := NewExportWith("pe1->pe2:out", nil, Options{})
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = e.jittered(100 * time.Millisecond)
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	// The jitter range holds 50M distinct nanosecond values; two
+	// decorrelated streams colliding even a handful of times in 32
+	// draws is implausible, while the old name-only seeding collides
+	// on every draw.
+	if same > 3 {
+		t.Fatalf("identically-named exports shared %d/%d backoff draws — retry schedules are correlated", same, len(a))
+	}
+	for i, d := range a {
+		if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+			t.Fatalf("draw %d: %v outside [d/2, d)", i, d)
+		}
+	}
+}
+
 // orderedCollector records data payloads and flags duplicates or gaps.
 type orderedCollector struct {
 	mu   sync.Mutex

@@ -75,6 +75,11 @@ const (
 	pruneBytes = 64 << 10
 )
 
+// FrameSize is the encoded size of one frame: kind byte, sequence
+// number, payload words. Exported so other wire front ends (ingest)
+// can reuse EncodeFrame/DecodeFrame with correctly-sized buffers.
+const FrameSize = frameSize
+
 // EncodeFrame serializes t into buf (which must hold frameSize bytes).
 func EncodeFrame(buf []byte, t tuple.Tuple) {
 	buf[0] = byte(t.Kind)
@@ -197,12 +202,21 @@ func NewExport(name string, dial func() (net.Conn, error)) *Export {
 	return NewExportWith(name, dial, Options{})
 }
 
+// jitEntropy decorrelates export jitter states across exports and across
+// process runs. Seeding from the name alone would make every export's
+// retry schedule a pure function of its name, so two links dropped by
+// the same outage — or the same link across restarts — would redial in
+// lockstep, which is exactly the thundering herd jitter exists to break.
+var jitEntropy atomic.Uint64
+
 // NewExportWith is NewExport with explicit Options.
 func NewExportWith(name string, dial func() (net.Conn, error), opt Options) *Export {
 	e := &Export{name: name, dial: dial, opt: opt.withDefaults()}
 	for _, c := range name {
 		e.jit = e.jit*31 + uint64(c)
 	}
+	e.jit ^= uint64(time.Now().UnixNano()) * 0x9e3779b97f4a7c15
+	e.jit ^= jitEntropy.Add(0x6a09e667f3bcc909)
 	e.jit |= 1
 	return e
 }
