@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race check chaos chaos-ingest bench bench-contention bench-chain bench-adaptive bench-vm bench-ingest trace-smoke
+.PHONY: all vet build test race check chaos chaos-ingest bench bench-contention bench-chain bench-adaptive bench-vm bench-ingest bench-obs trace-smoke obs-smoke
 
 all: check
 
@@ -23,7 +23,7 @@ check: vet build test race
 # scheduler, and connection drops across PE boundaries. The seeds are
 # fixed in the tests, so failures reproduce exactly.
 chaos:
-	$(GO) test -race -count=1 -run Chaos -v ./internal/sched ./internal/pe ./internal/fuse ./internal/xport
+	FLIGHTREC_DIR=$(CURDIR) $(GO) test -race -count=1 -run Chaos -v ./internal/sched ./internal/pe ./internal/fuse ./internal/xport ./internal/obs
 
 # chaos-ingest soaks the network front door under the race detector:
 # concurrent two-class clients overdrive the admission layer while
@@ -34,7 +34,7 @@ chaos:
 # tests (Block loss-freedom, shed FIFO + punctuation survival) ride
 # along under the same -race run.
 chaos-ingest:
-	$(GO) test -race -count=1 -v \
+	FLIGHTREC_DIR=$(CURDIR) $(GO) test -race -count=1 -v \
 		-run 'TestChaosIngest|TestBlockNoAdmittedTupleDropped|TestShedOldestFIFOAndPunctSurvival|TestShedNewestKeepsBacklog' \
 		./internal/ingest
 
@@ -51,12 +51,12 @@ chaos-ingest:
 trace-smoke:
 	$(GO) run ./cmd/streamsim -native -w 10 -d 100 -cost 200 -threads 8 \
 		-elastic -adapt 100ms -chaos panic=0.0005 -quarantine 1 \
-		-latency -fairclaim -trace trace-smoke.json -dur 3s
-	$(GO) run ./cmd/tracecheck -require steal,park,quarantine,elastic-level,chain,chain-stop,relax-level trace-smoke.json
+		-latency -fairclaim -obs -trace trace-smoke.json -dur 3s
+	$(GO) run ./cmd/tracecheck -strict -require steal,park,quarantine,elastic-level,chain,chain-stop,relax-level,bp-sample trace-smoke.json
 	$(GO) run ./cmd/streamsim -native -w 1 -d 12 -cost 50 -threads 2 \
 		-vm -trace trace-vm-smoke.json -dur 2s
-	$(GO) run ./cmd/tracecheck -require chain,vm-fuse trace-vm-smoke.json
-	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./cmd/tracecheck
+	$(GO) run ./cmd/tracecheck -strict -require chain,vm-fuse trace-vm-smoke.json
+	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./internal/obs ./cmd/tracecheck
 	@rm -f trace-smoke.json trace-vm-smoke.json
 
 bench:
@@ -119,3 +119,36 @@ bench-ingest:
 	$(GO) test -bench BenchmarkIngestOverload -benchtime=1x -run '^$$' ./internal/ingest \
 		| $(GO) run ./cmd/benchjson > BENCH_ingest.json
 	@echo wrote BENCH_ingest.json
+
+# bench-obs measures what flow observability costs the data path: the
+# same pipeline with no collector, with the collector idle, and
+# sampling at the default (100ms) and an adversarial (5ms) rate. The
+# acceptance budget (EXPERIMENTS.md) is <=2% throughput loss enabled
+# and no measurable regression disabled; iterations are fixed so every
+# cell runs the identical workload.
+bench-obs:
+	$(GO) test -bench BenchmarkObsOverhead -benchtime=2000000x -run '^$$' ./internal/obs \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@echo wrote BENCH_obs.json
+
+# obs-smoke proves the metrics-export path end to end: run the real
+# runtime with the flow sampler and debug endpoint up, scrape /metricz
+# mid-run and validate the exposition with the strict OpenMetrics
+# parser (required families pinned), fetch the /debugz/flows panel and
+# a forced flight-recorder dump, and check the post-run attribution
+# report names a bottleneck on a deliberately skewed pipeline.
+obs-smoke:
+	$(GO) build -o /tmp/streamsim-smoke ./cmd/streamsim
+	/tmp/streamsim-smoke -native -w 1 -d 4 -cost 2000 -threads 2 -dur 6s \
+		-obs -latency -debug-addr 127.0.0.1:6099 -flightrec /tmp/flightrec-smoke.json \
+		> /tmp/obs-smoke.out 2>&1 & \
+	SIM=$$!; sleep 3; \
+	curl -sf http://127.0.0.1:6099/metricz | $(GO) run ./cmd/metriczcheck \
+		-require streams_executed,streams_edge_depth,streams_edge_blocked_seconds,streams_backlog || { kill $$SIM; cat /tmp/obs-smoke.out; exit 1; }; \
+	curl -sf http://127.0.0.1:6099/debugz/flows | grep -q "bottleneck:" || { kill $$SIM; cat /tmp/obs-smoke.out; exit 1; }; \
+	curl -sf "http://127.0.0.1:6099/debugz/flightrec?dump=now" | grep -q '"reason"' || { kill $$SIM; cat /tmp/obs-smoke.out; exit 1; }; \
+	wait $$SIM
+	grep -q "bottleneck:" /tmp/obs-smoke.out
+	$(GO) test -race -count=1 ./internal/obs ./cmd/metriczcheck
+	@rm -f /tmp/streamsim-smoke /tmp/obs-smoke.out /tmp/flightrec-smoke.json
+	@echo obs-smoke ok

@@ -1,0 +1,75 @@
+// Command metriczcheck validates an OpenMetrics text exposition — the
+// CI gate behind make obs-smoke. It reads from stdin (or a file given
+// as the sole argument), runs the strict parser the obs package itself
+// exports, and exits nonzero with a diagnostic when the exposition is
+// malformed.
+//
+// Usage:
+//
+//	curl -s http://localhost:6060/metricz | metriczcheck
+//	metriczcheck exposition.txt
+//	metriczcheck -require streams_executed_total exposition.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"streams/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	list := flag.Bool("list", false, "print every family name and sample count")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	fams, err := obs.ParseExposition(in)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		if _, ok := fams[want]; !ok {
+			fatal(fmt.Errorf("%s: required family %q missing", name, want))
+		}
+	}
+	samples := 0
+	names := make([]string, 0, len(fams))
+	for n, f := range fams {
+		names = append(names, n)
+		samples += f.Samples
+	}
+	sort.Strings(names)
+	if *list {
+		for _, n := range names {
+			fmt.Printf("%-40s %s  %d sample(s)\n", n, fams[n].Type, fams[n].Samples)
+		}
+	}
+	fmt.Printf("metriczcheck: %s ok — %d families, %d samples\n", name, len(fams), samples)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metriczcheck:", err)
+	os.Exit(1)
+}

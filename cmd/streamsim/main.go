@@ -11,6 +11,7 @@
 //	streamsim -native -chaos panic=0.001,slow=0.001:20us # runtime under chaos
 //	streamsim -native -trace out.json -latency           # scheduler trace + latency
 //	streamsim -native -debug-addr localhost:6060         # live /debugz endpoint
+//	streamsim -native -obs -metricz -flightrec fr.json   # flow observability
 //	streamsim -verbose                   # adds §5.1 context-switch estimates
 //
 // Static panels print the four series of Figures 9 and 10 (manual,
@@ -33,6 +34,7 @@ import (
 	"streams/internal/fig"
 	"streams/internal/ingest"
 	"streams/internal/metrics"
+	"streams/internal/obs"
 	"streams/internal/pe"
 	"streams/internal/sim"
 	"streams/internal/trace"
@@ -71,7 +73,12 @@ func main() {
 		maxthreads = flag.Int("maxthreads", 0, "native: dynamic thread-level cap (default: -threads)")
 		traceOut   = flag.String("trace", "", "native: write a Chrome trace_event file of scheduler decisions to this path (open in chrome://tracing or Perfetto)")
 		latency    = flag.Bool("latency", false, "native: measure end-to-end tuple latency from source stamp to sink drain")
-		debugAddr  = flag.String("debug-addr", "", "native: serve /debugz, /debugz/stats, /debugz/trace, /debugz/tenants and /debug/pprof on this address for the duration of the run")
+		debugAddr  = flag.String("debug-addr", "", "native: serve /debugz, /debugz/stats, /debugz/trace, /debugz/tenants, /debugz/flows, /debugz/flightrec, /metricz and /debug/pprof on this address for the duration of the run")
+
+		obsOn     = flag.Bool("obs", false, "native: enable flow observability — periodic backpressure sampling, bottleneck attribution, /debugz/flows and /metricz (implied by -metricz and -flightrec)")
+		obsPeriod = flag.Duration("obs-period", 100*time.Millisecond, "native: flow-observability sampling period")
+		metricz   = flag.Bool("metricz", false, "native: print the final OpenMetrics exposition to stdout after the run (implies -obs)")
+		flightrec = flag.String("flightrec", "", "native: flight-recorder dump file, overwritten whenever fault containment or ingest overload fires (implies -obs)")
 
 		ingestAddr   = flag.String("ingest-addr", "", "native: serve the multi-tenant network ingest front end on this address and make it the graph's source (replaces the synthetic generator)")
 		tenants      = flag.String("tenants", "gold:20000:512:block:guaranteed,bronze:20000:512", "native: ingest tenant spec, comma-separated name:rate[:burst[:policy[:class]]] (class: guaranteed or besteffort)")
@@ -139,21 +146,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		obsEnabled := *obsOn || *metricz || *flightrec != ""
 		var tr *trace.Tracer
+		obsRing := -1
 		if *traceOut != "" || *debugAddr != "" {
-			// The ingest front end gets one ring of its own past the
-			// scheduler's allocation.
+			// The ingest front end and the observability sampler each get
+			// one ring of their own past the scheduler's allocation.
 			extra := 0
 			if *ingestAddr != "" {
-				extra = 1
+				extra++
+			}
+			if obsEnabled {
+				obsRing = rings + extra
+				extra++
 			}
 			tr = trace.New(rings+extra, 0)
-			if extra > 0 {
+			if *ingestAddr != "" {
 				tr.SetLabel(rings, "ingest")
+			}
+			if obsRing >= 0 {
+				tr.SetLabel(obsRing, "obs")
 			}
 			cfg.Tracer = tr
 		}
-		if *latency || *debugAddr != "" {
+		if *latency || *debugAddr != "" || obsEnabled {
 			// Shard count only tunes contention; Record masks the tid, so
 			// the dynamic ring count is a fine size for every model.
 			cfg.Latency = metrics.NewHistogram(rings)
@@ -199,12 +215,25 @@ func main() {
 				ingSrv.Addr(), len(tcs), defPol)
 			cfg.Source = ingSrv
 		}
+		var col *obs.Collector
 		onStart := func(p *pe.PE) {
 			livePE.Store(p)
+			if obsEnabled {
+				rec := &obs.Recorder{Path: *flightrec, Tracer: tr}
+				col = obs.New(obs.Options{
+					PE: p, Ingest: ingSrv, Latency: cfg.Latency,
+					Tracer: tr, Ring: obsRing, Period: *obsPeriod,
+					Recorder: rec, Workload: w.String(),
+				})
+				col.Start()
+				if *flightrec != "" {
+					fmt.Printf("flight recorder: armed, dumps to %s\n", *flightrec)
+				}
+			}
 			if *debugAddr != "" {
 				srv, err := debugz.Serve(*debugAddr, debugz.Options{
 					PE: p, Tracer: tr, Latency: cfg.Latency, Workload: w.String(),
-					Ingest: ingSrv,
+					Ingest: ingSrv, Obs: col,
 				})
 				if err != nil {
 					fatal(err)
@@ -233,6 +262,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if col != nil {
+			col.Stop()
+			if p := livePE.Load(); p != nil && p.Err() != nil {
+				// A stuck scheduler thread blew the shutdown deadline; the
+				// window leading up to it is exactly what the recorder is
+				// for.
+				col.Trigger("shutdown-deadline")
+			}
+		}
 		fmt.Printf("sink throughput: %.4g tuples/s\n", res.Throughput)
 		// All remaining lines render through the same snapshot path the
 		// /debugz endpoint serves, so the two views cannot drift.
@@ -243,6 +281,23 @@ func main() {
 			ingSrv.Close()
 		}
 		snap.WriteText(os.Stdout)
+		if col != nil {
+			fmt.Println()
+			col.Snapshot().WriteText(os.Stdout)
+			if dump, n := col.Recorder().LastDump(); n > 0 {
+				fmt.Printf("flight recorder: %d dump(s), last %d bytes", n, len(dump))
+				if *flightrec != "" {
+					fmt.Printf(" -> %s", *flightrec)
+				}
+				fmt.Println()
+			}
+			if *metricz {
+				fmt.Println()
+				if err := col.WriteMetrics(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+		}
 		if *traceOut != "" {
 			if err := writeTrace(*traceOut, tr); err != nil {
 				fatal(err)

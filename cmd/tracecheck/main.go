@@ -2,13 +2,15 @@
 // shape streamsim's -trace flag (and /debugz/trace) emits, so CI can
 // prove a trace loads in chrome://tracing before anyone opens it.
 //
-//	tracecheck [-require kind,kind,...] trace.json
+//	tracecheck [-strict] [-require kind,kind,...] trace.json
 //
 // It checks the document structure (a traceEvents array of objects with
 // name/ph/ts/pid/tid, a known phase, non-negative timestamps, and a
 // non-negative dur on complete events), prints a per-event-name tally,
 // and — with -require — fails unless every named event kind appears at
-// least once.
+// least once. With -strict it additionally fails on any event kind the
+// runtime's exporter does not emit, so a schema drift between exporter
+// and checker breaks CI instead of silently passing.
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"streams/internal/trace"
 )
 
 // event is one trace_event record; pointers distinguish absent fields
@@ -41,6 +45,31 @@ var knownPhases = map[string]bool{"X": true, "i": true, "M": true}
 var chainStopReasons = map[string]bool{
 	"depth": true, "budget": true, "lock": true, "occupied": true, "halt": true,
 }
+
+// flightRecReasons is the closed set of trigger names the flight
+// recorder writes on flightrec-dump instants, derived from the trace
+// package's own reason table so the two cannot drift.
+var flightRecReasons = func() map[string]bool {
+	m := map[string]bool{}
+	for _, c := range []int32{
+		trace.FlightRecQuarantine, trace.FlightRecWatchdog,
+		trace.FlightRecShutdown, trace.FlightRecOverload, trace.FlightRecManual,
+	} {
+		m[trace.FlightRecReason(c)] = true
+	}
+	return m
+}()
+
+// knownNames is every event name the exporter can emit: the trace
+// kinds plus the drain/park spans the exporter synthesizes from
+// start/end pairs. -strict fails on anything else.
+var knownNames = func() map[string]bool {
+	m := map[string]bool{"drain": true, "park": true}
+	for _, n := range trace.KindNames() {
+		m[n] = true
+	}
+	return m
+}()
 
 // checkArgs validates the argument payload of the instants with a
 // typed schema: a chain link must carry its 1-based depth and a
@@ -126,11 +155,31 @@ func checkArgs(e event) error {
 		if _, err := num("count", 1); err != nil {
 			return err
 		}
+	case "bp-sample":
+		// port is -1 when every queue was empty at the sample.
+		if _, err := num("port", -1); err != nil {
+			return err
+		}
+		if _, err := num("occ", 0); err != nil {
+			return err
+		}
+	case "flightrec-dump":
+		v, ok := e.Args["reason"]
+		if !ok {
+			return fmt.Errorf("missing arg %q", "reason")
+		}
+		r, ok := v.(string)
+		if !ok || !flightRecReasons[r] {
+			return fmt.Errorf("arg \"reason\" = %v, want a flight-recorder trigger name", v)
+		}
+		if _, err := num("samples", 0); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func check(path string, require []string) error {
+func check(path string, require []string, strict bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -159,6 +208,9 @@ func check(path string, require []string) error {
 		}
 		if *e.Ph == "M" {
 			continue // metadata records carry no timestamp
+		}
+		if strict && !knownNames[*e.Name] {
+			return fmt.Errorf("%s: event %d has unknown kind %q (-strict)", path, i, *e.Name)
 		}
 		switch {
 		case e.TS == nil || *e.TS < 0:
@@ -196,9 +248,10 @@ func check(path string, require []string) error {
 
 func main() {
 	requireFlag := flag.String("require", "", "comma-separated event names that must each appear at least once")
+	strict := flag.Bool("strict", false, "fail on event kinds the runtime's exporter does not emit")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require kind,...] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-strict] [-require kind,...] trace.json")
 		os.Exit(2)
 	}
 	var require []string
@@ -209,7 +262,7 @@ func main() {
 			}
 		}
 	}
-	if err := check(flag.Arg(0), require); err != nil {
+	if err := check(flag.Arg(0), require, *strict); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}

@@ -26,7 +26,7 @@ func TestCheckValid(t *testing.T) {
 		{"name":"relax-level","ph":"i","ts":4.0,"pid":1,"tid":1,"s":"t","args":{"width":2,"rate":80}},
 		{"name":"fair-claim","ph":"i","ts":5.0,"pid":1,"tid":1,"s":"t","args":{"port":4,"wait_ns":1200}}
 	]}`)
-	if err := check(p, []string{"steal", "drain", "relax-level", "fair-claim"}); err != nil {
+	if err := check(p, []string{"steal", "drain", "relax-level", "fair-claim"}, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,7 +35,7 @@ func TestCheckRequireMissing(t *testing.T) {
 	p := writeFile(t, "m.json", `{"traceEvents":[
 		{"name":"steal","ph":"i","ts":1,"pid":1,"tid":0,"args":{"victim":1,"port":2,"dist":0}}
 	]}`)
-	err := check(p, []string{"steal", "park"})
+	err := check(p, []string{"steal", "park"}, false)
 	if err == nil || !strings.Contains(err.Error(), "park") {
 		t.Fatalf("err = %v, want missing park", err)
 	}
@@ -75,7 +75,7 @@ func TestCheckMalformed(t *testing.T) {
 	}
 	for label, body := range cases {
 		p := writeFile(t, "bad.json", body)
-		if err := check(p, nil); err == nil {
+		if err := check(p, nil, false); err == nil {
 			t.Errorf("%s: check accepted malformed input", label)
 		}
 	}
@@ -99,13 +99,18 @@ func TestCheckAcceptsExport(t *testing.T) {
 	tr.Emit(0, trace.KindSteal, trace.PackPair(1, 2<<24|9))
 	tr.Emit(0, trace.KindRelax, trace.PackPair(2, 120))
 	tr.Emit(0, trace.KindFairClaim, trace.PackPair(9, 4500))
+	tr.Emit(1, trace.KindBPSample, trace.PackPair(3, 57))
+	tr.Emit(1, trace.KindBPSample, trace.PackPair(-1, 0))
+	tr.Emit(1, trace.KindFlightRec, trace.PackPair(trace.FlightRecQuarantine, 12))
 
 	var sb strings.Builder
 	if err := tr.Export(&sb); err != nil {
 		t.Fatal(err)
 	}
+	// Strict mode on a real export: the exporter may only emit kinds the
+	// checker knows, so adding a kind without a schema breaks here.
 	p := writeFile(t, "export.json", sb.String())
-	if err := check(p, []string{"drain", "steal", "park", "elastic-level", "chain", "chain-stop", "relax-level", "fair-claim"}); err != nil {
+	if err := check(p, []string{"drain", "steal", "park", "elastic-level", "chain", "chain-stop", "relax-level", "fair-claim", "bp-sample", "flightrec-dump"}, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,7 +127,53 @@ func TestCheckChainArgsValid(t *testing.T) {
 		{"name":"chain-stop","ph":"i","ts":6,"pid":1,"tid":0,"args":{"reason":"occupied","port":3}},
 		{"name":"chain-stop","ph":"i","ts":7,"pid":1,"tid":0,"args":{"reason":"halt","port":3}}
 	]}`)
-	if err := check(p, []string{"chain", "chain-stop"}); err != nil {
+	if err := check(p, []string{"chain", "chain-stop"}, false); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckObsArgs pins the flow-observability instants' schemas: a
+// bp-sample carries a port (-1 when all queues were empty) and a
+// non-negative occupancy, a flightrec-dump a known trigger name and a
+// sample count.
+func TestCheckObsArgs(t *testing.T) {
+	p := writeFile(t, "obs.json", `{"traceEvents":[
+		{"name":"bp-sample","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":3,"occ":57}},
+		{"name":"bp-sample","ph":"i","ts":2,"pid":1,"tid":0,"args":{"port":-1,"occ":0}},
+		{"name":"flightrec-dump","ph":"i","ts":3,"pid":1,"tid":0,"args":{"reason":"quarantine","samples":12}},
+		{"name":"flightrec-dump","ph":"i","ts":4,"pid":1,"tid":0,"args":{"reason":"shutdown-deadline","samples":0}}
+	]}`)
+	if err := check(p, []string{"bp-sample", "flightrec-dump"}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := map[string]string{
+		"bp no occ":      `{"traceEvents":[{"name":"bp-sample","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":3}}]}`,
+		"bp port -2":     `{"traceEvents":[{"name":"bp-sample","ph":"i","ts":1,"pid":1,"tid":0,"args":{"port":-2,"occ":1}}]}`,
+		"fr no reason":   `{"traceEvents":[{"name":"flightrec-dump","ph":"i","ts":1,"pid":1,"tid":0,"args":{"samples":3}}]}`,
+		"fr bad reason":  `{"traceEvents":[{"name":"flightrec-dump","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":"vibes","samples":3}}]}`,
+		"fr code reason": `{"traceEvents":[{"name":"flightrec-dump","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":2,"samples":3}}]}`,
+		"fr neg samples": `{"traceEvents":[{"name":"flightrec-dump","ph":"i","ts":1,"pid":1,"tid":0,"args":{"reason":"manual","samples":-1}}]}`,
+	}
+	for label, body := range bad {
+		p := writeFile(t, "bad.json", body)
+		if err := check(p, nil, false); err == nil {
+			t.Errorf("%s: check accepted malformed input", label)
+		}
+	}
+}
+
+// TestCheckStrict: unknown event kinds pass by default (forward
+// compatibility for hand-made traces) but fail under -strict.
+func TestCheckStrict(t *testing.T) {
+	p := writeFile(t, "unk.json", `{"traceEvents":[
+		{"name":"mystery-event","ph":"i","ts":1,"pid":1,"tid":0}
+	]}`)
+	if err := check(p, nil, false); err != nil {
+		t.Fatalf("lenient mode rejected unknown kind: %v", err)
+	}
+	err := check(p, nil, true)
+	if err == nil || !strings.Contains(err.Error(), "mystery-event") {
+		t.Fatalf("err = %v, want strict failure naming mystery-event", err)
 	}
 }

@@ -4,18 +4,24 @@
 // human-readable text, JSON, a Chrome trace_event file, and the
 // standard pprof profiles.
 //
-//	GET /debugz          human-readable snapshot (the streamsim panel)
-//	GET /debugz/stats    the same snapshot as JSON
-//	GET /debugz/trace    tracer contents in Chrome trace_event format,
-//	                     loadable in chrome://tracing or Perfetto
-//	GET /debug/pprof/    the net/http/pprof index and profiles
+//	GET /debugz            human-readable snapshot (the streamsim panel)
+//	GET /debugz/stats      the same snapshot as JSON
+//	GET /debugz/trace      tracer contents in Chrome trace_event format,
+//	                       loadable in chrome://tracing or Perfetto
+//	GET /debugz/flows      per-edge backpressure panel + attribution
+//	                       report (?format=json for the machine view)
+//	GET /debugz/flightrec  the most recent flight-recorder dump
+//	                       (?dump=now forces one)
+//	GET /metricz           OpenMetrics text exposition for scrapers
+//	GET /debug/pprof/      the net/http/pprof index and profiles
 //
 // One Snapshot struct feeds every presentation: Collect reads each
 // meter bundle through its single-pass snapshot API (never individual
 // counters in sequence — see the metrics.Counter contract), WriteText
 // renders the human panel, and the JSON field tags render the
 // endpoint. The streamsim CLI prints its end-of-run summary through
-// the same WriteText, so the human and machine views cannot drift.
+// the same WriteText, so the human and machine views cannot drift. The
+// flow endpoints follow the same discipline through obs.FlowSnapshot.
 package debugz
 
 import (
@@ -30,6 +36,7 @@ import (
 	"streams/internal/fig"
 	"streams/internal/ingest"
 	"streams/internal/metrics"
+	"streams/internal/obs"
 	"streams/internal/pe"
 	"streams/internal/trace"
 )
@@ -52,6 +59,9 @@ type Options struct {
 	// Ingest is the network front end, when the run has one; it adds
 	// the per-tenant admission panel and the /debugz/tenants endpoint.
 	Ingest *ingest.Server
+	// Obs is the flow-observability collector, when the run has one; it
+	// adds /metricz, /debugz/flows and /debugz/flightrec.
+	Obs *obs.Collector
 }
 
 // LatencySummary is the JSON-friendly digest of a latency histogram
@@ -240,17 +250,33 @@ func writeIngest(w io.Writer, in ingest.Snapshot) {
 	}
 }
 
+// textHeaders and jsonHeaders stamp the response headers every dynamic
+// endpoint needs: an explicit Content-Type (the JSON endpoints must not
+// rely on sniffing, which yields text/plain) and Cache-Control:
+// no-store, because every response is a live snapshot that is stale the
+// moment it is written.
+func textHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+}
+
+func jsonHeaders(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+}
+
 // Handler returns the endpoint's mux: /debugz, /debugz/stats,
-// /debugz/trace and /debug/pprof/*. It is a plain http.Handler so
-// callers can mount it on any server.
+// /debugz/trace, /debugz/flows, /debugz/flightrec, /metricz and
+// /debug/pprof/*. It is a plain http.Handler so callers can mount it
+// on any server.
 func Handler(o Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debugz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		textHeaders(w)
 		Collect(o).WriteText(w)
 	})
 	mux.HandleFunc("/debugz/stats", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		jsonHeaders(w)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(Collect(o))
@@ -260,7 +286,7 @@ func Handler(o Options) http.Handler {
 			http.Error(w, "no tracer configured (run with -trace)", http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		jsonHeaders(w)
 		_ = o.Tracer.Export(w)
 	})
 	mux.HandleFunc("/debugz/tenants", func(w http.ResponseWriter, r *http.Request) {
@@ -270,14 +296,55 @@ func Handler(o Options) http.Handler {
 		}
 		in := o.Ingest.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
-			w.Header().Set("Content-Type", "application/json")
+			jsonHeaders(w)
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(in)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		textHeaders(w)
 		writeIngest(w, in)
+	})
+	mux.HandleFunc("/debugz/flows", func(w http.ResponseWriter, r *http.Request) {
+		if o.Obs == nil {
+			http.Error(w, "no flow observability configured (run with -obs)", http.StatusNotFound)
+			return
+		}
+		fs := o.Obs.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			jsonHeaders(w)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(fs)
+			return
+		}
+		textHeaders(w)
+		fs.WriteText(w)
+	})
+	mux.HandleFunc("/debugz/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		if o.Obs == nil || o.Obs.Recorder() == nil {
+			http.Error(w, "no flight recorder armed (run with -obs)", http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("dump") == "now" {
+			o.Obs.Trigger("manual")
+		}
+		dump, _ := o.Obs.Recorder().LastDump()
+		if dump == nil {
+			http.Error(w, "no dump recorded yet", http.StatusNotFound)
+			return
+		}
+		jsonHeaders(w)
+		_, _ = w.Write(dump)
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Obs == nil {
+			http.Error(w, "no flow observability configured (run with -obs)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		w.Header().Set("Cache-Control", "no-store")
+		_ = o.Obs.WriteMetrics(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -6,12 +6,16 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"streams/internal/graph"
 	"streams/internal/ingest"
 	"streams/internal/metrics"
+	"streams/internal/obs"
 	"streams/internal/ops"
 	"streams/internal/pe"
 	"streams/internal/trace"
@@ -207,5 +211,153 @@ func TestTenantsEndpoint(t *testing.T) {
 	none.ServeHTTP(rw, req)
 	if rw.Code != http.StatusNotFound {
 		t.Fatalf("status = %d, want 404", rw.Code)
+	}
+}
+
+// TestResponseHeaders pins the header contract: every endpoint declares
+// its content type and opts out of caching — these are live views, and
+// a cached snapshot is worse than none.
+func TestResponseHeaders(t *testing.T) {
+	p, tr, lat := buildPE(t)
+	col := obs.New(obs.Options{PE: p, Workload: "hdr"})
+	h := Handler(Options{PE: p, Tracer: tr, Latency: lat, Obs: col})
+	cases := []struct {
+		path, wantType string
+	}{
+		{"/debugz", "text/plain; charset=utf-8"},
+		{"/debugz/stats", "application/json"},
+		{"/debugz/trace", "application/json"},
+		{"/debugz/flows", "text/plain; charset=utf-8"},
+		{"/debugz/flows?format=json", "application/json"},
+		{"/metricz", obs.ContentType},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest("GET", c.path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", c.path, rw.Code)
+		}
+		if got := rw.Header().Get("Content-Type"); got != c.wantType {
+			t.Errorf("GET %s: Content-Type %q, want %q", c.path, got, c.wantType)
+		}
+		if got := rw.Header().Get("Cache-Control"); got != "no-store" {
+			t.Errorf("GET %s: Cache-Control %q, want no-store", c.path, got)
+		}
+	}
+}
+
+// TestStatsJSONGolden pins the /debugz/stats wire shape: the exact
+// top-level key set an instrumented run serves. A renamed or dropped
+// field breaks dashboards silently; this test makes it loud instead.
+func TestStatsJSONGolden(t *testing.T) {
+	p, tr, lat := buildPE(t)
+	h := Handler(Options{PE: p, Tracer: tr, Latency: lat, Workload: "golden"})
+	req := httptest.NewRequest("GET", "/debugz/stats", nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(rw.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	sort.Strings(got)
+	want := []string{
+		"executed", "faults", "latency", "level", "model", "sched",
+		"sink_delivered", "trace_kinds", "workload",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats JSON keys drifted:\n got %v\nwant %v", got, want)
+	}
+	var lat2 struct {
+		Latency struct {
+			Count uint64 `json:"count"`
+			P50Ns int64  `json:"p50_ns"`
+			P99Ns int64  `json:"p99_ns"`
+			MaxNs int64  `json:"max_ns"`
+		} `json:"latency"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &lat2); err != nil {
+		t.Fatal(err)
+	}
+	if lat2.Latency.Count == 0 || lat2.Latency.P50Ns == 0 {
+		t.Fatalf("latency summary shape drifted: %s", m["latency"])
+	}
+}
+
+// TestObsEndpoints drives the three observability endpoints against a
+// live collector: the flows panel in both formats, the OpenMetrics
+// exposition (validated by the strict parser), and the flight-recorder
+// fetch-and-force path.
+func TestObsEndpoints(t *testing.T) {
+	p, tr, lat := buildPE(t)
+	rec := &obs.Recorder{MinGap: time.Nanosecond}
+	col := obs.New(obs.Options{
+		PE: p, Latency: lat, Recorder: rec, Workload: "obs-endpoints",
+	})
+	col.SampleNow()
+	h := Handler(Options{PE: p, Tracer: tr, Latency: lat, Obs: col})
+
+	get := func(path string, wantCode int) *httptest.ResponseRecorder {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != wantCode {
+			t.Fatalf("GET %s: status %d, want %d", path, rw.Code, wantCode)
+		}
+		return rw
+	}
+
+	text := get("/debugz/flows", http.StatusOK).Body.String()
+	for _, want := range []string{"workload: obs-endpoints", "flows:", "edge 0", "bottleneck:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("flows panel missing %q:\n%s", want, text)
+		}
+	}
+	var fs obs.FlowSnapshot
+	if err := json.Unmarshal(get("/debugz/flows?format=json", http.StatusOK).Body.Bytes(), &fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Workload != "obs-endpoints" || len(fs.Edges) == 0 {
+		t.Fatalf("flows JSON: %+v", fs)
+	}
+
+	fams, err := obs.ParseExposition(get("/metricz", http.StatusOK).Body)
+	if err != nil {
+		t.Fatalf("/metricz does not parse: %v", err)
+	}
+	if _, ok := fams["streams_executed"]; !ok {
+		t.Fatalf("/metricz families: %v", fams)
+	}
+
+	// No dump yet; forcing one serves it.
+	get("/debugz/flightrec", http.StatusNotFound)
+	var d obs.Dump
+	if err := json.Unmarshal(get("/debugz/flightrec?dump=now", http.StatusOK).Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "manual" || len(d.Samples) == 0 {
+		t.Fatalf("forced dump: reason %q, %d samples", d.Reason, len(d.Samples))
+	}
+	if err := json.Unmarshal(get("/debugz/flightrec", http.StatusOK).Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsEndpointsWithoutCollector: the observability endpoints 404
+// cleanly when the run was started without -obs.
+func TestObsEndpointsWithoutCollector(t *testing.T) {
+	h := Handler(Options{})
+	for _, path := range []string{"/debugz/flows", "/debugz/flightrec", "/metricz"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusNotFound {
+			t.Fatalf("GET %s without obs: status %d, want 404", path, rw.Code)
+		}
 	}
 }

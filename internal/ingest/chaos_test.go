@@ -37,8 +37,12 @@ func TestChaosIngest(t *testing.T) {
 			// Gold holds a loss-free contract: Block policy, generous
 			// shaping bucket, guaranteed class.
 			{Name: "gold", Policy: ingest.Block, Rate: 500000, Burst: 1024, Guaranteed: true},
-			// Bronze is policed hard and shed under pressure.
-			{Name: "bronze", Policy: ingest.ShedOldest, Rate: 20000, Burst: 128, QueueCap: 256},
+			// Bronze is policed hard and shed under pressure. The
+			// contract is set low enough that its clients overdrive it
+			// even when the race detector and a loaded machine slow the
+			// sender goroutines — at 20000/s the throttle assertion
+			// below was timing-dependent.
+			{Name: "bronze", Policy: ingest.ShedOldest, Rate: 2000, Burst: 128, QueueCap: 256},
 		},
 		Fault: inj,
 	})
@@ -90,9 +94,18 @@ func TestChaosIngest(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Let the pump absorb whatever the faults left queued, then drain.
-	waitFor(t, 20*time.Second, "tenant queues to drain", func() bool {
-		for _, tn := range srv.Snapshot().Tenants {
+	// Wait for the readers to finish consuming what the clients wrote,
+	// then for the pump to absorb whatever the faults left queued. The
+	// open-connection gauge matters: a client can complete its whole
+	// stream into kernel socket buffers before the server's reader
+	// goroutines catch up, and stopping on "queues empty" alone would
+	// then sever the connections before admission ever saw the data.
+	waitFor(t, 20*time.Second, "connections to settle and queues to drain", func() bool {
+		sn := srv.Snapshot()
+		if sn.Open > 0 {
+			return false
+		}
+		for _, tn := range sn.Tenants {
 			if tn.Depth > 0 {
 				return false
 			}
@@ -111,7 +124,7 @@ func TestChaosIngest(t *testing.T) {
 	// Bronze's contract is far below its offered rate: the policer and
 	// shedder must have engaged.
 	if sn.Totals.Throttled == 0 {
-		t.Fatal("bronze was never throttled despite a 25x overdriven contract")
+		t.Fatalf("bronze was never throttled despite a heavily overdriven contract; totals %+v tenants %+v", sn.Totals, sn.Tenants)
 	}
 	// The flood fault really ran.
 	if inj.Fired(fault.ClientFlood) == 0 {

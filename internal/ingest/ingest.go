@@ -226,14 +226,19 @@ type Server struct {
 	// tenants first, then best-effort.
 	order []*tenant
 
-	ln       net.Listener
-	connMu   sync.Mutex
-	conns    map[net.Conn]struct{}
-	connWG   sync.WaitGroup
-	connSeq  atomic.Uint64
-	draining atomic.Bool
-	overload atomic.Bool
-	drainNs  atomic.Int64
+	ln      net.Listener
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	connWG  sync.WaitGroup
+	connSeq atomic.Uint64
+	// openConns gauges currently-open client connections: incremented
+	// when a connection is registered, decremented when its serve
+	// goroutine exits. Tests and panels use it to tell "no data queued"
+	// from "data still in flight behind a lagging reader".
+	openConns atomic.Int64
+	draining  atomic.Bool
+	overload  atomic.Bool
+	drainNs   atomic.Int64
 	// lastPoll is the pump's overload-poll throttle; pump-thread only.
 	lastPoll int64
 
@@ -372,6 +377,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.connWG.Add(1)
+		s.openConns.Add(1)
 		s.connMu.Unlock()
 		tid := int(s.connSeq.Add(1))
 		s.met.Conns.Add(tid, 1)
@@ -384,6 +390,7 @@ func (s *Server) dropConn(conn net.Conn) {
 	delete(s.conns, conn)
 	s.connMu.Unlock()
 	conn.Close()
+	s.openConns.Add(-1)
 	s.connWG.Done()
 }
 
@@ -771,6 +778,12 @@ func (s *Server) flush(out graph.Submitter, batch int) {
 // Safe to call repeatedly and alongside Run's own drain.
 func (s *Server) Close() { s.beginDrain() }
 
+// Overloaded reports whether the global overload gate is currently
+// tripped (the runtime backlog exceeded BacklogLimit at the last pump
+// poll). One atomic load — cheap enough for the flight-recorder
+// trigger check every observability sampling tick.
+func (s *Server) Overloaded() bool { return s.overload.Load() }
+
 // TenantSnapshot is one tenant's point-in-time admission state.
 type TenantSnapshot struct {
 	Name       string  `json:"name"`
@@ -789,6 +802,7 @@ type TenantSnapshot struct {
 type Snapshot struct {
 	Totals     metrics.IngestSnapshot `json:"totals"`
 	Tenants    []TenantSnapshot       `json:"tenants"`
+	Open       int                    `json:"open_conns"`
 	Overloaded bool                   `json:"overloaded"`
 	Draining   bool                   `json:"draining"`
 }
@@ -796,7 +810,12 @@ type Snapshot struct {
 // Snapshot reads every tenant and the global meters.
 func (s *Server) Snapshot() Snapshot {
 	now := time.Now().UnixNano()
-	out := Snapshot{Totals: s.met.Snapshot(), Overloaded: s.overload.Load(), Draining: s.draining.Load()}
+	out := Snapshot{
+		Totals:     s.met.Snapshot(),
+		Open:       int(s.openConns.Load()),
+		Overloaded: s.overload.Load(),
+		Draining:   s.draining.Load(),
+	}
 	for _, tn := range s.tenants {
 		ts := TenantSnapshot{
 			Name:       tn.cfg.Name,

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"streams/internal/sched"
+)
+
+// Cause tags the dominant reason the bottleneck edge is backed up.
+type Cause string
+
+const (
+	// CauseNone: no edge shows meaningful pressure.
+	CauseNone Cause = "none"
+	// CauseConsumerSlow: the consuming operator cannot keep up — the
+	// default explanation for a full queue with a healthy runtime.
+	CauseConsumerSlow Cause = "consumer-slow"
+	// CauseFreeList: free-structure contention (global push/pop
+	// failures, shard spills) is burning cycles threads could spend
+	// draining — the queue is full because the machinery, not the
+	// operator, is the limiter.
+	CauseFreeList Cause = "free-list-pressure"
+	// CauseIngestShed: the ingest overload gate tripped or shed tuples
+	// during the window — the system is past capacity at the front
+	// door, and the internal edge pressure is a symptom of that.
+	CauseIngestShed Cause = "ingest-shed"
+	// CauseQuarantine: the bottleneck edge's consumer is quarantined,
+	// so nothing drains it (or only punctuation does).
+	CauseQuarantine Cause = "quarantine"
+)
+
+// Report names the critical edge of a topology over one sample window.
+type Report struct {
+	// Bottleneck is the consumer operator's name ("" when Cause is
+	// none); Node its node ID; Port the edge's global input-port ID.
+	Bottleneck string `json:"bottleneck"`
+	Node       int    `json:"node"`
+	Port       int    `json:"port"`
+	// Cause is the dominant explanation (see the Cause constants).
+	Cause Cause `json:"cause"`
+	// MeanFill is the edge's mean queue occupancy over the window as a
+	// fraction of capacity; BlockedMsPerSec is how many milliseconds of
+	// producer blocked-time the edge accrued per second of window.
+	MeanFill        float64 `json:"mean_fill"`
+	BlockedMsPerSec float64 `json:"blocked_ms_per_sec"`
+	// Detail is a one-line human rendering of the above.
+	Detail string `json:"detail"`
+}
+
+// Attribution thresholds. An edge must show either minFill mean
+// occupancy or minBlockedMsPerSec of producer blocked-time before the
+// report names a bottleneck at all, and the free-list cause needs
+// hardContentionPerTuple hard contention failures per executed tuple.
+const (
+	minFill                = 0.10
+	minBlockedMsPerSec     = 1.0
+	hardContentionPerTuple = 0.25
+	// blockedDominance discounts edges whose producer blocked-time is
+	// under this fraction of the window's worst edge: occupancy alone
+	// also rises from claim batching (a rarely visited port accumulates
+	// a near-full queue between drains), so when any edge shows real
+	// blocked time, only edges within 10x of the worst one count as
+	// backpressured.
+	blockedDominance = 0.10
+)
+
+// Attribute rolls a sample window up into a critical-path report. It is
+// a pure function of its inputs (the property tests feed synthetic
+// windows): edges indexes the samples' per-edge slices, and the window
+// must be ordered oldest first. Fewer than two samples yield CauseNone —
+// rates need an interval.
+func Attribute(edges []sched.Edge, window []Sample) Report {
+	if len(edges) == 0 || len(window) < 2 {
+		return Report{Cause: CauseNone, Node: -1, Port: -1}
+	}
+	first, last := window[0], window[len(window)-1]
+	dt := last.At.Sub(first.At).Seconds()
+	if dt <= 0 {
+		return Report{Cause: CauseNone, Node: -1, Port: -1}
+	}
+
+	// Score every edge: mean occupancy fraction plus the fraction of
+	// wall time its producers spent blocked in reSchedule. Occupancy
+	// alone misses chained pipelines (inline execution keeps queues
+	// shallow while producers still stall); blocked time alone misses
+	// consumers slow enough that producers park instead of spinning.
+	type edgeScore struct {
+		fill, blockedMsPerSec, score float64
+		congested                    bool
+	}
+	scores := make([]edgeScore, len(edges))
+	for i, e := range edges {
+		fill := 0.0
+		if e.Cap > 0 {
+			sum := 0.0
+			for _, s := range window {
+				if i < len(s.Depth) {
+					sum += float64(s.Depth[i]) / float64(e.Cap)
+				}
+			}
+			fill = sum / float64(len(window))
+		}
+		var blocked float64
+		if i < len(last.BlockedNs) && i < len(first.BlockedNs) {
+			blocked = float64(last.BlockedNs[i]-first.BlockedNs[i]) / float64(time.Second) / dt
+		}
+		scores[i] = edgeScore{
+			fill: fill, blockedMsPerSec: blocked * 1000, score: fill + blocked,
+		}
+	}
+
+	// Congestion candidacy. Producer blocked-time is the primary signal
+	// — it only accrues when a push actually failed — so when any edge
+	// shows it, candidates are the edges within blockedDominance of the
+	// worst. Only a window with no blocked time at all (blocked meters
+	// absent, or consumers stalled rather than slow) falls back to mean
+	// occupancy.
+	maxBlocked := 0.0
+	for _, sc := range scores {
+		if sc.blockedMsPerSec > maxBlocked {
+			maxBlocked = sc.blockedMsPerSec
+		}
+	}
+	if maxBlocked >= minBlockedMsPerSec {
+		floor := maxBlocked * blockedDominance
+		if floor < minBlockedMsPerSec {
+			floor = minBlockedMsPerSec
+		}
+		for i := range scores {
+			scores[i].congested = scores[i].blockedMsPerSec >= floor
+		}
+	} else {
+		for i := range scores {
+			scores[i].congested = scores[i].fill >= minFill
+		}
+	}
+
+	// Backpressure propagates upstream: one slow stage fills every queue
+	// above it, and the top of the pipeline accrues the most blocked
+	// time. The bottleneck is the pressure sink — a congested edge whose
+	// consumer's own output edges are all uncongested; anything it feeds
+	// is draining fine, so the pressure stops with it. A congestion
+	// cycle (closed loop saturated end to end) has no sink; highest
+	// score wins there.
+	best := -1
+	for i, e := range edges {
+		if !scores[i].congested {
+			continue
+		}
+		sink := true
+		for j, f := range edges {
+			if !scores[j].congested || j == i {
+				continue
+			}
+			for _, fn := range f.FromNodes {
+				if fn == e.ToNode {
+					sink = false
+				}
+			}
+		}
+		if sink && (best < 0 || scores[i].score > scores[best].score) {
+			best = i
+		}
+	}
+	if best < 0 {
+		for i := range edges {
+			if scores[i].congested && (best < 0 || scores[i].score > scores[best].score) {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Report{Cause: CauseNone, Node: -1, Port: -1}
+	}
+	e := edges[best]
+	r := Report{
+		Bottleneck:      e.To,
+		Node:            e.ToNode,
+		Port:            e.Port,
+		MeanFill:        scores[best].fill,
+		BlockedMsPerSec: scores[best].blockedMsPerSec,
+	}
+
+	// Cause, most specific first. Quarantine is node-specific truth;
+	// ingest shed says the whole system is past contracted capacity;
+	// hard free-list contention says the scheduling machinery is the
+	// limiter; a slow consumer is the remaining explanation.
+	r.Cause = CauseConsumerSlow
+	for _, id := range last.Quarantined {
+		if id == e.ToNode {
+			r.Cause = CauseQuarantine
+		}
+	}
+	if r.Cause == CauseConsumerSlow && last.Ingest != nil {
+		shedDelta := last.Ingest.Totals.Shed
+		if first.Ingest != nil {
+			shedDelta -= first.Ingest.Totals.Shed
+		}
+		overloaded := false
+		for _, s := range window {
+			if s.Ingest != nil && s.Ingest.Overloaded {
+				overloaded = true
+			}
+		}
+		if overloaded || shedDelta > 0 {
+			r.Cause = CauseIngestShed
+		}
+	}
+	if r.Cause == CauseConsumerSlow {
+		// Hard contention only: push/pop CAS failures and shard spills.
+		// Steals and steal misses are routine traffic — an idle thread
+		// sweeping for work next to one slow operator produces millions
+		// of misses that say nothing about free-list pressure.
+		hc := func(s Sample) uint64 {
+			ct := s.Sched.Contention
+			return ct.PushFail + ct.PopFail + ct.Spill
+		}
+		dExec := last.Executed - first.Executed
+		if dExec > 0 && float64(hc(last)-hc(first))/float64(dExec) > hardContentionPerTuple {
+			r.Cause = CauseFreeList
+		}
+	}
+	r.Detail = fmt.Sprintf(
+		"edge %d %s→%s: mean fill %.0f%%, producers blocked %.1fms/s, cause %s",
+		e.Port, e.From, e.To, r.MeanFill*100, r.BlockedMsPerSec, r.Cause)
+	return r
+}
+
+// EdgeFlow is one edge's windowed flow summary for the /debugz/flows
+// panel and its JSON view.
+type EdgeFlow struct {
+	sched.Edge
+	// Depth is the occupancy at the newest sample; MeanFill the mean
+	// occupancy fraction over the window.
+	Depth    int     `json:"depth"`
+	MeanFill float64 `json:"mean_fill"`
+	// Resched and BlockedMs are the window deltas of the congestion
+	// meters; ConsumerTPS is the consuming operator's execution rate
+	// over the window.
+	Resched     uint64  `json:"resched"`
+	BlockedMs   float64 `json:"blocked_ms"`
+	ConsumerTPS float64 `json:"consumer_tps"`
+}
+
+// FlowSnapshot is the single-pass flow view: every edge's windowed
+// summary plus the attribution report, all derived from one locked read
+// of the series ring so the text panel and the JSON endpoint cannot
+// disagree.
+type FlowSnapshot struct {
+	Workload string        `json:"workload,omitempty"`
+	At       time.Time     `json:"at"`
+	Samples  int           `json:"samples"`
+	Window   time.Duration `json:"window_ns"`
+	Period   time.Duration `json:"period_ns"`
+	Edges    []EdgeFlow    `json:"edges"`
+	Report   Report        `json:"report"`
+}
+
+// Snapshot computes the flow view over the buffered window, taking an
+// immediate sample first if the ring is empty (so a just-attached
+// debugz handler never renders an empty panel).
+func (c *Collector) Snapshot() FlowSnapshot {
+	c.mu.Lock()
+	w := c.windowLocked()
+	c.mu.Unlock()
+	if len(w) == 0 {
+		w = []Sample{c.SampleNow()}
+	}
+	first, last := w[0], w[len(w)-1]
+	dt := last.At.Sub(first.At).Seconds()
+	fs := FlowSnapshot{
+		Workload: c.o.Workload,
+		At:       last.At,
+		Samples:  len(w),
+		Window:   last.At.Sub(first.At),
+		Period:   c.o.Period,
+		Report:   Attribute(c.edges, w),
+	}
+	for i, e := range c.edges {
+		ef := EdgeFlow{Edge: e}
+		if i < len(last.Depth) {
+			ef.Depth = last.Depth[i]
+		}
+		if e.Cap > 0 {
+			sum := 0.0
+			for _, s := range w {
+				if i < len(s.Depth) {
+					sum += float64(s.Depth[i]) / float64(e.Cap)
+				}
+			}
+			ef.MeanFill = sum / float64(len(w))
+		}
+		if i < len(last.Resched) && i < len(first.Resched) {
+			ef.Resched = last.Resched[i] - first.Resched[i]
+		}
+		if i < len(last.BlockedNs) && i < len(first.BlockedNs) {
+			ef.BlockedMs = float64(last.BlockedNs[i]-first.BlockedNs[i]) / float64(time.Millisecond)
+		}
+		if dt > 0 && e.ToNode < len(last.NodeExec) && e.ToNode < len(first.NodeExec) {
+			ef.ConsumerTPS = float64(last.NodeExec[e.ToNode]-first.NodeExec[e.ToNode]) / dt
+		}
+		fs.Edges = append(fs.Edges, ef)
+	}
+	return fs
+}
+
+// WriteText renders the snapshot as the /debugz/flows panel.
+func (fs FlowSnapshot) WriteText(w io.Writer) {
+	if fs.Workload != "" {
+		fmt.Fprintf(w, "workload: %s\n", fs.Workload)
+	}
+	fmt.Fprintf(w, "flows: %d samples over %v (period %v)\n",
+		fs.Samples, fs.Window.Round(time.Millisecond), fs.Period)
+	for _, e := range fs.Edges {
+		fmt.Fprintf(w, "  edge %d %s→%s: depth %d/%d, mean fill %.0f%%, resched %d, blocked %.1fms, consumer %.0f t/s\n",
+			e.Port, e.From, e.To, e.Depth, e.Cap, e.MeanFill*100, e.Resched, e.BlockedMs, e.ConsumerTPS)
+	}
+	if fs.Report.Cause == CauseNone || fs.Report.Cause == "" {
+		fmt.Fprintf(w, "bottleneck: none\n")
+		return
+	}
+	fmt.Fprintf(w, "bottleneck: %s (%s)\n", fs.Report.Bottleneck, fs.Report.Detail)
+}

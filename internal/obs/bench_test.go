@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"streams/internal/graph"
+	"streams/internal/ops"
+	"streams/internal/pe"
+)
+
+// benchPipeline runs a Src → W×3 → Snk pipeline to completion over
+// b.N tuples under the dynamic model, with an optional collector
+// armed, and reports end-to-end throughput. The acceptance budget in
+// EXPERIMENTS.md compares the off/sampling cells: the sampler is one
+// background goroutine doing O(ports) atomic loads per tick, so
+// enabled-vs-disabled must stay within ~2%.
+func benchPipeline(b *testing.B, period time.Duration, start bool) {
+	gb := graph.NewBuilder()
+	src := gb.AddNode(&ops.Generator{Limit: uint64(b.N)}, 0, 1)
+	prev := src
+	for i := 0; i < 3; i++ {
+		w := gb.AddNode(&ops.Worker{Cost: 50}, 1, 1)
+		gb.Connect(prev, 0, w, 0)
+		prev = w
+	}
+	sn := gb.AddNode(&ops.Sink{}, 1, 0)
+	gb.Connect(prev, 0, sn, 0)
+	g, err := gb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := pe.New(g, pe.Config{Model: pe.Dynamic, Threads: 2, MaxThreads: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c *Collector
+	if period > 0 {
+		c = New(Options{PE: p, Period: period, Workload: "bench"})
+		if start {
+			c.Start()
+		}
+	}
+	b.ResetTimer()
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	p.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+	c.Stop()
+	p.Stop()
+}
+
+// BenchmarkObsOverhead measures what flow observability costs the data
+// path, cell by cell:
+//
+//	off           — no collector at all (the baseline every run pays)
+//	enabled-idle  — collector constructed but never sampling (probes
+//	                allocated, sampler parked; the -obs flag's floor)
+//	sample-100ms  — the default production sampling rate
+//	sample-5ms    — 20x the default rate, an adversarial ceiling
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchPipeline(b, 0, false) })
+	b.Run("enabled-idle", func(b *testing.B) { benchPipeline(b, time.Hour, true) })
+	b.Run("sample-100ms", func(b *testing.B) { benchPipeline(b, 100*time.Millisecond, true) })
+	b.Run("sample-5ms", func(b *testing.B) { benchPipeline(b, 5*time.Millisecond, true) })
+}

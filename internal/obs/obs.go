@@ -1,0 +1,335 @@
+// Package obs is the runtime's flow-observability layer: the bridge
+// from the event-level substrate (trace rings, sharded counters,
+// histograms) to flow-level answers — where is this pipeline
+// bottlenecked, what does the whole system look like over time, and
+// what happened in the seconds before a fault.
+//
+// Three pillars share one periodic sampler:
+//
+//   - Backpressure attribution. Every tick the collector reads each
+//     edge's queue occupancy and the per-port blocked accounting the
+//     scheduler charges on its congestion path, and Attribute rolls the
+//     window up into a report naming the bottleneck operator/edge and
+//     the dominant cause (consumer-slow, free-list pressure, ingest
+//     shed, quarantine).
+//   - Time series + OpenMetrics. The samples live in a fixed-size ring;
+//     the latest one renders as an OpenMetrics text exposition behind
+//     /metricz and as the /debugz/flows panel, both through the same
+//     single-pass Snapshot so the views cannot drift.
+//   - Flight recorder. A bounded ring of recent samples plus the trace
+//     tail is dumped to a file when fault containment fires or the
+//     ingest overload gate trips (detected as deltas between ticks), so
+//     chaos-soak failures are post-mortemable.
+//
+// The sampler is pull-only: the scheduler's hot paths never call into
+// this package. All charging happens at seams sched already pays for
+// (the reSchedule congestion path, the per-node executed counters), so
+// a runtime without a Collector pays nothing, and one with a Collector
+// pays O(ports) atomic loads per tick on one background goroutine.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streams/internal/ingest"
+	"streams/internal/metrics"
+	"streams/internal/pe"
+	"streams/internal/sched"
+	"streams/internal/trace"
+)
+
+// Options parametrizes a Collector.
+type Options struct {
+	// PE is the processing element to observe. Required; the flow
+	// probes are live under the dynamic model and inert otherwise.
+	PE *pe.PE
+	// Ingest, if set, folds the admission front end's snapshot (totals,
+	// per-tenant dispositions, overload gate) into every sample.
+	Ingest *ingest.Server
+	// Latency, if set, contributes end-to-end latency quantiles.
+	Latency *metrics.Histogram
+	// Tracer and Ring, if set, receive one bp-sample instant per tick
+	// and a flightrec-dump instant per recorder trigger. The sampler
+	// goroutine is the ring's only writer, per the tracer convention.
+	Tracer *trace.Tracer
+	Ring   int
+	// Period is the sampling interval. Default 100ms.
+	Period time.Duration
+	// Window is the series ring length in samples. Default 120 (12s of
+	// history at the default period).
+	Window int
+	// Recorder, if set, is armed: recorder triggers dump the sample
+	// window (and trace tail) through it.
+	Recorder *Recorder
+	// Workload describes the run for panels and dumps.
+	Workload string
+}
+
+// Sample is one sampling tick: the scheduler-wide meters plus the
+// per-edge and per-node flow probes, read in one pass.
+type Sample struct {
+	// At is the wall-clock sample time; Elapsed is time since the
+	// collector was created.
+	At      time.Time     `json:"at"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Level is the thread level; Backlog the total queue occupancy.
+	Level   int `json:"level"`
+	Backlog int `json:"backlog"`
+	// Executed and SinkDelivered are the PE-wide cumulative counts.
+	Executed      uint64 `json:"executed"`
+	SinkDelivered uint64 `json:"sink_delivered"`
+	// Sched snapshots the scheduler's slow-path meters in one pass.
+	Sched pe.SchedStats `json:"sched"`
+	// Depth[i] is edge i's queue occupancy now; Resched[i] and
+	// BlockedNs[i] are the cumulative congestion meters (see
+	// sched.Scheduler.SampleFlow). Indexed like Collector.Edges.
+	Depth     []int    `json:"depth,omitempty"`
+	Resched   []uint64 `json:"resched,omitempty"`
+	BlockedNs []uint64 `json:"blocked_ns,omitempty"`
+	// NodeExec[n] is node n's cumulative executed-tuple count.
+	NodeExec []uint64 `json:"node_exec,omitempty"`
+	// Quarantined lists the node IDs fault containment has quarantined.
+	Quarantined []int `json:"quarantined,omitempty"`
+	// Latency quantiles (0 when latency measurement is off).
+	LatCount uint64        `json:"lat_count,omitempty"`
+	LatP50   time.Duration `json:"lat_p50_ns,omitempty"`
+	LatP99   time.Duration `json:"lat_p99_ns,omitempty"`
+	// Ingest is the admission front end's snapshot (nil without one).
+	Ingest *ingest.Snapshot `json:"ingest,omitempty"`
+}
+
+// Collector owns the sampling loop and the series ring.
+type Collector struct {
+	o     Options
+	edges []sched.Edge
+	start time.Time
+
+	mu    sync.Mutex
+	ring  []Sample
+	next  int    // ring write cursor
+	count uint64 // total samples taken
+
+	// Trigger-detection state, sampler-goroutine only (or the caller's
+	// goroutine via SampleNow; the two never run concurrently in
+	// practice, and the meters are cumulative so a race only dedups).
+	prevFaults   metrics.FaultsSnapshot
+	prevOverload bool
+
+	started atomic.Bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a Collector. Call Start to launch the sampler, or drive
+// it manually with SampleNow (tests, one-shot tools).
+func New(o Options) *Collector {
+	if o.Period <= 0 {
+		o.Period = 100 * time.Millisecond
+	}
+	if o.Window <= 0 {
+		o.Window = 120
+	}
+	c := &Collector{
+		o:     o,
+		start: time.Now(),
+		ring:  make([]Sample, o.Window),
+		stop:  make(chan struct{}),
+	}
+	if o.PE != nil {
+		c.edges = o.PE.FlowEdges()
+	}
+	if o.Recorder != nil {
+		o.Recorder.bind(c)
+	}
+	return c
+}
+
+// Edges returns the static flow edges the per-edge sample slices are
+// indexed by (empty under models without a scheduler).
+func (c *Collector) Edges() []sched.Edge { return c.edges }
+
+// Period returns the sampling interval in effect.
+func (c *Collector) Period() time.Duration { return c.o.Period }
+
+// Recorder returns the armed flight recorder (nil when none).
+func (c *Collector) Recorder() *Recorder { return c.o.Recorder }
+
+// Workload returns the run description given at construction.
+func (c *Collector) Workload() string { return c.o.Workload }
+
+// Start launches the background sampler. Idempotent.
+func (c *Collector) Start() {
+	if c == nil || c.started.Swap(true) {
+		return
+	}
+	c.wg.Add(1)
+	go c.run()
+}
+
+// Stop ends the sampler and waits for it. Idempotent; safe without
+// Start.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.wg.Wait()
+}
+
+func (c *Collector) run() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.o.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.SampleNow()
+		}
+	}
+}
+
+// SampleNow takes one sample synchronously: reads every probe, appends
+// to the series ring, emits the bp-sample trace instant, and runs the
+// flight-recorder trigger checks. Returns the sample.
+func (c *Collector) SampleNow() Sample {
+	s := c.observe()
+	c.mu.Lock()
+	c.ring[c.next] = s
+	c.next = (c.next + 1) % len(c.ring)
+	c.count++
+	c.mu.Unlock()
+
+	// bp-sample: the most occupied edge this tick (port -1 when every
+	// queue is empty), so a trace alone shows where pressure sat.
+	if c.o.Tracer.On() {
+		port, occ := int32(-1), uint32(0)
+		for i, d := range s.Depth {
+			if d > int(occ) {
+				port, occ = int32(c.edges[i].Port), uint32(d)
+			}
+		}
+		c.o.Tracer.Emit(c.o.Ring, trace.KindBPSample, trace.PackPair(port, occ))
+	}
+
+	// Recorder triggers, detected as deltas between ticks: fault
+	// containment fired (quarantine, watchdog stall) or the ingest
+	// overload gate tripped.
+	f := s.Sched.Faults
+	if f.Quarantines > c.prevFaults.Quarantines {
+		c.trigger(trace.FlightRecQuarantine)
+	}
+	if f.WatchdogStalls > c.prevFaults.WatchdogStalls {
+		c.trigger(trace.FlightRecWatchdog)
+	}
+	if s.Ingest != nil && s.Ingest.Overloaded && !c.prevOverload {
+		c.trigger(trace.FlightRecOverload)
+	}
+	c.prevFaults = f
+	c.prevOverload = s.Ingest != nil && s.Ingest.Overloaded
+	return s
+}
+
+// observe reads every probe in one pass.
+func (c *Collector) observe() Sample {
+	now := time.Now()
+	s := Sample{At: now, Elapsed: now.Sub(c.start)}
+	p := c.o.PE
+	if p == nil {
+		return s
+	}
+	s.Level = p.Level()
+	s.Backlog = p.Backlog()
+	s.Executed = p.Executed()
+	s.SinkDelivered = p.SinkDelivered()
+	s.Sched = p.SchedStats()
+	if n := len(c.edges); n > 0 {
+		s.Depth = make([]int, n)
+		s.Resched = make([]uint64, n)
+		s.BlockedNs = make([]uint64, n)
+		p.SampleFlow(s.Depth, s.Resched, s.BlockedNs)
+	}
+	if n := p.NumNodes(); n > 0 {
+		s.NodeExec = make([]uint64, n)
+		if p.NodeExecuted(s.NodeExec) && s.Sched.Faults.Quarantines > 0 {
+			for id := 0; id < n; id++ {
+				if p.QuarantinedNode(id) {
+					s.Quarantined = append(s.Quarantined, id)
+				}
+			}
+		}
+	}
+	if c.o.Latency != nil {
+		h := c.o.Latency.Snapshot()
+		s.LatCount = h.Total
+		s.LatP50 = h.Quantile(0.50)
+		s.LatP99 = h.Quantile(0.99)
+	}
+	if c.o.Ingest != nil {
+		snap := c.o.Ingest.Snapshot()
+		s.Ingest = &snap
+	}
+	return s
+}
+
+// Window returns the buffered samples, oldest first.
+func (c *Collector) Window() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.windowLocked()
+}
+
+func (c *Collector) windowLocked() []Sample {
+	n := int(c.count)
+	if n > len(c.ring) {
+		n = len(c.ring)
+	}
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.ring[(c.next-n+i+len(c.ring))%len(c.ring)])
+	}
+	return out
+}
+
+// trigger runs one recorder trigger: emits the flightrec-dump trace
+// instant and, when a Recorder is armed, dumps the window through it.
+func (c *Collector) trigger(reason int32) {
+	w := c.Window()
+	if c.o.Tracer.On() {
+		c.o.Tracer.Emit(c.o.Ring, trace.KindFlightRec, trace.PackPair(reason, uint32(len(w))))
+	}
+	if c.o.Recorder != nil {
+		c.o.Recorder.Trigger(trace.FlightRecReason(reason), w)
+	}
+}
+
+// Trigger forces a flight-recorder dump for an externally detected
+// condition — the streamsim shutdown-deadline path, or an operator
+// poking /debugz/flightrec?dump=now. The reason string should be one
+// of the trace.FlightRecReason names; unknown strings dump as manual.
+func (c *Collector) Trigger(reason string) {
+	code := trace.FlightRecManual
+	for _, r := range []int32{
+		trace.FlightRecQuarantine, trace.FlightRecWatchdog,
+		trace.FlightRecShutdown, trace.FlightRecOverload,
+	} {
+		if trace.FlightRecReason(r) == reason {
+			code = r
+			break
+		}
+	}
+	c.mu.Lock()
+	empty := c.count == 0
+	c.mu.Unlock()
+	if empty {
+		c.SampleNow() // a dump with zero samples helps nobody
+	}
+	c.trigger(code)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"streams/internal/fault"
+	"streams/internal/trace"
+)
+
+// Dump is one flight-recorder dump: everything needed to post-mortem
+// the seconds before a fault without having had a debugger attached.
+type Dump struct {
+	// Reason is the trigger (a trace.FlightRecReason name); At the dump
+	// time; Seq the 1-based dump count this run.
+	Reason   string    `json:"reason"`
+	At       time.Time `json:"at"`
+	Seq      int       `json:"seq"`
+	Workload string    `json:"workload,omitempty"`
+	// Samples is the buffered series window, oldest first.
+	Samples []Sample `json:"samples"`
+	// Trace is the tail of the scheduler trace (newest events, bounded),
+	// present when the recorder has a tracer.
+	Trace []TraceEvent `json:"trace,omitempty"`
+	// Goroutines is a bounded goroutine dump, captured only for the
+	// stuck-thread reasons (watchdog, shutdown-deadline) where the
+	// interesting state is a stack, not a meter.
+	Goroutines string `json:"goroutines,omitempty"`
+}
+
+// TraceEvent is one decoded trace record in a dump, with the kind
+// rendered as its stable name.
+type TraceEvent struct {
+	TSNs int64  `json:"ts_ns"`
+	Ring int    `json:"ring"`
+	Kind string `json:"kind"`
+	Arg  int64  `json:"arg"`
+}
+
+// Recorder persists flight-recorder dumps. It is always safe to share:
+// Trigger is serialized and rate-limited, so a quarantine storm costs
+// one file write per MinGap, not one per strike.
+type Recorder struct {
+	// Path is the dump file ("" keeps dumps in memory only). Each dump
+	// overwrites the file; the newest state is the post-mortem target.
+	Path string
+	// Tracer, if set, contributes the trace tail (at most TraceTail
+	// events, default 512).
+	Tracer    *trace.Tracer
+	TraceTail int
+	// MinGap rate-limits dumps (default 500ms).
+	MinGap time.Duration
+
+	c *Collector // set by Collector New via bind
+
+	mu     sync.Mutex
+	lastAt time.Time
+	last   []byte
+	dumps  int
+}
+
+func (r *Recorder) bind(c *Collector) { r.c = c }
+
+// Trigger builds and persists one dump from the given sample window.
+// Returns the encoded dump, or nil when rate-limited. Encoding or
+// write failures degrade silently to the in-memory copy: the recorder
+// fires on the runtime's worst moments, which is exactly when a panic
+// over a full disk would hurt most.
+func (r *Recorder) Trigger(reason string, window []Sample) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	gap := r.MinGap
+	if gap <= 0 {
+		gap = 500 * time.Millisecond
+	}
+	if !r.lastAt.IsZero() && now.Sub(r.lastAt) < gap {
+		return nil
+	}
+	r.lastAt = now
+	r.dumps++
+	d := Dump{Reason: reason, At: now, Seq: r.dumps, Samples: window}
+	if r.c != nil {
+		d.Workload = r.c.o.Workload
+	}
+	if r.Tracer != nil {
+		tail := r.TraceTail
+		if tail <= 0 {
+			tail = 512
+		}
+		events := r.Tracer.Snapshot()
+		if len(events) > tail {
+			events = events[len(events)-tail:]
+		}
+		for _, e := range events {
+			d.Trace = append(d.Trace, TraceEvent{
+				TSNs: int64(e.TS), Ring: e.Ring, Kind: e.Kind.String(), Arg: e.Arg,
+			})
+		}
+	}
+	if reason == trace.FlightRecReason(trace.FlightRecWatchdog) ||
+		reason == trace.FlightRecReason(trace.FlightRecShutdown) {
+		d.Goroutines = fault.GoroutineDump(64 << 10)
+	}
+	buf, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return nil
+	}
+	r.last = buf
+	if r.Path != "" {
+		_ = os.WriteFile(r.Path, buf, 0o644)
+	}
+	return buf
+}
+
+// LastDump returns the most recent encoded dump (nil when none has
+// fired) and how many dumps have fired.
+func (r *Recorder) LastDump() ([]byte, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last, r.dumps
+}

@@ -512,6 +512,52 @@ func (pe *PE) OperatorCounts() map[string]uint64 {
 	return nil
 }
 
+// FlowEdges returns the static flow edges — one per input-port queue,
+// with producer/consumer operator names and the queue capacity — for
+// the observability layer (dynamic model only; nil otherwise).
+func (pe *PE) FlowEdges() []sched.Edge {
+	if d, ok := pe.runner.(*dynamicRunner); ok {
+		return d.s.Edges()
+	}
+	return nil
+}
+
+// NumNodes returns the number of operator nodes in the graph.
+func (pe *PE) NumNodes() int { return len(pe.g.Nodes) }
+
+// SampleFlow fills the per-edge flow meters in one pass (see
+// sched.Scheduler.SampleFlow); each slice must be len(FlowEdges())
+// long, and a nil slice skips that meter. Reports false under models
+// without a scheduler, leaving the slices untouched.
+func (pe *PE) SampleFlow(depth []int, resched, blockedNs []uint64) bool {
+	d, ok := pe.runner.(*dynamicRunner)
+	if !ok {
+		return false
+	}
+	d.s.SampleFlow(depth, resched, blockedNs)
+	return true
+}
+
+// NodeExecuted fills per-node cumulative execution counts; out must be
+// NumNodes() long. Reports false under models without a scheduler.
+func (pe *PE) NodeExecuted(out []uint64) bool {
+	d, ok := pe.runner.(*dynamicRunner)
+	if !ok {
+		return false
+	}
+	d.s.NodeExecuted(out)
+	return true
+}
+
+// QuarantinedNode reports whether the fault-containment layer has
+// quarantined the node (dynamic model only; false otherwise).
+func (pe *PE) QuarantinedNode(nodeID int) bool {
+	if d, ok := pe.runner.(*dynamicRunner); ok {
+		return d.s.Quarantined(nodeID)
+	}
+	return false
+}
+
 // SinkDelivered returns tuples delivered to sink operators since Start.
 func (pe *PE) SinkDelivered() uint64 { return pe.runner.sinkDelivered() }
 

@@ -29,6 +29,7 @@ package sched
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -359,6 +360,13 @@ type Scheduler struct {
 	contention  *metrics.Contention // free-list push/pop failures, steals, spills
 	perNode     []atomic.Uint64
 
+	// Per-port flow meters for the observability layer (internal/obs):
+	// how often a push to this port's queue fell into reSchedule and how
+	// long producers spent inside it. Charged only on the congestion
+	// path — the fast push pays nothing — and read by SampleFlow.
+	portResched   []atomic.Uint64
+	portBlockedNs []atomic.Uint64
+
 	// Inline chain execution (DESIGN.md "Inline chain execution").
 	// chainable caches graph.InPort.Chainable per port ID so the flush
 	// hot path pays one slice load for the static half of the chain
@@ -446,6 +454,8 @@ func New(g *graph.Graph, cfg Config) *Scheduler {
 		findFails:          metrics.NewCounter(cfg.MaxThreads + cfg.SourceThreads),
 		contention:         metrics.NewContention(cfg.MaxThreads + cfg.SourceThreads),
 		perNode:            make([]atomic.Uint64, len(g.Nodes)),
+		portResched:        make([]atomic.Uint64, nPorts),
+		portBlockedNs:      make([]atomic.Uint64, nPorts),
 		chainable:          make([]bool, nPorts),
 		chainDepth:         cfg.ChainDepth,
 		chainBudget0:       cfg.ChainTupleBudget,
@@ -666,6 +676,98 @@ func (s *Scheduler) OperatorCounts() map[string]uint64 {
 		out[n.Op.Name()] += s.perNode[n.ID].Load()
 	}
 	return out
+}
+
+// Edge describes one input-port queue as a flow edge for the
+// observability layer: which operator(s) feed the port, which operator
+// consumes it, and the queue capacity the occupancy samples are
+// measured against. Static for the life of the scheduler.
+type Edge struct {
+	// Port is the global input-port ID (the queue index).
+	Port int `json:"port"`
+	// From names the producer operator(s), "+"-joined under fan-in;
+	// FromNodes lists their node IDs (attribution walks the topology
+	// downstream through these).
+	From      string `json:"from"`
+	FromNodes []int  `json:"from_nodes"`
+	// To names the consumer operator; ToNode is its node ID.
+	To     string `json:"to"`
+	ToNode int    `json:"to_node"`
+	// Cap is the queue capacity.
+	Cap int `json:"cap"`
+}
+
+// Edges returns one Edge per input port, in port-ID order.
+func (s *Scheduler) Edges() []Edge {
+	producers := make([][]string, len(s.g.Ports))
+	producerIDs := make([][]int, len(s.g.Ports))
+	for _, n := range s.g.Nodes {
+		for _, dests := range n.Outs {
+			for _, pid := range dests {
+				name := n.Op.Name()
+				seen := false
+				for _, have := range producers[pid] {
+					if have == name {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					producers[pid] = append(producers[pid], name)
+					producerIDs[pid] = append(producerIDs[pid], n.ID)
+				}
+			}
+		}
+	}
+	edges := make([]Edge, len(s.g.Ports))
+	for _, p := range s.g.Ports {
+		edges[p.ID] = Edge{
+			Port:      p.ID,
+			From:      strings.Join(producers[p.ID], "+"),
+			FromNodes: producerIDs[p.ID],
+			To:        p.Node.Op.Name(),
+			ToNode:    p.Node.ID,
+			Cap:       s.cfg.QueueCap,
+		}
+	}
+	return edges
+}
+
+// NumPorts returns the number of input-port queues (the length
+// SampleFlow's slices must have).
+func (s *Scheduler) NumPorts() int { return len(s.queues) }
+
+// NumNodes returns the number of operator nodes (the length
+// NodeExecuted's slice must have).
+func (s *Scheduler) NumNodes() int { return len(s.g.Nodes) }
+
+// SampleFlow fills the per-port flow meters in one pass: current queue
+// occupancy, cumulative reSchedule entries, and cumulative nanoseconds
+// producers spent blocked inside reSchedule. Each slice must be
+// NumPorts() long; a nil slice skips that meter. Racy by design, like
+// Backlog: the values are an attribution signal, not an accounting
+// truth. O(ports), allocation-free.
+func (s *Scheduler) SampleFlow(depth []int, resched, blockedNs []uint64) {
+	for i := range s.queues {
+		if depth != nil {
+			depth[i] = s.queues[i].Queue().Len()
+		}
+		if resched != nil {
+			resched[i] = s.portResched[i].Load()
+		}
+		if blockedNs != nil {
+			blockedNs[i] = s.portBlockedNs[i].Load()
+		}
+	}
+}
+
+// NodeExecuted fills per-node cumulative execution counts (tuples
+// processed by each operator). out must be NumNodes() long.
+// Allocation-free, for the observability sampler.
+func (s *Scheduler) NodeExecuted(out []uint64) {
+	for i := range s.perNode {
+		out[i] = s.perNode[i].Load()
+	}
 }
 
 // ctx carries the execution context of one thread while it runs operator
@@ -1130,6 +1232,15 @@ func (s *Scheduler) pushFair(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *ctx
 // access without touching global data (§4.1.4).
 func (s *Scheduler) reSchedule(q *lfq.Enforcer[tuple.Tuple], t tuple.Tuple, c *ctx) {
 	s.reschedules.Add(c.tid, 1)
+	s.portResched[t.Port].Add(1)
+	// Blocked-time accounting for backpressure attribution: everything
+	// from here to return is time the producer could not advance because
+	// this port's queue was full. Two clock reads and one atomic add per
+	// episode — noise against the spinning and draining this path does.
+	blockedFrom := time.Now()
+	defer func() {
+		s.portBlockedNs[t.Port].Add(uint64(time.Since(blockedFrom)))
+	}()
 	if s.tr.On() {
 		s.tr.Emit(c.tid, trace.KindResched, int64(t.Port))
 	}

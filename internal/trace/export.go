@@ -167,6 +167,16 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"tenant": tenant, "count": count,
 			}))
+		case KindBPSample:
+			port, occ := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"port": port, "occ": occ,
+			}))
+		case KindFlightRec:
+			reason, samples := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"reason": FlightRecReason(reason), "samples": samples,
+			}))
 		case KindSpill, KindResched:
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{"port": e.Arg}))
 		case KindQuarantine:

@@ -98,6 +98,16 @@ const (
 	// the client exceeded its contracted rate; arg packs
 	// tenant<<32|count.
 	KindThrottle
+	// KindBPSample marks one flow-observability sampling tick: the obs
+	// collector read every edge's queue occupancy and recorded the most
+	// occupied one; arg packs port<<32|occupancy for that edge (port -1
+	// when every queue was empty).
+	KindBPSample
+	// KindFlightRec marks a flight-recorder dump: fault containment or
+	// the ingest overload gate fired and the recent-history ring was
+	// persisted; arg packs reason<<32|samples (see the FlightRec
+	// constants).
+	KindFlightRec
 
 	numKinds
 )
@@ -131,6 +141,39 @@ func ChainStopReason(code int32) string {
 		return "occupied"
 	case ChainStopHalt:
 		return "halt"
+	default:
+		return fmt.Sprintf("reason(%d)", code)
+	}
+}
+
+// FlightRec reason codes, packed into KindFlightRec's arg high word.
+const (
+	// FlightRecQuarantine: an operator was quarantined.
+	FlightRecQuarantine int32 = iota
+	// FlightRecWatchdog: the scheduler watchdog saw a stalled thread.
+	FlightRecWatchdog
+	// FlightRecShutdown: shutdown missed its drain deadline.
+	FlightRecShutdown
+	// FlightRecOverload: the ingest overload gate tripped.
+	FlightRecOverload
+	// FlightRecManual: an operator-requested dump (CLI or /debugz).
+	FlightRecManual
+)
+
+// FlightRecReason names a FlightRec code for the trace_event export and
+// tracecheck validation.
+func FlightRecReason(code int32) string {
+	switch code {
+	case FlightRecQuarantine:
+		return "quarantine"
+	case FlightRecWatchdog:
+		return "watchdog"
+	case FlightRecShutdown:
+		return "shutdown-deadline"
+	case FlightRecOverload:
+		return "overload"
+	case FlightRecManual:
+		return "manual"
 	default:
 		return fmt.Sprintf("reason(%d)", code)
 	}
@@ -174,6 +217,10 @@ func (k Kind) String() string {
 		return "shed"
 	case KindThrottle:
 		return "throttle"
+	case KindBPSample:
+		return "bp-sample"
+	case KindFlightRec:
+		return "flightrec-dump"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
