@@ -44,10 +44,11 @@ chaos-ingest:
 # trace_event file (structure plus the event kinds the run must
 # produce); and run the tracer and endpoint tests under the race
 # detector. The chaos seed is fixed, so the required kinds are
-# deterministic. The second, chaos-free run validates the vm-fuse
-# instant separately: an armed injector makes every fused run decline
-# (faults must flow through the per-operator seams), so fusion can only
-# be observed without chaos.
+# deterministic. The second, chaos-free run validates the vm-fuse and
+# vm-vec instants separately: an armed injector makes every fused run
+# decline (faults must flow through the per-operator seams), so fusion
+# — and the vectorized batches riding on it — can only be observed
+# without chaos.
 trace-smoke:
 	$(GO) run ./cmd/streamsim -native -w 10 -d 100 -cost 200 -threads 8 \
 		-elastic -adapt 100ms -chaos panic=0.0005 -quarantine 1 \
@@ -55,7 +56,7 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck -strict -require steal,park,quarantine,elastic-level,chain,chain-stop,relax-level,bp-sample trace-smoke.json
 	$(GO) run ./cmd/streamsim -native -w 1 -d 12 -cost 50 -threads 2 \
 		-vm -trace trace-vm-smoke.json -dur 2s
-	$(GO) run ./cmd/tracecheck -strict -require chain,vm-fuse trace-vm-smoke.json
+	$(GO) run ./cmd/tracecheck -strict -require chain,vm-fuse,vm-vec trace-vm-smoke.json
 	$(GO) test -race -count=1 ./internal/trace ./internal/debugz ./internal/obs ./cmd/tracecheck
 	@rm -f trace-smoke.json trace-vm-smoke.json
 
@@ -83,11 +84,14 @@ bench-chain:
 # bench-vm compares the three operator dispatch forms on identical
 # logic — one Custom through the closure evaluator vs its bytecode
 # program, and a three-operator chain executed Process-to-Process vs as
-# one fused superinstruction program — and archives the results as
-# JSON. Iterations are fixed so all four cells run the same workload
-# and the closure/vm and chain/fused ratios are like-for-like.
+# one fused superinstruction program — plus the scalar-vs-vectorized
+# batch sweep (ns/op is per batch there) — and archives the results as
+# JSON. Iterations are fixed so paired cells run the same workload and
+# the closure/vm, chain/fused and scalar/vec ratios are like-for-like.
+# CI's vm smoke gates merges against this file via benchjson -compare.
 bench-vm:
-	$(GO) test -bench BenchmarkVMDispatch -benchtime=2000000x -run '^$$' ./internal/spl \
+	( $(GO) test -bench BenchmarkVMDispatch -benchtime=2000000x -run '^$$' ./internal/spl ; \
+	  $(GO) test -bench BenchmarkVMVectorized -benchtime=20000x -run '^$$' ./internal/spl ) \
 		| $(GO) run ./cmd/benchjson > BENCH_vm.json
 	@echo wrote BENCH_vm.json
 

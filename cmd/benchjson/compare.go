@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Compare mode: `benchjson -compare old.json new.json [-max-regress pct]`
+// reads two archives previously produced by this command and fails
+// (exit 1) when any benchmark present in both regressed its ns/op by
+// more than pct percent. Benchmarks only in the baseline warn (the
+// suite shrank); benchmarks only in the new file are informational
+// (the suite grew). CI's vm benchmark smoke uses it to gate merges
+// against the committed BENCH_vm.json.
+
+// runCompare parses the argument tail after -compare. Positional
+// arguments are the old and new JSON paths in order; -max-regress may
+// appear anywhere among them, matching the documented
+// `-compare old.json new.json -max-regress 15` word order that a
+// single flag.FlagSet cannot express.
+func runCompare(args []string) int {
+	maxRegress := 10.0
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-max-regress" || args[i] == "--max-regress" {
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -max-regress needs a value")
+				return 2
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -max-regress %q\n", args[i+1])
+				return 2
+			}
+			maxRegress = v
+			i++
+			continue
+		}
+		paths = append(paths, args[i])
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-max-regress pct]")
+		return 2
+	}
+	old, err := loadResults(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	cur, err := loadResults(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	if compareResults(old, cur, maxRegress, os.Stdout) {
+		return 1
+	}
+	return 0
+}
+
+func loadResults(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Result
+	if err := json.NewDecoder(f).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return out, nil
+}
+
+// resultKey identifies a benchmark across archives: name, variant and
+// the params sorted by key (map order must not matter).
+func resultKey(r Result) string {
+	k := r.Name
+	if r.Variant != "" {
+		k += "/" + r.Variant
+	}
+	keys := make([]string, 0, len(r.Params))
+	for pk := range r.Params {
+		keys = append(keys, pk)
+	}
+	sort.Strings(keys)
+	for _, pk := range keys {
+		k += fmt.Sprintf("/%s=%v", pk, r.Params[pk])
+	}
+	return k
+}
+
+// compareResults prints a per-benchmark delta table to w and reports
+// whether any shared benchmark regressed ns/op beyond maxRegress
+// percent. A duplicate key keeps its fastest run: an archive produced
+// with `go test -count=N` compares best-of-N, which is the standard
+// way to cut scheduler noise out of a regression gate.
+func compareResults(old, cur []Result, maxRegress float64, w io.Writer) (regressed bool) {
+	index := func(rs []Result) (map[string]Result, []string) {
+		by := map[string]Result{}
+		var order []string
+		for _, r := range rs {
+			k := resultKey(r)
+			prev, seen := by[k]
+			if !seen {
+				order = append(order, k)
+			}
+			if !seen || r.NsPerOp < prev.NsPerOp {
+				by[k] = r
+			}
+		}
+		return by, order
+	}
+	curBy, order := index(cur)
+	oldBy, oldOrder := index(old)
+	for _, k := range oldOrder {
+		n, ok := curBy[k]
+		if !ok {
+			fmt.Fprintf(w, "warn: %s: in baseline but not in new results\n", k)
+			continue
+		}
+		o := oldBy[k]
+		if o.NsPerOp <= 0 {
+			fmt.Fprintf(w, "warn: %s: baseline ns/op %.4g not comparable\n", k, o.NsPerOp)
+			continue
+		}
+		pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		verdict := "ok"
+		if pct > maxRegress {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-60s %12.4g %12.4g %+7.1f%%  %s\n", k, o.NsPerOp, n.NsPerOp, pct, verdict)
+	}
+	for _, k := range order {
+		if _, ok := oldBy[k]; !ok {
+			fmt.Fprintf(w, "note: %s: new benchmark, no baseline\n", k)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: ns/op regression above %.4g%%\n", maxRegress)
+	}
+	return regressed
+}

@@ -11,6 +11,13 @@
 //
 // The experiment harness uses it to archive contention sweeps in a form
 // plotting scripts can consume without re-parsing bench text.
+//
+// A second mode compares two such archives:
+//
+//	benchjson -compare old.json new.json -max-regress 15
+//
+// exits 1 when any benchmark present in both files regressed its
+// ns/op by more than the given percentage (default 10).
 package main
 
 import (
@@ -40,6 +47,9 @@ type Result struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	results, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

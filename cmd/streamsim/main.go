@@ -60,6 +60,7 @@ func main() {
 		globalfl  = flag.Bool("globalfl", false, "native: use the paper's single global free list instead of the sharded per-thread caches")
 		nochain   = flag.Bool("nochain", false, "native: disable inline chain execution (every flush goes through the queues)")
 		vmFuse    = flag.Bool("vm", false, "native: attach bytecode programs to workers so chain runs execute as fused superinstruction programs")
+		novec     = flag.Bool("novec", false, "native: disable vectorized batch-at-a-time VM execution (fused runs stay on the scalar per-tuple loop)")
 		relax     = flag.Int("relax", 0, "native: free-list relaxation width (0 = adaptive with -elastic, tight otherwise; N>=1 pins the width)")
 		fairclaim = flag.Bool("fairclaim", false, "native: route contended port claims through the fair ticket line")
 		flattopo  = flag.Bool("flat-topo", false, "native: disable topology-aware steal ordering (treat every victim as equally remote)")
@@ -137,7 +138,7 @@ func main() {
 		}
 		cfg := fig.NativeConfig{
 			Model: m, Threads: *threads, Duration: *dur, GlobalFreeList: *globalfl,
-			DisableChain: *nochain, VM: *vmFuse,
+			DisableChain: *nochain, VM: *vmFuse, NoVec: *novec,
 			Relax: *relax, FairClaim: *fairclaim, FlatTopo: *flattopo,
 			Fault: inj, QuarantineAfter: qa,
 			Elastic: *elastic, AdaptPeriod: *adapt, MaxThreads: *maxthreads,

@@ -76,8 +76,9 @@ var knownNames = func() map[string]bool {
 // non-negative port, a chain-stop must name a known fall-back reason,
 // a steal must carry victim/port and a distance class in [0, 2], a
 // relax-level must carry a width of at least 1, a fair-claim a
-// non-negative wait, and a vm-fuse a fused segment count of at least 2
-// on a non-negative port. Any other event name passes through untouched.
+// non-negative wait, a vm-fuse a fused segment count of at least 2
+// on a non-negative port, and a vm-vec a vectorized batch of at least
+// one row. Any other event name passes through untouched.
 func checkArgs(e event) error {
 	num := func(key string, min float64) (float64, error) {
 		v, ok := e.Args[key]
@@ -143,6 +144,13 @@ func checkArgs(e event) error {
 		}
 	case "vm-fuse":
 		if _, err := num("segs", 2); err != nil {
+			return err
+		}
+		if _, err := num("port", 0); err != nil {
+			return err
+		}
+	case "vm-vec":
+		if _, err := num("rows", 1); err != nil {
 			return err
 		}
 		if _, err := num("port", 0); err != nil {

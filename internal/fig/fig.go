@@ -242,6 +242,10 @@ type NativeConfig struct {
 	// dynamic scheduler can fuse chain runs into superinstruction
 	// dispatch loops (streamsim -vm).
 	VM bool
+	// NoVec keeps fused runs on the scalar per-tuple dispatch loop,
+	// disabling vectorized batch-at-a-time execution (streamsim -novec);
+	// the vec-off arm of the vectorization ablation.
+	NoVec bool
 	// Relax sets the free-list relaxation width (streamsim -relax).
 	// 0 means adaptive when Elastic is set (the PE's adaptation loop
 	// drives the width from the contention meters) and tight (width 1)
@@ -362,6 +366,7 @@ func RunNative(w sim.Workload, cfg NativeConfig) (NativeResult, error) {
 		Sched: sched.Config{
 			GlobalFreeList: cfg.GlobalFreeList,
 			DisableChain:   cfg.DisableChain,
+			DisableVec:     cfg.NoVec,
 			RelaxWidth:     cfg.Relax,
 			FairClaim:      cfg.FairClaim,
 			FlatTopo:       cfg.FlatTopo,

@@ -310,35 +310,53 @@ type VM struct {
 	// dispatch but declined (locks, occupancy, budget, puncts) and ran
 	// the per-operator path instead.
 	Fallbacks *Counter
+	// VecBatches counts fused batches executed through the vectorized
+	// batch-at-a-time machine (one dispatch per instruction per batch).
+	VecBatches *Counter
+	// VecRows counts rows pushed through vectorized lanes.
+	VecRows *Counter
+	// VecFallbacks counts fused batches that ran the scalar dispatch
+	// loop instead: no vectorized plan, batch under the program's
+	// cutoff, or a panic-triggered scalar replay.
+	VecFallbacks *Counter
 }
 
 // NewVM returns a VM meter set sized for the given number of executing
 // threads (see NewCounter).
 func NewVM(shards int) *VM {
 	return &VM{
-		Programs:    NewCounter(shards),
-		FusedRuns:   NewCounter(shards),
-		FusedTuples: NewCounter(shards),
-		Fallbacks:   NewCounter(shards),
+		Programs:     NewCounter(shards),
+		FusedRuns:    NewCounter(shards),
+		FusedTuples:  NewCounter(shards),
+		Fallbacks:    NewCounter(shards),
+		VecBatches:   NewCounter(shards),
+		VecRows:      NewCounter(shards),
+		VecFallbacks: NewCounter(shards),
 	}
 }
 
 // VMSnapshot is a point-in-time reading of a VM set, with the same
 // lower-bound semantics as Counter.Total.
 type VMSnapshot struct {
-	Programs    uint64 `json:"programs"`
-	FusedRuns   uint64 `json:"fused_runs"`
-	FusedTuples uint64 `json:"fused_tuples"`
-	Fallbacks   uint64 `json:"fallbacks"`
+	Programs     uint64 `json:"programs"`
+	FusedRuns    uint64 `json:"fused_runs"`
+	FusedTuples  uint64 `json:"fused_tuples"`
+	Fallbacks    uint64 `json:"fallbacks"`
+	VecBatches   uint64 `json:"vec_batches"`
+	VecRows      uint64 `json:"vec_rows"`
+	VecFallbacks uint64 `json:"vec_fallbacks"`
 }
 
 // Snapshot sums every meter.
 func (v *VM) Snapshot() VMSnapshot {
 	return VMSnapshot{
-		Programs:    v.Programs.Total(),
-		FusedRuns:   v.FusedRuns.Total(),
-		FusedTuples: v.FusedTuples.Total(),
-		Fallbacks:   v.Fallbacks.Total(),
+		Programs:     v.Programs.Total(),
+		FusedRuns:    v.FusedRuns.Total(),
+		FusedTuples:  v.FusedTuples.Total(),
+		Fallbacks:    v.Fallbacks.Total(),
+		VecBatches:   v.VecBatches.Total(),
+		VecRows:      v.VecRows.Total(),
+		VecFallbacks: v.VecFallbacks.Total(),
 	}
 }
 

@@ -26,6 +26,10 @@ func init() {
 		workSink.Add(uint64(r))
 		return vm.Val{F: r}
 	})
+	// The burn is a side effect that is harmless to repeat (workSink
+	// only defeats the optimizer), so vectorized execution and its
+	// panic-replay fall-back are both safe.
+	vm.RegisterBuiltinInfo("spin.work:ii", vm.EffectReplay, vm.KFloat)
 }
 
 // Generator is a source that produces tuples as fast as downstream

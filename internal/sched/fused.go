@@ -29,6 +29,10 @@ type fusedRun struct {
 	nodes []*graph.Node
 	mach  vm.Machine
 	emit  fusedEmitter
+	// vec is the vectorized plan for prog, nil when the program is not
+	// vectorizable (or vectorization is disabled); bm executes it.
+	vec *vm.VecProgram
+	bm  vm.BatchMachine
 }
 
 // fusedEmitter adapts the last node's execution context to vm.Emitter:
@@ -104,7 +108,16 @@ func (s *Scheduler) buildFusedRuns() {
 		if err != nil {
 			continue
 		}
-		s.fusedRuns[entry.ID] = &fusedRun{prog: fused, ports: ports, nodes: nodes}
+		run := &fusedRun{prog: fused, ports: ports, nodes: nodes}
+		if !s.cfg.DisableVec {
+			// Vectorizability is decided once per fused program; a nil
+			// plan (side-effectful builtins, loops, multi-emit
+			// segments) keeps the run on the scalar dispatch loop.
+			if vp, err := vm.PlanVec(fused); err == nil {
+				run.vec = vp
+			}
+		}
+		s.fusedRuns[entry.ID] = run
 	}
 }
 
@@ -177,12 +190,32 @@ func (s *Scheduler) tryFused(c *ctx, fr *fusedRun, port int32, batch []tuple.Tup
 	if ec.chainLeft = c.chainLeft - nSegs; ec.chainLeft < 0 {
 		ec.chainLeft = 0
 	}
-	fr.mach.Reset(fr.prog)
 	fr.emit.ec = ec
-	for i := range batch {
-		s.runFusedTuple(fr, batch[i], tid)
+	var counts []uint64
+	if fr.vec != nil && len(batch) >= fr.prog.VecMinBatch() && s.runVecBatch(fr, batch, tid) {
+		s.vms.VecBatches.Add(tid, 1)
+		s.vms.VecRows.Add(tid, uint64(len(batch)))
+		if s.tr.On() {
+			s.tr.Emit(tid, trace.KindVMVec, trace.PackPair(int32(len(batch)), uint32(port)))
+		}
+		counts = fr.bm.SegCounts()
+	} else {
+		// Scalar dispatch: no plan, batch under the program's cutoff,
+		// or a panic during vectorized compute — which performed no
+		// emissions, so replaying the whole batch tuple-at-a-time
+		// reproduces scalar values, ordering, SegCounts and per-tuple
+		// panic attribution exactly. Under the -novec ablation nothing
+		// is metered: the fall-back counter measures the vectorizer's
+		// declines, not the ablation's.
+		if !s.cfg.DisableVec {
+			s.vms.VecFallbacks.Add(tid, 1)
+		}
+		fr.mach.Reset(fr.prog)
+		for i := range batch {
+			s.runFusedTuple(fr, batch[i], tid)
+		}
+		counts = fr.mach.SegCounts()
 	}
-	counts := fr.mach.SegCounts()
 	var total uint64
 	for i, n := range fr.nodes {
 		s.perNode[n.ID].Add(counts[i])
@@ -215,4 +248,45 @@ func (s *Scheduler) runFusedTuple(fr *fusedRun, t tuple.Tuple, tid int) {
 		}
 	}()
 	fr.mach.Run(fr.prog, t, &fr.emit)
+}
+
+// runVecBatch executes one batch through the vectorized plan. The two
+// phases have different failure policies, set by BatchMachine's
+// no-emissions-before-panic contract: a compute panic (division by
+// zero, a builtin fault, speculation down an if-converted branch)
+// aborts with the world untouched and returns false so tryFused
+// replays the batch scalar; an emission panic is a downstream fault
+// past the point of no return, contained against the faulting row's
+// segment exactly as the scalar path contains it, and the emit loop
+// resumes with the next row.
+func (s *Scheduler) runVecBatch(fr *fusedRun, batch []tuple.Tuple, tid int) bool {
+	if !s.vecCompute(fr, batch) {
+		return false
+	}
+	for !s.vecEmit(fr, tid) {
+	}
+	return true
+}
+
+// vecCompute is the replayable phase: decode, lane execution, filters.
+func (s *Scheduler) vecCompute(fr *fusedRun, batch []tuple.Tuple) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	fr.bm.Reset(fr.vec)
+	fr.bm.Run(batch)
+	return true
+}
+
+// vecEmit delivers surviving rows; returns true when all are out.
+func (s *Scheduler) vecEmit(fr *fusedRun, tid int) (done bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.containPanic(tid, fr.nodes[fr.bm.CurSeg()], r, true)
+		}
+	}()
+	fr.bm.EmitRows(&fr.emit)
+	return true
 }

@@ -69,6 +69,80 @@ func TestFusedFiresOnProgrammedPipeline(t *testing.T) {
 	}
 }
 
+// TestVecFiresOnProgrammedPipeline: the vectorized commit path must
+// actually run on a programmed pipeline — batches at or above the
+// cutoff go through the BatchMachine — and its accounting must hold:
+// every fused run is either a vectorized batch or a metered scalar
+// fall-back, rows are conserved, and delivery order is untouched.
+func TestVecFiresOnProgrammedPipeline(t *testing.T) {
+	const n, depth = 20000, 10
+	var mu sync.Mutex
+	var seen []uint64
+	snk := newOrderSink(&mu, &seen)
+	g := progPipelineGraph(t, depth, n, 0, snk)
+	s := runGraph(t, g, Config{MaxThreads: 4}, 2)
+	if len(seen) != n {
+		t.Fatalf("sink saw %d tuples, want %d", len(seen), n)
+	}
+	for i, v := range seen {
+		if v != uint64(i) {
+			t.Fatalf("position %d: tuple %d out of order", i, v)
+		}
+	}
+	if got, want := s.Executed(), uint64(n*(depth+1)); got != want {
+		t.Fatalf("Executed = %d, want %d", got, want)
+	}
+	v := s.Stats().VM
+	if v.VecBatches == 0 {
+		t.Fatalf("vectorized dispatch never fired on a programmed %d-deep pipeline: %+v", depth, v)
+	}
+	if v.VecBatches+v.VecFallbacks != v.FusedRuns {
+		t.Errorf("vec batches %d + fallbacks %d != fused runs %d: every fused run takes exactly one path",
+			v.VecBatches, v.VecFallbacks, v.FusedRuns)
+	}
+	if v.VecRows == 0 || v.VecRows > v.FusedTuples {
+		t.Errorf("vec rows %d out of range (fused tuples %d)", v.VecRows, v.FusedTuples)
+	}
+}
+
+// TestDisableVecAblation runs the fused matrix both ways: identical
+// delivery, order and execution counts with vectorization on and off,
+// and under -novec not a single vec meter moves while fused dispatch
+// itself keeps running — the ablation isolates exactly one mechanism.
+func TestDisableVecAblation(t *testing.T) {
+	const n, depth = 20000, 10
+	run := func(cfg Config) ([]uint64, uint64, metrics.VMSnapshot) {
+		var mu sync.Mutex
+		var seen []uint64
+		snk := newOrderSink(&mu, &seen)
+		g := progPipelineGraph(t, depth, n, 0, snk)
+		s := runGraph(t, g, cfg, 2)
+		return seen, s.Executed(), s.Stats().VM
+	}
+	vecSeen, vecExec, vecVM := run(Config{MaxThreads: 4})
+	novSeen, novExec, novVM := run(Config{MaxThreads: 4, DisableVec: true})
+	if len(vecSeen) != n || len(novSeen) != n {
+		t.Fatalf("delivery differs: vec %d, novec %d, want %d", len(vecSeen), len(novSeen), n)
+	}
+	for i := range vecSeen {
+		if vecSeen[i] != novSeen[i] {
+			t.Fatalf("position %d: vec delivered %d, novec %d", i, vecSeen[i], novSeen[i])
+		}
+	}
+	if vecExec != novExec {
+		t.Errorf("Executed diverges across the ablation: vec %d, novec %d", vecExec, novExec)
+	}
+	if novVM.VecBatches != 0 || novVM.VecRows != 0 || novVM.VecFallbacks != 0 {
+		t.Errorf("vec meters moved under DisableVec: %+v", novVM)
+	}
+	if novVM.FusedRuns == 0 {
+		t.Errorf("fused dispatch stopped under DisableVec; the ablation must only remove vectorization: %+v", novVM)
+	}
+	if vecVM.VecBatches == 0 {
+		t.Errorf("control run never vectorized; ablation compares nothing: %+v", vecVM)
+	}
+}
+
 // TestDisableVMMetersZero: under the -novm ablation the fused path must
 // be fully off — correct delivery, correct order, and not a single VM
 // meter moved (programs are not even counted: the walk never runs).
@@ -204,7 +278,99 @@ func TestFusedPanicContainment(t *testing.T) {
 	if got := snk.Count() + fs.DeadLetters; got != n {
 		t.Errorf("delivered %d + dead-lettered %d = %d, want %d", snk.Count(), fs.DeadLetters, got, n)
 	}
-	if v := s.Stats().VM; v.FusedRuns == 0 {
+	v := s.Stats().VM
+	if v.FusedRuns == 0 {
 		t.Errorf("fused dispatch never fired, containment path untested: %+v", v)
+	}
+	if v.VecBatches+v.VecFallbacks != v.FusedRuns {
+		t.Errorf("vec batches %d + fallbacks %d != fused runs %d", v.VecBatches, v.VecFallbacks, v.FusedRuns)
+	}
+}
+
+// TestVecComputePanicReplaysScalar exercises the fall-back seam
+// deterministically, without depending on which batches the live
+// scheduler happens to commit fused: a batch holding a faulting tuple
+// must abort the vectorized compute phase with zero emissions, and the
+// scalar replay of that same batch must reproduce the per-tuple panic
+// set and attribution exactly.
+func TestVecComputePanicReplaysScalar(t *testing.T) {
+	const interval = 5
+	b := graph.NewBuilder()
+	src := b.AddNode(&ops.Generator{Limit: 1}, 0, 1)
+	bad := b.AddNode(&seqPanicky{
+		name:     "Bad",
+		interval: interval,
+		prog:     panicProgram(t, "Bad", interval),
+	}, 1, 1)
+	w := b.AddNode(&ops.Worker{Prog: ops.WorkerProgram("W", 0)}, 1, 1)
+	sn := b.AddNode(&ops.Sink{}, 1, 0)
+	b.Connect(src, 0, bad, 0)
+	b.Connect(bad, 0, w, 0)
+	b.Connect(w, 0, sn, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(g, Config{MaxThreads: 1})
+	var fr *fusedRun
+	for _, r := range s.fusedRuns {
+		if r != nil {
+			fr = r
+		}
+	}
+	if fr == nil {
+		t.Fatal("no fused run was built")
+	}
+	if fr.vec == nil {
+		t.Fatal("the panic program did not vectorize; the replay seam is unreachable")
+	}
+
+	batch := make([]tuple.Tuple, 16)
+	for i := range batch {
+		batch[i] = tuple.Tuple{Seq: uint64(i + 1)} // seq 5, 10, 15 fault
+	}
+	if s.vecCompute(fr, batch) {
+		t.Fatal("vectorized compute succeeded on a batch with faulting rows")
+	}
+	if row := fr.bm.FaultRow(); row != 4 {
+		t.Errorf("FaultRow = %d, want 4 (the first seq%%%d == 0 row)", row, interval)
+	}
+	if fr.bm.CurSeg() != 0 {
+		t.Errorf("CurSeg = %d, want 0 (the Bad segment)", fr.bm.CurSeg())
+	}
+
+	// The replay: per-tuple scalar runs over the same machine the
+	// scheduler would use, with per-tuple containment. Exactly the
+	// seq%interval rows panic, everything else flows through, and each
+	// panic is attributed to the Bad segment.
+	fr.mach.Reset(fr.prog)
+	var delivered []uint64
+	panics := 0
+	for i := range batch {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					panics++
+					if fr.mach.CurSeg() != 0 {
+						t.Errorf("scalar replay blamed segment %d, want 0", fr.mach.CurSeg())
+					}
+				}
+			}()
+			fr.mach.Run(fr.prog, batch[i], vm.EmitFunc(func(o tuple.Tuple) {
+				delivered = append(delivered, o.Seq)
+			}))
+		}()
+	}
+	if panics != 3 {
+		t.Errorf("scalar replay panicked %d times, want 3", panics)
+	}
+	want := []uint64{1, 2, 3, 4, 6, 7, 8, 9, 11, 12, 13, 14, 16}
+	if len(delivered) != len(want) {
+		t.Fatalf("replay delivered %v, want %v", delivered, want)
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("replay delivered %v, want %v", delivered, want)
+		}
 	}
 }

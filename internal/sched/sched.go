@@ -118,6 +118,10 @@ type Config struct {
 	// path even when every operator along the run carries a bytecode
 	// program.
 	DisableVM bool
+	// DisableVec turns vectorized batch-at-a-time execution off (the
+	// -novec ablation): fused runs keep their superinstruction form
+	// but always dispatch the scalar per-tuple loop.
+	DisableVec bool
 
 	// Fault optionally installs a chaos injector at the scheduler's
 	// seams (operator execution, queue pushes). Nil — the default —

@@ -18,7 +18,17 @@ import (
 func init() {
 	for name, sigs := range vmBuiltinSigs {
 		for _, sig := range sigs {
-			vm.RegisterBuiltin(name+":"+sig.args, bridgeBuiltin(name, sig))
+			mangled := name + ":" + sig.args
+			vm.RegisterBuiltin(mangled, bridgeBuiltin(name, sig))
+			// Every whitelisted builtin is a pure function of its
+			// arguments except spin, whose deliberate CPU burn is a
+			// side effect that is harmless to repeat — both classes
+			// are vectorizable and replay-safe.
+			eff := vm.EffectPure
+			if name == "spin" {
+				eff = vm.EffectReplay
+			}
+			vm.RegisterBuiltinInfo(mangled, eff, sig.ret)
 		}
 	}
 }
@@ -68,6 +78,10 @@ func valFromValue(v Value, k vm.Kind) vm.Val {
 type tupCodec struct{}
 
 func (tupCodec) Load(t *tuple.Tuple, in vm.Layout, slots []vm.Val) {
+	if r, ok := t.Ref.(*Rec); ok {
+		r.load(in, slots)
+		return
+	}
 	tv := t.Ref.(Tup)
 	for i, f := range in.Fields {
 		switch f.Kind {
@@ -81,6 +95,21 @@ func (tupCodec) Load(t *tuple.Tuple, in vm.Layout, slots []vm.Val) {
 			slots[i] = vm.Val{I: b2iVal(tv[f.Name].(bool))}
 		}
 	}
+}
+
+// NewBatchStore implements vm.BatchStorer: fresh emits pack into
+// columnar frames (frame.go) instead of allocating a Tup per tuple.
+func (tupCodec) NewBatchStore() vm.BatchStore { return &frameStore{} }
+
+// refTup views a tuple payload as a Tup for closure-path consumers:
+// Tup payloads pass through, Rec payloads (built by the VM emit path)
+// materialize. Anything else panics with the same type-assertion error
+// the closure path always raised.
+func refTup(ref any) Tup {
+	if r, ok := ref.(*Rec); ok {
+		return r.Tup()
+	}
+	return ref.(Tup)
 }
 
 func (tupCodec) Store(slots []vm.Val, out vm.Layout) any {
@@ -108,7 +137,9 @@ func b2iVal(b bool) int64 {
 }
 
 // bindVM binds p to the Tup codec, returning nil (closure fallback)
-// when binding fails — e.g. a builtin registration is missing.
+// when binding fails — e.g. a builtin registration is missing. Bound
+// programs also get the vectorizability pass (vec_vm.go) tuning their
+// batch-size cutoff for the scheduler's vectorized commit point.
 func bindVM(p *vm.Program) *vm.Program {
 	if p == nil {
 		return nil
@@ -116,5 +147,6 @@ func bindVM(p *vm.Program) *vm.Program {
 	if err := p.Bind(tupCodec{}); err != nil {
 		return nil
 	}
+	vecTune(p)
 	return p
 }

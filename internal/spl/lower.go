@@ -933,7 +933,7 @@ func (c *customOp) Process(out graph.Submitter, t tuple.Tuple, inPort int) {
 	if blk == nil {
 		return
 	}
-	tv := t.Ref.(Tup)
+	tv := refTup(t.Ref)
 	var env *renv
 	if c.state != nil {
 		c.stateMu.Lock()
@@ -981,7 +981,7 @@ func (f *filterOp) Process(out graph.Submitter, t tuple.Tuple, _ int) {
 		f.emit.out = nil
 		return
 	}
-	tv := t.Ref.(Tup)
+	tv := refTup(t.Ref)
 	env := newEnv(nil)
 	for k, v := range tv {
 		env.vars[k] = v
@@ -1054,7 +1054,7 @@ func (s *FileSinkOp) Err() error {
 
 // Process implements graph.Operator.
 func (s *FileSinkOp) Process(_ graph.Submitter, t tuple.Tuple, _ int) {
-	tv := t.Ref.(Tup)
+	tv := refTup(t.Ref)
 	line := formatTuple(tv, s.typ)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1176,7 +1176,7 @@ func (o *aggregateOp) Name() string { return o.name }
 
 // Process implements graph.Operator.
 func (o *aggregateOp) Process(out graph.Submitter, t tuple.Tuple, _ int) {
-	tv := t.Ref.(Tup)
+	tv := refTup(t.Ref)
 	o.mu.Lock()
 	if o.attr != "" {
 		switch v := tv[o.attr].(type) {
@@ -1280,7 +1280,7 @@ func (o *dedupOp) Name() string { return o.name }
 
 // Process implements graph.Operator.
 func (o *dedupOp) Process(out graph.Submitter, t tuple.Tuple, _ int) {
-	tv := t.Ref.(Tup)
+	tv := refTup(t.Ref)
 	k := tv[o.key]
 	o.mu.Lock()
 	dup := o.seen && valueEq(o.last, k)

@@ -1,0 +1,52 @@
+package spl
+
+// vec_vm.go is the compiler's vectorizability pass: the compile-time
+// half of the decision the scheduler makes per batch at the fused
+// commit point (sched.tryFused). The shape analysis itself — which
+// programs *can* run batch-at-a-time — lives in vm.PlanVec and runs on
+// the fused program; this pass tunes the per-program cutoff below
+// which vectorizing is not worth the lane setup.
+//
+// The tuning signal is string-op density. Int and float lanes
+// vectorize beautifully — the whole batch loop is a handful of
+// machine instructions per row with no branches — but string ops
+// (concatenation especially) allocate and chase pointers per row
+// either way, so the batch form only amortizes its fixed costs over a
+// larger batch. Programs whose instruction mix is string-heavy get a
+// 4x higher cutoff; the scheduler compares len(batch) against
+// Program.VecMinBatch (fused programs inherit the most conservative
+// cutoff of their parts, see vm.Fuse).
+
+import (
+	"streams/internal/vm"
+)
+
+// vecStringHeavyCutoff is the minimum batch size for string-heavy
+// programs; others use vm.DefaultVecMinBatch.
+const vecStringHeavyCutoff = 4 * vm.DefaultVecMinBatch
+
+// vecTune applies the vectorizability pass to a freshly bound program.
+func vecTune(p *vm.Program) {
+	strOps, total := 0, 0
+	for _, in := range p.Code {
+		switch in.Op {
+		case vm.OpConstS, vm.OpCatS,
+			vm.OpEqS, vm.OpNeS, vm.OpLtS, vm.OpLeS, vm.OpGtS, vm.OpGeS:
+			strOps++
+		case vm.OpNop, vm.OpEmit, vm.OpDrop, vm.OpJump, vm.OpJumpIfFalse, vm.OpJumpIfTrue:
+			continue // control flow carries no per-row data work
+		}
+		total++
+	}
+	for _, f := range p.In.Fields {
+		// String inputs count too: each decoded row copies a header
+		// into its lane whether or not an opcode touches it.
+		if f.Kind == vm.KStr {
+			strOps++
+		}
+		total++
+	}
+	if total > 0 && strOps*4 >= total && strOps >= 2 {
+		p.SetVecMinBatch(vecStringHeavyCutoff)
+	}
+}

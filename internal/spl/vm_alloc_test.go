@@ -1,0 +1,92 @@
+package spl
+
+import (
+	"testing"
+
+	"streams/internal/tuple"
+	"streams/internal/vm"
+)
+
+// Allocation guards for the VM emit path. A fresh emit used to build a
+// Tup per output tuple — a map allocation plus per-field boxing, the 3
+// allocs/op BENCH_vm.json showed on the scalar path. The frame store
+// amortizes the payload arena over frameCap rows, so the steady-state
+// budget is frameAllocsSlack allocations per row: far below one, and a
+// regression back to per-row maps trips these immediately.
+//
+// The slack covers the frame turnover itself: one frame per frameCap
+// rows costs a handful of allocations (the Frame, its lane table, one
+// column per field, the rec table), well under 0.1/row.
+const frameAllocsSlack = 0.1
+
+// fusedBenchProg compiles benchProgram and fuses its three Customs,
+// shared by the scalar and vectorized alloc guards. Reuses benchOps
+// via a benchmark shim since the helpers there take *testing.B.
+func fusedBenchProg(t *testing.T) *vm.Program {
+	t.Helper()
+	compiled, err := Compile(benchProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progs []*vm.Program
+	for _, n := range compiled.Graph.Nodes {
+		if pr, ok := n.Op.(vm.Programmed); ok && pr.VMProgram() != nil {
+			progs = append(progs, pr.VMProgram())
+		}
+	}
+	if len(progs) != 3 {
+		t.Fatalf("benchProgram compiled %d bytecode stages, want 3", len(progs))
+	}
+	fused, err := vm.Fuse(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fused
+}
+
+// TestScalarVMEmitZeroAlloc guards the scalar Machine's fused dispatch
+// loop: steady-state runs over the chain3 pipeline must not allocate
+// per tuple — neither for the two interior fresh emits (dead stores,
+// elided by Verify's needStore) nor for the final one (frame store).
+func TestScalarVMEmitZeroAlloc(t *testing.T) {
+	fused := fusedBenchProg(t)
+	var m vm.Machine
+	m.Reset(fused)
+	sink := vm.EmitFunc(func(tuple.Tuple) {})
+	in := tuple.Tuple{Ref: Tup{"x": int64(7), "y": int64(9)}}
+	m.Run(fused, in, sink) // warm the machine's buffers and store
+	avg := testing.AllocsPerRun(2000, func() {
+		m.Run(fused, in, sink)
+	})
+	if avg > frameAllocsSlack {
+		t.Fatalf("scalar fused run allocates %.3f/op, budget %.2f", avg, frameAllocsSlack)
+	}
+}
+
+// TestVecVMEmitZeroAlloc guards the vectorized path end to end:
+// Reset, lane decode, segment execution, filter prune and the emit
+// loop together must stay within the frame-turnover budget per row.
+func TestVecVMEmitZeroAlloc(t *testing.T) {
+	fused := fusedBenchProg(t)
+	vp, err := vm.PlanVec(fused)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	const rows = 64
+	batch := make([]tuple.Tuple, rows)
+	for i := range batch {
+		batch[i] = tuple.Tuple{Seq: uint64(i), Ref: Tup{"x": int64(i), "y": int64(i * 3)}}
+	}
+	var bm vm.BatchMachine
+	sink := vm.EmitFunc(func(tuple.Tuple) {})
+	runOnce := func() {
+		bm.Reset(vp)
+		bm.Run(batch)
+		bm.EmitRows(sink)
+	}
+	runOnce() // warm lanes and the frame store
+	avg := testing.AllocsPerRun(500, runOnce)
+	if perRow := avg / rows; perRow > frameAllocsSlack {
+		t.Fatalf("vectorized batch allocates %.3f/row (%.1f/batch), budget %.2f/row", perRow, avg, frameAllocsSlack)
+	}
+}

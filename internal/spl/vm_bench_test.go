@@ -1,6 +1,7 @@
 package spl
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -117,19 +118,8 @@ func BenchmarkVMDispatch(b *testing.B) {
 			link.Submit(t, 0)
 		}
 	})
-	b.Run("chain3/fused", func(b *testing.B) {
-		ops := benchOps(b, Options{})
-		progs := make([]*vm.Program, 3)
-		for i, op := range ops {
-			progs[i] = op.(vm.Programmed).VMProgram()
-			if progs[i] == nil {
-				b.Fatalf("S%d did not compile to bytecode", i+1)
-			}
-		}
-		fused, err := vm.Fuse(progs)
-		if err != nil {
-			b.Fatal(err)
-		}
+	b.Run("chain3/fused-batch", func(b *testing.B) {
+		fused := benchFused(b)
 		var m vm.Machine
 		var emitted int
 		emit := vm.EmitFunc(func(tuple.Tuple) { emitted++ })
@@ -140,4 +130,69 @@ func BenchmarkVMDispatch(b *testing.B) {
 			m.Run(fused, t, emit)
 		}
 	})
+}
+
+// benchFused compiles benchProgram and fuses its three stages.
+func benchFused(b *testing.B) *vm.Program {
+	b.Helper()
+	ops := benchOps(b, Options{})
+	progs := make([]*vm.Program, 3)
+	for i, op := range ops {
+		progs[i] = op.(vm.Programmed).VMProgram()
+		if progs[i] == nil {
+			b.Fatalf("S%d did not compile to bytecode", i+1)
+		}
+	}
+	fused, err := vm.Fuse(progs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fused
+}
+
+// BenchmarkVMVectorized compares scalar tuple-at-a-time dispatch with
+// vectorized batch-at-a-time execution of the same chain3 fused
+// program, sweeping batch size. ns/op is per BATCH (one iteration
+// processes all rows), so scalar and vec at the same rows= are
+// directly comparable; divide by rows for per-tuple cost. make
+// bench-vm archives both this and BenchmarkVMDispatch in
+// BENCH_vm.json, and CI's vm smoke compares fresh numbers against the
+// committed file via benchjson -compare.
+func BenchmarkVMVectorized(b *testing.B) {
+	fused := benchFused(b)
+	vp, err := vm.PlanVec(fused)
+	if err != nil {
+		b.Fatalf("planvec: %v", err)
+	}
+	for _, rows := range []int{16, 64, 256} {
+		batch := make([]tuple.Tuple, rows)
+		for i := range batch {
+			batch[i] = tuple.Tuple{Seq: uint64(i + 1), Ref: Tup{"x": int64(i%37 - 5), "y": int64(i % 11)}}
+		}
+		b.Run(fmt.Sprintf("chain3/scalar/rows=%d", rows), func(b *testing.B) {
+			var m vm.Machine
+			m.Reset(fused)
+			var emitted int
+			sink := vm.EmitFunc(func(tuple.Tuple) { emitted++ })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					m.Run(fused, batch[j], sink)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("chain3/vec/rows=%d", rows), func(b *testing.B) {
+			var bm vm.BatchMachine
+			var emitted int
+			sink := vm.EmitFunc(func(tuple.Tuple) { emitted++ })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bm.Reset(vp)
+				bm.Run(batch)
+				bm.EmitRows(sink)
+			}
+		})
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 
 	"streams/internal/tuple"
@@ -233,7 +235,7 @@ func runVMExpr(p *vm.Program, in Tup) (out Value, panicked bool) {
 	var m vm.Machine
 	var got Tup
 	m.Run(p, tuple.Tuple{Ref: in}, vm.EmitFunc(func(o tuple.Tuple) {
-		got = o.Ref.(Tup)
+		got = refTup(o.Ref)
 	}))
 	return got["r"], false
 }
@@ -291,6 +293,216 @@ func TestVMDifferentialRandomExprs(t *testing.T) {
 	}
 	if values == 0 || panics == 0 {
 		t.Fatalf("sweep did not cover both outcomes: %d values, %d panics", values, panics)
+	}
+}
+
+// TestVMVecDifferentialRandomExprs is the batch-execution property
+// test: every expression program the vectorizer accepts must agree
+// with the scalar Machine over whole batches. The one asymmetry the
+// contract allows is panics — the vectorized plan executes both sides
+// of every conditional (if-conversion) and so may fault where the
+// scalar path would not — but the direction that matters for
+// correctness is checked exactly: if the vectorized run completes, no
+// scalar row may panic, every output value must match, and the
+// per-segment entry counts must be identical. A vectorized panic must
+// leave the machine with a valid faulting-row attribution, and the
+// scalar replay (the scheduler's fall-back) is by definition the
+// reference behaviour.
+func TestVMVecDifferentialRandomExprs(t *testing.T) {
+	r := rand.New(rand.NewSource(20260809))
+	kinds := []vm.Kind{vm.KInt, vm.KFloat, vm.KStr, vm.KBool}
+	batches, vecPanics := 0, 0
+	for i := 0; i < 300; i++ {
+		e := genExpr(r, kinds[r.Intn(len(kinds))], 1+r.Intn(3))
+		p := bindVM(compileExprVM(e, diffInType, "S"))
+		if p == nil {
+			t.Fatalf("trial %d: VM rejected a generated expression: %s", i, exprStr(e))
+		}
+		vp, err := vm.PlanVec(p)
+		if err != nil {
+			t.Fatalf("trial %d: vectorizer rejected the expression subset: %s\n%v", i, exprStr(e), err)
+		}
+		n := 2 + r.Intn(15)
+		batch := make([]tuple.Tuple, n)
+		ins := make([]Tup, n)
+		for j := range batch {
+			ins[j] = randTup(r)
+			batch[j] = tuple.Tuple{Seq: uint64(j), Ref: ins[j]}
+		}
+
+		// Scalar reference, row by row.
+		scalarOut := make([]Value, n)
+		scalarPanic := make([]bool, n)
+		var sm vm.Machine
+		sm.Reset(p)
+		for j := range batch {
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						scalarPanic[j] = true
+					}
+				}()
+				sm.Run(p, batch[j], vm.EmitFunc(func(o tuple.Tuple) {
+					scalarOut[j] = refTup(o.Ref)["r"]
+				}))
+			}()
+		}
+
+		var bm vm.BatchMachine
+		bm.Reset(vp)
+		vecPanicked := false
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					vecPanicked = true
+				}
+			}()
+			bm.Run(batch)
+		}()
+		if vecPanicked {
+			vecPanics++
+			if fr := bm.FaultRow(); fr < 0 || fr >= n {
+				t.Fatalf("trial %d: vectorized panic with fault row %d outside the batch [0,%d)\nexpr %s",
+					i, fr, n, exprStr(e))
+			}
+			continue
+		}
+		var vecOut []Value
+		bm.EmitRows(vm.EmitFunc(func(o tuple.Tuple) {
+			vecOut = append(vecOut, refTup(o.Ref)["r"])
+		}))
+		for j := range batch {
+			if scalarPanic[j] {
+				t.Fatalf("trial %d: scalar row %d panicked but the vectorized run completed\nexpr %s\ninput %v",
+					i, j, exprStr(e), ins[j])
+			}
+		}
+		if len(vecOut) != n {
+			t.Fatalf("trial %d: vectorized emitted %d of %d rows\nexpr %s", i, len(vecOut), n, exprStr(e))
+		}
+		for j := range vecOut {
+			if !sameValue(scalarOut[j], vecOut[j]) {
+				t.Fatalf("trial %d: row %d disagrees on %s\ninput %v\nscalar %v (%T), vectorized %v (%T)",
+					i, j, exprStr(e), ins[j], scalarOut[j], scalarOut[j], vecOut[j], vecOut[j])
+			}
+		}
+		if got, want := bm.SegCounts(), sm.SegCounts(); !slicesEqualU64(got, want) {
+			t.Fatalf("trial %d: seg counts diverge: vectorized %v scalar %v\nexpr %s", i, got, want, exprStr(e))
+		}
+		batches++
+	}
+	if batches == 0 {
+		t.Fatalf("sweep completed no clean batches (%d vectorized panics)", vecPanics)
+	}
+}
+
+func slicesEqualU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// vecDiffProgram is a fusable Custom → Filter → Custom pipeline: the
+// filter becomes a selection-vector prune in the vectorized plan, so
+// the fused differential covers dropped rows and multi-segment entry
+// counts, not just straight-line expressions.
+const vecDiffProgram = `
+composite Main {
+  graph
+    stream<int64 x, int64 y> N = Beacon() { param iterations: 1; }
+    stream<int64 a, int64 b> S1 = Custom(N) {
+      logic onTuple N: { submit({ a = x * 3 + y, b = x - y }, S1); }
+    }
+    stream<int64 a, int64 b> S2 = Filter(S1) { param filter: a % 3 == 0; }
+    stream<int64 r> S3 = Custom(S2) {
+      logic onTuple S2: { submit({ r = a * b + 7 }, S3); }
+    }
+    () as Out = FileSink(S3) { param file: "/dev/null"; }
+}
+`
+
+// fusedDiffProgs compiles vecDiffProgram and returns the three
+// pipeline programs in order.
+func fusedDiffProgs(t *testing.T) *vm.Program {
+	t.Helper()
+	compiled, err := Compile(vecDiffProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]*vm.Program, 3)
+	for _, n := range compiled.Graph.Nodes {
+		pr, ok := n.Op.(vm.Programmed)
+		if !ok || pr.VMProgram() == nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(n.Op.Name(), "/S1"):
+			progs[0] = pr.VMProgram()
+		case strings.HasSuffix(n.Op.Name(), "/S2"):
+			progs[1] = pr.VMProgram()
+		case strings.HasSuffix(n.Op.Name(), "/S3"):
+			progs[2] = pr.VMProgram()
+		}
+	}
+	for i, p := range progs {
+		if p == nil {
+			t.Fatalf("pipeline stage %d did not compile to bytecode", i)
+		}
+	}
+	fused, err := vm.Fuse(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fused
+}
+
+// TestVMVecDifferentialFusedFilterChain runs random batches through a
+// fused three-segment pipeline with a mid-chain filter, scalar versus
+// vectorized, and requires identical outputs (the filter's survivors,
+// in order) and identical per-segment entry counts (the filter's drops
+// must show in segment 3's count on both paths).
+func TestVMVecDifferentialFusedFilterChain(t *testing.T) {
+	fused := fusedDiffProgs(t)
+	vp, err := vm.PlanVec(fused)
+	if err != nil {
+		t.Fatalf("fused pipeline did not vectorize: %v", err)
+	}
+	r := rand.New(rand.NewSource(20260810))
+	for _, n := range []int{1, 7, 64, 200} {
+		batch := make([]tuple.Tuple, n)
+		for j := range batch {
+			batch[j] = tuple.Tuple{Seq: uint64(j), Ref: Tup{
+				"x": r.Int63n(41) - 20,
+				"y": r.Int63n(41) - 20,
+			}}
+		}
+		var scalarOut []int64
+		var sm vm.Machine
+		sm.Reset(fused)
+		for j := range batch {
+			sm.Run(fused, batch[j], vm.EmitFunc(func(o tuple.Tuple) {
+				scalarOut = append(scalarOut, refTup(o.Ref)["r"].(int64))
+			}))
+		}
+		var vecOut []int64
+		var bm vm.BatchMachine
+		bm.Reset(vp)
+		bm.Run(batch)
+		bm.EmitRows(vm.EmitFunc(func(o tuple.Tuple) {
+			vecOut = append(vecOut, refTup(o.Ref)["r"].(int64))
+		}))
+		if !reflect.DeepEqual(vecOut, scalarOut) {
+			t.Fatalf("n=%d: outputs diverge\nvectorized %v\nscalar     %v", n, vecOut, scalarOut)
+		}
+		if got, want := bm.SegCounts(), sm.SegCounts(); !slicesEqualU64(got, want) {
+			t.Fatalf("n=%d: seg counts diverge: vectorized %v scalar %v", n, got, want)
+		}
 	}
 }
 

@@ -162,6 +162,11 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"segs": segs, "port": port,
 			}))
+		case KindVMVec:
+			rows, port := UnpackPair(e.Arg)
+			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
+				"rows": rows, "port": port,
+			}))
 		case KindAdmit, KindShed, KindThrottle:
 			tenant, count := UnpackPair(e.Arg)
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{

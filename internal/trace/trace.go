@@ -108,6 +108,11 @@ const (
 	// persisted; arg packs reason<<32|samples (see the FlightRec
 	// constants).
 	KindFlightRec
+	// KindVMVec marks a fused chain batch executed through the
+	// vectorized batch-at-a-time machine: the whole batch decoded into
+	// lanes and every instruction dispatched once per batch; arg packs
+	// rows<<32|port, where rows is the batch size.
+	KindVMVec
 
 	numKinds
 )
@@ -221,6 +226,8 @@ func (k Kind) String() string {
 		return "bp-sample"
 	case KindFlightRec:
 		return "flightrec-dump"
+	case KindVMVec:
+		return "vm-vec"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

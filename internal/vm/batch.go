@@ -1,0 +1,530 @@
+package vm
+
+// batch.go executes a VecProgram batch-at-a-time: decode the batch
+// into struct-of-arrays lanes once, run every vectorized instruction
+// over the whole selection vector in a tight loop, then emit the
+// surviving rows. All lane storage is owned by the BatchMachine and
+// reused across batches, so the steady state allocates nothing.
+//
+// The execution contract the scheduler's fall-back logic relies on:
+// Run performs *no* emissions — every observable effect of the program
+// is deferred to EmitRows — so a panic anywhere in Run (division by
+// zero, a builtin fault, speculative execution of an if-converted
+// branch the scalar path would not have taken) leaves the world
+// untouched and the caller can re-run the entire batch through the
+// scalar Machine for byte-identical results and per-row panic
+// attribution. EmitRows advances an internal cursor past each row
+// before emitting it, so a panic *during* an emission (downstream
+// operator fault) can be contained by the caller exactly like the
+// scalar path contains it, and a subsequent EmitRows call resumes with
+// the next row instead of double-emitting.
+
+import (
+	"streams/internal/tuple"
+)
+
+// BatchMachine executes vectorized plans. Like Machine it is
+// single-threaded and meant to live as long as its owner (one per
+// fused run in the scheduler).
+type BatchMachine struct {
+	vp      *VecProgram
+	ints    [][]int64
+	floats  [][]float64
+	strs    [][]string
+	sel     []int32
+	selBuf  []int32
+	counts  []uint64
+	args    []Val
+	vals    []Val
+	seg     int
+	fault   int32
+	rows    int
+	laneCap int
+
+	batch   []tuple.Tuple
+	emitPos int
+
+	store    BatchStore
+	storeFor RefCodec
+}
+
+// Reset binds the machine to a plan and clears per-batch state
+// (segment counts, emit cursor). Lane storage is kept and reused;
+// string lanes are cleared so a retired batch's string refs don't pin
+// their backing memory.
+func (bm *BatchMachine) Reset(vp *VecProgram) {
+	rebound := bm.vp != vp
+	bm.vp = vp
+	if cap(bm.counts) < len(vp.segs) {
+		bm.counts = make([]uint64, len(vp.segs))
+	}
+	bm.counts = bm.counts[:len(vp.segs)]
+	for i := range bm.counts {
+		bm.counts[i] = 0
+	}
+	bm.seg = 0
+	bm.fault = -1
+	bm.rows = 0
+	bm.batch = nil
+	bm.emitPos = 0
+	// Clear string lanes so the previous batch's refs don't pin their
+	// backing memory, then re-broadcast constant string lanes (still
+	// valid when the plan is unchanged). On a plan switch the lanes are
+	// released outright — indices would not line up anyway.
+	for _, l := range bm.strs {
+		for i := range l {
+			l[i] = ""
+		}
+	}
+	if rebound {
+		bm.laneCap = 0
+		bm.ints, bm.floats, bm.strs = nil, nil, nil
+	} else {
+		for _, f := range vp.fillS {
+			l := bm.strs[f.reg]
+			for i := range l {
+				l[i] = f.val
+			}
+		}
+	}
+}
+
+// SegCounts returns how many rows entered each segment since Reset —
+// the same contract as Machine.SegCounts, so the scheduler charges
+// per-node executed counters identically on both paths.
+func (bm *BatchMachine) SegCounts() []uint64 { return bm.counts }
+
+// CurSeg returns the segment that was executing most recently — after
+// a recovered panic, the operator to blame.
+func (bm *BatchMachine) CurSeg() int { return bm.seg }
+
+// FaultRow returns the batch index of the row whose lane was executing
+// when Run panicked (-1 when no fault has occurred): the mapping from
+// a faulting lane back to the source tuple.
+func (bm *BatchMachine) FaultRow() int { return int(bm.fault) }
+
+// ensure grows lane storage to hold n rows and re-broadcasts the
+// plan's constant lanes into the (re)allocated columns.
+func (bm *BatchMachine) ensure(n int) {
+	if n <= bm.laneCap {
+		return
+	}
+	c := bm.laneCap
+	if c < 64 {
+		c = 64
+	}
+	for c < n {
+		c *= 2
+	}
+	bm.laneCap = c
+	vp := bm.vp
+	bm.ints = make([][]int64, vp.nI)
+	for i := range bm.ints {
+		bm.ints[i] = make([]int64, c)
+	}
+	bm.floats = make([][]float64, vp.nF)
+	for i := range bm.floats {
+		bm.floats[i] = make([]float64, c)
+	}
+	bm.strs = make([][]string, vp.nS)
+	for i := range bm.strs {
+		bm.strs[i] = make([]string, c)
+	}
+	for _, f := range vp.fillI {
+		l := bm.ints[f.reg]
+		for i := range l {
+			l[i] = f.val
+		}
+	}
+	for _, f := range vp.fillF {
+		l := bm.floats[f.reg]
+		for i := range l {
+			l[i] = f.val
+		}
+	}
+	for _, f := range vp.fillS {
+		l := bm.strs[f.reg]
+		for i := range l {
+			l[i] = f.val
+		}
+	}
+	if cap(bm.sel) < c {
+		bm.sel = make([]int32, c)
+		bm.selBuf = make([]int32, c)
+	}
+}
+
+// Run decodes batch into lanes and executes the plan's compute and
+// filter stages. It emits nothing (see the contract above); call
+// EmitRows afterwards to deliver the surviving rows. Runtime faults
+// panic with *Error, with CurSeg/FaultRow identifying the segment and
+// source row.
+func (bm *BatchMachine) Run(batch []tuple.Tuple) {
+	vp := bm.vp
+	p := vp.prog
+	n := len(batch)
+	bm.ensure(n)
+	bm.batch = batch
+	bm.rows = n
+	bm.emitPos = 0
+	bm.seg = 0
+	bm.fault = -1
+
+	// Decode: one codec.Load per row, scattered into the input lanes.
+	nIn := len(p.In.Fields)
+	if nIn > 0 {
+		if cap(bm.vals) < nIn {
+			bm.vals = make([]Val, nIn)
+		}
+		vals := bm.vals[:nIn]
+		for r := 0; r < n; r++ {
+			p.codec.Load(&batch[r], p.In, vals)
+			for i, ln := range vp.in {
+				switch bank(ln.kind) {
+				case 1:
+					bm.floats[ln.idx][r] = vals[i].F
+				case 2:
+					bm.strs[ln.idx][r] = vals[i].S
+				default:
+					bm.ints[ln.idx][r] = vals[i].I
+				}
+			}
+		}
+	}
+	if vp.seqLane >= 0 {
+		seq := bm.ints[vp.seqLane]
+		for r := 0; r < n; r++ {
+			seq[r] = int64(batch[r].Seq)
+		}
+	}
+
+	sel := bm.sel[:n]
+	for r := range sel {
+		sel[r] = int32(r)
+	}
+	for si := range vp.segs {
+		vs := &vp.segs[si]
+		bm.seg = si
+		bm.counts[si] += uint64(len(sel))
+		bm.exec(vp.ops[vs.opsStart:vs.opsEnd], sel)
+		if vs.filter >= 0 {
+			pred := bm.ints[vs.filter]
+			kept := bm.selBuf[:0]
+			for _, r := range sel {
+				if pred[r] != 0 {
+					kept = append(kept, r)
+				}
+			}
+			bm.sel, bm.selBuf = bm.selBuf, bm.sel
+			sel = kept
+		}
+		if len(sel) == 0 {
+			break
+		}
+	}
+	// sel aliases whichever buffer the last filter swap landed on;
+	// keep that exact slice for EmitRows.
+	bm.sel = sel
+}
+
+// exec interprets one segment's vectorized ops over the selection.
+func (bm *BatchMachine) exec(ops []vop, sel []int32) {
+	vp := bm.vp
+	li, lf, ls := bm.ints, bm.floats, bm.strs
+	for i := range ops {
+		o := &ops[i]
+		switch o.op {
+		case vAddI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = a[r] + b[r]
+			}
+		case vSubI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = a[r] - b[r]
+			}
+		case vMulI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = a[r] * b[r]
+			}
+		case vDivI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				if b[r] == 0 {
+					bm.fault = r
+					panic(&Error{Seg: bm.seg, PC: o.pc, Msg: "division by zero"})
+				}
+				d[r] = a[r] / b[r]
+			}
+		case vModI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				if b[r] == 0 {
+					bm.fault = r
+					panic(&Error{Seg: bm.seg, PC: o.pc, Msg: "modulo by zero"})
+				}
+				d[r] = a[r] % b[r]
+			}
+		case vNegI:
+			d, a := li[o.d], li[o.a]
+			for _, r := range sel {
+				d[r] = -a[r]
+			}
+
+		case vAddF:
+			d, a, b := lf[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = a[r] + b[r]
+			}
+		case vSubF:
+			d, a, b := lf[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = a[r] - b[r]
+			}
+		case vMulF:
+			d, a, b := lf[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = a[r] * b[r]
+			}
+		case vDivF:
+			d, a, b := lf[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = a[r] / b[r]
+			}
+		case vNegF:
+			d, a := lf[o.d], lf[o.a]
+			for _, r := range sel {
+				d[r] = -a[r]
+			}
+
+		case vCatS:
+			d, a, b := ls[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = a[r] + b[r]
+			}
+
+		case vEqI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] == b[r])
+			}
+		case vNeI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] != b[r])
+			}
+		case vLtI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] < b[r])
+			}
+		case vLeI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] <= b[r])
+			}
+		case vGtI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] > b[r])
+			}
+		case vGeI:
+			d, a, b := li[o.d], li[o.a], li[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] >= b[r])
+			}
+
+		case vEqF:
+			d, a, b := li[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] == b[r])
+			}
+		case vNeF:
+			d, a, b := li[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] != b[r])
+			}
+		case vLtF:
+			d, a, b := li[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] < b[r])
+			}
+		case vLeF:
+			d, a, b := li[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] <= b[r])
+			}
+		case vGtF:
+			d, a, b := li[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] > b[r])
+			}
+		case vGeF:
+			d, a, b := li[o.d], lf[o.a], lf[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] >= b[r])
+			}
+
+		case vEqS:
+			d, a, b := li[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] == b[r])
+			}
+		case vNeS:
+			d, a, b := li[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] != b[r])
+			}
+		case vLtS:
+			d, a, b := li[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] < b[r])
+			}
+		case vLeS:
+			d, a, b := li[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] <= b[r])
+			}
+		case vGtS:
+			d, a, b := li[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] > b[r])
+			}
+		case vGeS:
+			d, a, b := li[o.d], ls[o.a], ls[o.b]
+			for _, r := range sel {
+				d[r] = b2i(a[r] >= b[r])
+			}
+
+		case vNotB:
+			d, a := li[o.d], li[o.a]
+			for _, r := range sel {
+				d[r] = 1 - a[r]
+			}
+
+		case vBlendI:
+			d, a, b, p := li[o.d], li[o.a], li[o.b], li[o.p]
+			for _, r := range sel {
+				if p[r] != 0 {
+					d[r] = a[r]
+				} else {
+					d[r] = b[r]
+				}
+			}
+		case vBlendF:
+			d, a, b, p := lf[o.d], lf[o.a], lf[o.b], li[o.p]
+			for _, r := range sel {
+				if p[r] != 0 {
+					d[r] = a[r]
+				} else {
+					d[r] = b[r]
+				}
+			}
+		case vBlendS:
+			d, a, b, p := ls[o.d], ls[o.a], ls[o.b], li[o.p]
+			for _, r := range sel {
+				if p[r] != 0 {
+					d[r] = a[r]
+				} else {
+					d[r] = b[r]
+				}
+			}
+
+		case vCall:
+			c := &vp.calls[o.x]
+			if cap(bm.args) < len(c.args) {
+				bm.args = make([]Val, len(c.args))
+			}
+			args := bm.args[:len(c.args)]
+			fn := vp.prog.funcs[c.fn]
+			for _, r := range sel {
+				for ai, al := range c.args {
+					switch bank(al.kind) {
+					case 1:
+						args[ai] = Val{F: lf[al.idx][r]}
+					case 2:
+						args[ai] = Val{S: ls[al.idx][r]}
+					default:
+						args[ai] = Val{I: li[al.idx][r]}
+					}
+				}
+				bm.fault = r
+				v := fn(args)
+				switch bank(c.ret) {
+				case 1:
+					lf[o.d][r] = v.F
+				case 2:
+					ls[o.d][r] = v.S
+				default:
+					li[o.d][r] = v.I
+				}
+			}
+			bm.fault = -1
+		}
+	}
+}
+
+// EmitRows delivers the rows that survived Run's filters, in batch
+// order. The cursor advances past a row before its emission, so if an
+// emission panics (a downstream fault the caller contains exactly as
+// it contains scalar per-tuple panics), calling EmitRows again resumes
+// with the following row. Returns the number of rows emitted across
+// all calls since Run.
+func (bm *BatchMachine) EmitRows(emit Emitter) int {
+	vp := bm.vp
+	sel := bm.sel
+	bm.seg = len(vp.segs) - 1
+	if vp.emitFresh {
+		nOut := len(vp.emitCols)
+		if cap(bm.vals) < nOut {
+			bm.vals = make([]Val, nOut)
+		}
+		vals := bm.vals[:nOut]
+		store := bm.freshStore()
+		for bm.emitPos < len(sel) {
+			r := sel[bm.emitPos]
+			bm.emitPos++
+			for i, ln := range vp.emitCols {
+				switch bank(ln.kind) {
+				case 1:
+					vals[i] = Val{F: bm.floats[ln.idx][r]}
+				case 2:
+					vals[i] = Val{S: bm.strs[ln.idx][r]}
+				default:
+					vals[i] = Val{I: bm.ints[ln.idx][r]}
+				}
+			}
+			var ref any
+			if store != nil {
+				ref = store.Append(vals, vp.emitOut)
+			} else {
+				ref = vp.prog.codec.Store(vals, vp.emitOut)
+			}
+			emit.Emit(tuple.Tuple{Ref: ref})
+		}
+	} else {
+		for bm.emitPos < len(sel) {
+			r := sel[bm.emitPos]
+			bm.emitPos++
+			emit.Emit(bm.batch[r])
+		}
+	}
+	bm.batch = nil
+	return bm.emitPos
+}
+
+// freshStore returns the machine's batch store for the bound codec, or
+// nil when the codec doesn't provide one.
+func (bm *BatchMachine) freshStore() BatchStore {
+	codec := bm.vp.prog.codec
+	if bm.storeFor != codec {
+		bm.storeFor = codec
+		bm.store = nil
+		if bs, ok := codec.(BatchStorer); ok {
+			bm.store = bs.NewBatchStore()
+		}
+	}
+	return bm.store
+}

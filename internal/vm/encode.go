@@ -332,5 +332,19 @@ func (p *Program) Verify() error {
 	if len(p.In.Fields) != int(p.Segs[0].NIn) {
 		return fmt.Errorf("vm: program in layout %d != seg 0 window %d", len(p.In.Fields), p.Segs[0].NIn)
 	}
+	// A verified program also gets its store-liveness table: an interior
+	// Fresh emit's payload rides the template tuple, and the template is
+	// only ever exposed by a final *forwarding* emit — so if any later
+	// segment is Fresh (it replaces the template before the end), the
+	// Store is dead and the interpreter skips it. The final segment's
+	// Fresh store is always live.
+	p.needStore = make([]bool, len(p.Segs))
+	fresh := false // a Fresh segment exists at index > si
+	for si := len(p.Segs) - 1; si >= 0; si-- {
+		p.needStore[si] = p.Segs[si].Fresh && !fresh
+		if p.Segs[si].Fresh {
+			fresh = true
+		}
+	}
 	return nil
 }

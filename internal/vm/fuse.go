@@ -79,6 +79,10 @@ func Fuse(progs []*Program) (*Program, error) {
 		// Stacks sum rather than max: an inner emit runs the next
 		// segment above the emitter's live temporaries.
 		f.MaxStack += p.MaxStack
+		// The fused cutoff is the most conservative of the inputs'.
+		if p.vecMin > f.vecMin {
+			f.vecMin = p.vecMin
+		}
 		f.Ints = append(f.Ints, p.Ints...)
 		f.Floats = append(f.Floats, p.Floats...)
 		f.Strs = append(f.Strs, p.Strs...)

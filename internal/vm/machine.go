@@ -27,11 +27,24 @@ type Machine struct {
 	counts []uint64
 	args   []Val
 	seg    int
+	// scratch is the decode staging tuple: Run copies its input here so
+	// the &tuple passed into the codec's Load (an interface call the
+	// compiler can't see through) escapes to the machine, not to a
+	// fresh heap copy per run.
+	scratch tuple.Tuple
+	// store is the per-machine batch store for Fresh emits, created
+	// lazily from the bound codec when it implements BatchStorer;
+	// storeFor remembers which codec built it so a program switch with
+	// a different codec rebuilds it.
+	store    BatchStore
+	storeFor RefCodec
 }
 
 // Reset sizes the machine for p and clears the per-segment counts.
-// Call it when switching programs; Run calls it implicitly when the
-// buffers are too small.
+// It also zeroes the stack and slot files: a retired program's stale
+// Vals (string lanes especially) must not pin their backing memory for
+// the lifetime of the machine. Call it when switching programs; Run
+// calls it implicitly when the buffers are too small.
 func (m *Machine) Reset(p *Program) {
 	if cap(m.stack) < int(p.MaxStack) {
 		m.stack = make([]Val, p.MaxStack)
@@ -41,6 +54,12 @@ func (m *Machine) Reset(p *Program) {
 		m.slots = make([]Val, p.NumSlots)
 	}
 	m.slots = m.slots[:cap(m.slots)]
+	for i := range m.stack {
+		m.stack[i] = Val{}
+	}
+	for i := range m.slots {
+		m.slots[i] = Val{}
+	}
 	if cap(m.counts) < len(p.Segs) {
 		m.counts = make([]uint64, len(p.Segs))
 	}
@@ -48,6 +67,23 @@ func (m *Machine) Reset(p *Program) {
 	for i := range m.counts {
 		m.counts[i] = 0
 	}
+}
+
+// storeRef builds a Fresh emit's payload, through the machine's batch
+// store when the codec provides one (no per-tuple allocation) and
+// through plain Store otherwise.
+func (m *Machine) storeRef(p *Program, vals []Val, out Layout) any {
+	if m.storeFor != p.codec {
+		m.storeFor = p.codec
+		m.store = nil
+		if bs, ok := p.codec.(BatchStorer); ok {
+			m.store = bs.NewBatchStore()
+		}
+	}
+	if m.store != nil {
+		return m.store.Append(vals, out)
+	}
+	return p.codec.Store(vals, out)
 }
 
 // SegCounts returns how many tuples entered each segment since the
@@ -72,8 +108,10 @@ func (m *Machine) Run(p *Program, t tuple.Tuple, emit Emitter) {
 		m.Reset(p)
 	}
 	s0 := &p.Segs[0]
-	p.codec.Load(&t, p.In, m.slots[s0.InBase:s0.InBase+s0.NIn])
+	m.scratch = t
+	p.codec.Load(&m.scratch, p.In, m.slots[s0.InBase:s0.InBase+s0.NIn])
 	m.runSeg(p, 0, t, 0, emit)
+	m.scratch = tuple.Tuple{}
 }
 
 // runSeg interprets one segment. tmpl is the template tuple the
@@ -253,7 +291,7 @@ func (m *Machine) runSeg(p *Program, si int, tmpl tuple.Tuple, sp int, emit Emit
 			if si == len(p.Segs)-1 {
 				out := tmpl
 				if seg.Fresh {
-					out = tuple.Tuple{Ref: p.codec.Store(slots[seg.OutBase:seg.OutBase+seg.NOut], seg.Out)}
+					out = tuple.Tuple{Ref: m.storeRef(p, slots[seg.OutBase:seg.OutBase+seg.NOut], seg.Out)}
 				}
 				emit.Emit(out)
 			} else {
@@ -261,7 +299,16 @@ func (m *Machine) runSeg(p *Program, si int, tmpl tuple.Tuple, sp int, emit Emit
 				copy(slots[next.InBase:next.InBase+next.NIn], slots[seg.OutBase:seg.OutBase+seg.NOut])
 				out := tmpl
 				if seg.Fresh {
-					out = tuple.Tuple{Ref: p.codec.Store(slots[seg.OutBase:seg.OutBase+seg.NOut], seg.Out)}
+					// An interior Fresh emit only builds its payload
+					// when some final forwarding emit can expose it
+					// (needStore, computed by Verify); otherwise the
+					// template it would build is dead — a later Fresh
+					// segment replaces it before the program ends.
+					if p.needStore == nil || p.needStore[si] {
+						out = tuple.Tuple{Ref: m.storeRef(p, slots[seg.OutBase:seg.OutBase+seg.NOut], seg.Out)}
+					} else {
+						out = tuple.Tuple{}
+					}
 				}
 				m.runSeg(p, si+1, out, sp, emit)
 				m.seg = si

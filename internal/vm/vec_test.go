@@ -1,0 +1,484 @@
+package vm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"streams/internal/tuple"
+)
+
+func init() {
+	RegisterBuiltinInfo("test.add2:ii", EffectPure, KInt)
+	RegisterBuiltin("test.impure:i", func(args []Val) Val { return args[0] })
+}
+
+// vecFilterProg builds a forwarding filter in the shape the spl
+// compiler emits (conditional jump straight over a tail emit), which
+// is the shape PlanVec turns into a selection-vector prune. The
+// OpDrop-based filterProg in vm_test.go is deliberately NOT this
+// shape and must stay scalar.
+func vecFilterProg(t *testing.T, name string, mod, keep int64) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(mod)
+	b.Op(OpModI)
+	b.ConstI(keep)
+	b.Op(OpEqI)
+	jf := b.Jump(OpJumpIfFalse)
+	b.Op(OpEmit)
+	b.Patch(jf)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 0, NOut: 1, Name: name, Out: intIn}, intIn, 1)
+	if err != nil {
+		t.Fatalf("vecFilterProg: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return p
+}
+
+// diamondProg computes out.x = (x < cut ? x*10 : x+1) — the structured
+// diamond the compiler emits for conditionals, which PlanVec
+// if-converts into speculative execution of both sides plus a blend.
+func diamondProg(t *testing.T, cut int64) *Program {
+	t.Helper()
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(cut)
+	b.Op(OpLtI)
+	jf := b.Jump(OpJumpIfFalse)
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(10)
+	b.Op(OpMulI)
+	j := b.Jump(OpJump)
+	b.Patch(jf)
+	b.Ins(OpLoad, 0, 0)
+	b.ConstI(1)
+	b.Op(OpAddI)
+	b.Patch(j)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "diamond", Out: intIn}, intIn, 2)
+	if err != nil {
+		t.Fatalf("diamondProg: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return p
+}
+
+// batchOf wraps int payloads as a batch with increasing Seq.
+func batchOf(xs []int64) []tuple.Tuple {
+	batch := make([]tuple.Tuple, len(xs))
+	for i, x := range xs {
+		batch[i] = tuple.Tuple{Seq: uint64(i), Ref: []Val{{I: x}}}
+	}
+	return batch
+}
+
+// runVec plans p, runs the batch vectorized, and returns the emitted
+// tuples. Fails the test if the program does not vectorize.
+func runVec(t *testing.T, p *Program, batch []tuple.Tuple) ([]tuple.Tuple, *BatchMachine) {
+	t.Helper()
+	vp, err := PlanVec(p)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	var bm BatchMachine
+	bm.Reset(vp)
+	bm.Run(batch)
+	var outs []tuple.Tuple
+	bm.EmitRows(EmitFunc(func(o tuple.Tuple) { outs = append(outs, o) }))
+	return outs, &bm
+}
+
+// scalarRef runs the batch tuple-at-a-time through the scalar Machine.
+func scalarRef(p *Program, batch []tuple.Tuple) ([]tuple.Tuple, []uint64) {
+	var m Machine
+	m.Reset(p)
+	var outs []tuple.Tuple
+	for _, in := range batch {
+		m.Run(p, in, EmitFunc(func(o tuple.Tuple) { outs = append(outs, o) }))
+	}
+	return outs, m.SegCounts()
+}
+
+func TestVecParityFusedChain(t *testing.T) {
+	fused, err := Fuse([]*Program{
+		funcProg(t, "a", 2, 1),      // x -> 2x+1
+		vecFilterProg(t, "b", 3, 0), // keep multiples of 3
+		funcProg(t, "c", 10, 0),     // x -> 10x
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	batch := batchOf([]int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	vecOuts, bm := runVec(t, fused, batch)
+	scalOuts, scalCounts := scalarRef(fused, batch)
+	if got, want := refInts(vecOuts), refInts(scalOuts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("vectorized disagrees with scalar: got %v want %v", got, want)
+	}
+	if got := bm.SegCounts(); !reflect.DeepEqual(got, scalCounts) {
+		t.Fatalf("seg counts diverge: vec %v scalar %v", got, scalCounts)
+	}
+}
+
+func TestVecParityDiamond(t *testing.T) {
+	p := diamondProg(t, 5)
+	batch := batchOf([]int64{0, 3, 5, 7, 4, 9})
+	vecOuts, _ := runVec(t, p, batch)
+	scalOuts, _ := scalarRef(p, batch)
+	if got, want := refInts(vecOuts), refInts(scalOuts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("if-converted diamond disagrees: got %v want %v", got, want)
+	}
+}
+
+func TestVecParityBuiltinAndSeq(t *testing.T) {
+	// out.x = add2(x, seq): exercises vCall gather/scatter and the seq
+	// lane in one program.
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.Op(OpLoadSeq)
+	b.Call("test.add2:ii", 2)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "seqadd", Out: intIn}, intIn, 2)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	batch := batchOf([]int64{100, 200, 300})
+	vecOuts, _ := runVec(t, p, batch)
+	scalOuts, _ := scalarRef(p, batch)
+	if got, want := refInts(vecOuts), refInts(scalOuts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("builtin+seq disagrees: got %v want %v", got, want)
+	}
+}
+
+func TestVecForwardingPreservesTuple(t *testing.T) {
+	fused, err := Fuse([]*Program{
+		vecFilterProg(t, "a", 1, 0),
+		vecFilterProg(t, "b", 2, 0),
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	batch := batchOf([]int64{2, 3, 4})
+	batch[0].Stamp = 99
+	batch[0].Words[3] = 42
+	outs, _ := runVec(t, fused, batch)
+	if len(outs) != 2 {
+		t.Fatalf("kept %d rows, want 2", len(outs))
+	}
+	if o := outs[0]; o.Seq != 0 || o.Stamp != 99 || o.Words[3] != 42 {
+		t.Fatalf("forwarding did not preserve the tuple: %+v", o)
+	}
+}
+
+func TestPlanVecRejections(t *testing.T) {
+	impure := func() *Program {
+		b := NewBuilder()
+		b.Ins(OpLoad, 0, 0)
+		b.Call("test.impure:i", 1)
+		b.Ins(OpStore, 1, 0)
+		b.Op(OpEmit)
+		p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "imp", Out: intIn}, intIn, 2)
+		if err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		if err := p.Bind(sliceCodec{}); err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		return p
+	}()
+	multiEmit := func() *Program {
+		b := NewBuilder()
+		b.Ins(OpLoad, 0, 0)
+		b.Ins(OpStore, 1, 0)
+		b.Op(OpEmit)
+		b.Op(OpEmit)
+		p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "multi", Out: intIn}, intIn, 2)
+		if err != nil {
+			t.Fatalf("finish: %v", err)
+		}
+		if err := p.Bind(sliceCodec{}); err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		return p
+	}()
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{"drop-filter", filterProg(t, "f", 2, 0), "branch"},
+		{"impure-builtin", impure, "side effects"},
+		{"multi-emit", multiEmit, "tail position"},
+		{"unbound", func() *Program { p := funcProg(t, "u", 1, 0); q, _ := Decode(p.Encode()); return q }(), "unbound"},
+	}
+	for _, tc := range cases {
+		if _, err := PlanVec(tc.prog); err == nil {
+			t.Errorf("%s: PlanVec accepted a non-vectorizable program", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBatchFaultAttribution(t *testing.T) {
+	// out.x = 100 / x: row with x == 0 faults. The machine must blame
+	// the exact source row and segment, and must not have emitted
+	// anything (the whole batch is replayable through the scalar path).
+	fused, err := Fuse([]*Program{
+		vecFilterProg(t, "keep", 1, 0),
+		func() *Program {
+			b := NewBuilder()
+			b.ConstI(100)
+			b.Ins(OpLoad, 0, 0)
+			b.Op(OpDivI)
+			b.Ins(OpStore, 1, 0)
+			b.Op(OpEmit)
+			p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "div", Out: intIn}, intIn, 2)
+			if err != nil {
+				t.Fatalf("finish: %v", err)
+			}
+			if err := p.Bind(sliceCodec{}); err != nil {
+				t.Fatalf("bind: %v", err)
+			}
+			return p
+		}(),
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	vp, err := PlanVec(fused)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	var bm BatchMachine
+	bm.Reset(vp)
+	emitted := 0
+	func() {
+		defer func() {
+			r := recover()
+			if _, ok := r.(*Error); !ok {
+				t.Fatalf("want *Error panic, got %v", r)
+			}
+		}()
+		bm.Run(batchOf([]int64{4, 5, 0, 7}))
+		t.Fatalf("Run did not panic on division by zero")
+	}()
+	if emitted != 0 {
+		t.Fatalf("Run emitted %d rows before the fault; the contract is zero", emitted)
+	}
+	if bm.CurSeg() != 1 {
+		t.Fatalf("CurSeg = %d, want 1 (the div segment)", bm.CurSeg())
+	}
+	if bm.FaultRow() != 2 {
+		t.Fatalf("FaultRow = %d, want 2 (the x=0 row)", bm.FaultRow())
+	}
+}
+
+func TestEmitRowsResumesPastPanic(t *testing.T) {
+	p := funcProg(t, "f", 1, 0)
+	vp, err := PlanVec(p)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	var bm BatchMachine
+	bm.Reset(vp)
+	bm.Run(batchOf([]int64{10, 20, 30, 40}))
+	var got []int64
+	poison := true
+	emit := EmitFunc(func(o tuple.Tuple) {
+		v := o.Ref.([]Val)[0].I
+		if v == 20 && poison {
+			poison = false
+			panic("downstream fault")
+		}
+		got = append(got, v)
+	})
+	for i := 0; i < 4; i++ {
+		done := func() (done bool) {
+			defer func() { recover() }()
+			bm.EmitRows(emit)
+			return true
+		}()
+		if done {
+			break
+		}
+	}
+	// The faulting row is contained (lost downstream, exactly like the
+	// scalar path's per-tuple containment); every other row is emitted
+	// exactly once, in order.
+	if want := []int64{10, 30, 40}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("resume after emit panic: got %v want %v", got, want)
+	}
+}
+
+func TestBatchMachineReuseAcrossBatches(t *testing.T) {
+	p := funcProg(t, "f", 3, 1)
+	vp, err := PlanVec(p)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	var bm BatchMachine
+	for round := 0; round < 3; round++ {
+		bm.Reset(vp)
+		batch := batchOf([]int64{int64(round), int64(round + 1)})
+		bm.Run(batch)
+		var outs []tuple.Tuple
+		bm.EmitRows(EmitFunc(func(o tuple.Tuple) { outs = append(outs, o) }))
+		want, _ := scalarRef(p, batch)
+		if !reflect.DeepEqual(refInts(outs), refInts(want)) {
+			t.Fatalf("round %d: got %v want %v", round, refInts(outs), refInts(want))
+		}
+		if counts := bm.SegCounts(); counts[0] != 2 {
+			t.Fatalf("round %d: counts not reset: %v", round, counts)
+		}
+	}
+}
+
+func TestVecMinBatch(t *testing.T) {
+	a := funcProg(t, "a", 2, 1)
+	if got := a.VecMinBatch(); got != DefaultVecMinBatch {
+		t.Fatalf("default cutoff = %d, want %d", got, DefaultVecMinBatch)
+	}
+	a.SetVecMinBatch(32)
+	b := funcProg(t, "b", 10, 0)
+	fused, err := Fuse([]*Program{a, b})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	if got := fused.VecMinBatch(); got != 32 {
+		t.Fatalf("fused cutoff = %d, want the max of the inputs (32)", got)
+	}
+}
+
+// TestMachineResetClearsState is the leak-shape regression for the
+// scalar machine: after Reset, no stale Val (string refs especially)
+// may survive in the stack or slot files to pin a retired batch's
+// memory for the lifetime of the machine.
+func TestMachineResetClearsState(t *testing.T) {
+	strIn := Layout{Fields: []Field{{Name: "s", Kind: KStr}}}
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstS("-suffix")
+	b.Op(OpCatS)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "cat", Out: strIn}, strIn, 2)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	var m Machine
+	m.Run(p, tuple.Tuple{Ref: []Val{{S: strings.Repeat("x", 1<<10)}}}, EmitFunc(func(tuple.Tuple) {}))
+	m.Reset(p)
+	for i, v := range m.stack {
+		if v != (Val{}) {
+			t.Fatalf("stack[%d] survived Reset: %+v", i, v)
+		}
+	}
+	for i, v := range m.slots {
+		if v != (Val{}) {
+			t.Fatalf("slots[%d] survived Reset: %+v", i, v)
+		}
+	}
+}
+
+// TestBatchResetClearsStringLanes is the same leak-shape guard for the
+// batch machine's string lanes, and checks constant lanes are
+// re-broadcast after the clear.
+func TestBatchResetClearsStringLanes(t *testing.T) {
+	strIn := Layout{Fields: []Field{{Name: "s", Kind: KStr}}}
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstS("-suffix")
+	b.Op(OpCatS)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "cat", Out: strIn}, strIn, 2)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	vp, err := PlanVec(p)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	var bm BatchMachine
+	bm.Reset(vp)
+	bm.Run([]tuple.Tuple{{Ref: []Val{{S: "hello"}}}, {Ref: []Val{{S: "world"}}}})
+	var outs []tuple.Tuple
+	bm.EmitRows(EmitFunc(func(o tuple.Tuple) { outs = append(outs, o) }))
+	if got := outs[1].Ref.([]Val)[0].S; got != "world-suffix" {
+		t.Fatalf("concat = %q", got)
+	}
+	bm.Reset(vp)
+	seen := map[string]bool{"": true, "-suffix": true}
+	for li, l := range bm.strs {
+		for r, s := range l {
+			if !seen[s] {
+				t.Fatalf("string lane %d row %d survived Reset: %q", li, r, s)
+			}
+		}
+	}
+	// Constant lanes must hold their fill value again, not "".
+	refill := false
+	for _, f := range vp.fillS {
+		for _, s := range bm.strs[f.reg] {
+			if s != f.val {
+				t.Fatalf("const lane %d lost its fill after Reset: %q", f.reg, s)
+			}
+		}
+		refill = true
+	}
+	if !refill {
+		t.Fatalf("program has no const string lanes; test is vacuous")
+	}
+}
+
+// TestNeedStoreElidesDeadInteriorEmit checks Verify's dead-store
+// analysis: an interior Fresh emit whose template no later forwarding
+// emit can observe skips payload construction entirely, and the fused
+// program still produces the scalar chain's outputs.
+func TestNeedStoreElidesDeadInteriorEmit(t *testing.T) {
+	fused, err := Fuse([]*Program{
+		funcProg(t, "a", 2, 0), // fresh, dead: b replaces the template
+		funcProg(t, "b", 1, 5), // fresh, final
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	if fused.needStore == nil {
+		t.Fatalf("Verify left needStore nil")
+	}
+	if fused.needStore[0] || !fused.needStore[1] {
+		t.Fatalf("needStore = %v, want [false true]", fused.needStore)
+	}
+	// Forwarding tail: the interior fresh template IS observable.
+	fwd, err := Fuse([]*Program{
+		funcProg(t, "a", 2, 0),
+		vecFilterProg(t, "keep", 1, 0),
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	if !fwd.needStore[0] {
+		t.Fatalf("needStore = %v, want the interior fresh emit stored", fwd.needStore)
+	}
+	got := refInts(runAll(t, fused, []int64{1, 2, 3}))
+	if want := []int64{7, 9, 11}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("elided chain output: got %v want %v", got, want)
+	}
+}

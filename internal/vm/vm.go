@@ -284,6 +284,36 @@ type Program struct {
 
 	codec RefCodec
 	funcs []BuiltinFunc
+	// needStore, computed by Verify, is per-segment: false when the
+	// segment is Fresh but its emit payload can never be observed (some
+	// later segment is also Fresh, so the template is replaced before
+	// any final forwarding emit could expose it) — the interpreter
+	// skips the codec Store entirely for those emits.
+	needStore []bool
+	// vecMin is the smallest batch size worth vectorizing for this
+	// program (0 = DefaultVecMinBatch). Process-local tuning set by the
+	// compiler's vectorizability pass, not part of the serialized form.
+	vecMin int32
+}
+
+// DefaultVecMinBatch is the batch-size cutoff below which the
+// scheduler runs a vectorizable program through the scalar
+// interpreter: lane setup and selection-vector bookkeeping are
+// amortized over the batch, and under a handful of rows the scalar
+// loop wins.
+const DefaultVecMinBatch = 8
+
+// SetVecMinBatch tunes the program's vectorization cutoff (satellite
+// of the compiler's vectorizability pass). Zero restores the default.
+func (p *Program) SetVecMinBatch(n int) { p.vecMin = int32(n) }
+
+// VecMinBatch returns the smallest batch size the scheduler should
+// vectorize for this program.
+func (p *Program) VecMinBatch() int {
+	if p.vecMin <= 0 {
+		return DefaultVecMinBatch
+	}
+	return int(p.vecMin)
 }
 
 // RefCodec bridges tuple payloads (tuple.Tuple.Ref) and slot windows.
@@ -300,10 +330,35 @@ type RefCodec interface {
 	Store(slots []Val, out Layout) any
 }
 
+// BatchStore builds payloads without a per-tuple allocation: the
+// owning codec amortizes allocation over many Append calls (internal/
+// spl backs one with a columnar frame arena shared by a whole batch).
+// A BatchStore is single-threaded, like the Machine that owns it.
+type BatchStore interface {
+	// Append builds a payload from slots per the layout, exactly like
+	// RefCodec.Store, but may return interior pointers into storage
+	// shared with earlier Append results. Returned payloads must stay
+	// immutable and valid indefinitely (they ride on emitted tuples).
+	Append(vals []Val, out Layout) any
+}
+
+// BatchStorer is an optional RefCodec extension. Codecs that implement
+// it give each Machine/BatchMachine a private BatchStore, making the
+// emit side allocation-free in steady state; codecs that do not fall
+// back to per-emit Store.
+type BatchStorer interface {
+	NewBatchStore() BatchStore
+}
+
 type identityCodec struct{}
 
 func (identityCodec) Load(*tuple.Tuple, Layout, []Val) {}
 func (identityCodec) Store([]Val, Layout) any          { return nil }
+func (identityCodec) NewBatchStore() BatchStore        { return identityStore{} }
+
+type identityStore struct{}
+
+func (identityStore) Append([]Val, Layout) any { return nil }
 
 // Identity is the codec for programs with empty layouts whose tuples
 // carry their payload inline (native library operators): nothing to
@@ -315,9 +370,40 @@ var Identity RefCodec = identityCodec{}
 // path would; the span recovery above the operator contains either.
 type BuiltinFunc func(args []Val) Val
 
+// Effect classifies a builtin for the vectorizer. The scheme exists
+// because vectorized execution reorders work (instruction-major instead
+// of tuple-major) and recovers from mid-batch panics by re-running the
+// whole batch through the scalar interpreter — both are only sound for
+// builtins whose calls can be reordered and repeated.
+type Effect uint8
+
+const (
+	// EffectImpure is the default for builtins that never declared an
+	// effect: assumed to have observable side effects, so any program
+	// calling one is rejected by PlanVec and stays on the scalar path.
+	EffectImpure Effect = iota
+	// EffectPure builtins depend only on their arguments and have no
+	// side effects (substring, length, toInt...).
+	EffectPure
+	// EffectReplay builtins have side effects that are harmless to
+	// repeat or reorder (spin's CPU burn): vectorizable, and safe to
+	// re-execute when a batch replays scalar after a panic.
+	EffectReplay
+)
+
+// builtinInfo is the vectorizer-facing half of a builtin registration:
+// its effect class and its result kind (the signature-mangled name
+// encodes argument kinds but not the return, and the planner needs the
+// return kind to type the destination lane).
+type builtinInfo struct {
+	effect Effect
+	ret    Kind
+}
+
 var (
-	regMu      sync.RWMutex
-	builtinReg = map[string]BuiltinFunc{}
+	regMu       sync.RWMutex
+	builtinReg  = map[string]BuiltinFunc{}
+	builtinMeta = map[string]builtinInfo{}
 )
 
 // RegisterBuiltin installs a builtin under a signature-mangled name.
@@ -330,6 +416,25 @@ func RegisterBuiltin(name string, fn BuiltinFunc) {
 		panic("vm: duplicate builtin " + name)
 	}
 	builtinReg[name] = fn
+}
+
+// RegisterBuiltinInfo declares a builtin's effect class and result
+// kind for the vectorizer. Builtins without an info record default to
+// EffectImpure and are never vectorized; the scalar interpreter needs
+// neither field, so old registrations keep working unchanged.
+func RegisterBuiltinInfo(name string, e Effect, ret Kind) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	builtinMeta[name] = builtinInfo{effect: e, ret: ret}
+}
+
+// lookupBuiltinInfo returns the info record for name, defaulting to
+// EffectImpure when the builtin never declared one.
+func lookupBuiltinInfo(name string) (builtinInfo, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	bi, ok := builtinMeta[name]
+	return bi, ok
 }
 
 // Builtins returns the registered builtin names, sorted (diagnostics).
