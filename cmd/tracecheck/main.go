@@ -77,8 +77,9 @@ var knownNames = func() map[string]bool {
 // a steal must carry victim/port and a distance class in [0, 2], a
 // relax-level must carry a width of at least 1, a fair-claim a
 // non-negative wait, a vm-fuse a fused segment count of at least 2
-// on a non-negative port, and a vm-vec a vectorized batch of at least
-// one row. Any other event name passes through untouched.
+// on a non-negative port, and a vm-vec (or vm-vec-abort) a vectorized
+// batch of at least one row. Any other event name passes through
+// untouched.
 func checkArgs(e event) error {
 	num := func(key string, min float64) (float64, error) {
 		v, ok := e.Args[key]
@@ -149,7 +150,7 @@ func checkArgs(e event) error {
 		if _, err := num("port", 0); err != nil {
 			return err
 		}
-	case "vm-vec":
+	case "vm-vec", "vm-vec-abort":
 		if _, err := num("rows", 1); err != nil {
 			return err
 		}

@@ -197,8 +197,8 @@ func (s Snapshot) WriteText(w io.Writer) {
 	if v := st.VM; v != (metrics.VMSnapshot{}) {
 		fmt.Fprintf(w, "vm: programs %d, fused runs %d, fused tuples %d, fallbacks %d\n",
 			v.Programs, v.FusedRuns, v.FusedTuples, v.Fallbacks)
-		fmt.Fprintf(w, "vm vec: batches %d, rows %d, scalar fallbacks %d\n",
-			v.VecBatches, v.VecRows, v.VecFallbacks)
+		fmt.Fprintf(w, "vm vec: batches %d, rows %d, scalar fallbacks %d, compute aborts %d\n",
+			v.VecBatches, v.VecRows, v.VecFallbacks, v.VecAborts)
 	}
 	f := s.Faults
 	if f != (metrics.FaultsSnapshot{}) {

@@ -319,6 +319,13 @@ type VM struct {
 	// loop instead: no vectorized plan, batch under the program's
 	// cutoff, or a panic-triggered scalar replay.
 	VecFallbacks *Counter
+	// VecAborts counts the replay subset of VecFallbacks: batches whose
+	// vectorized compute phase panicked mid-batch (emitting nothing)
+	// and were replayed tuple-at-a-time. Each such batch pays the
+	// vectorized compute cost AND the full scalar run, so a recurring
+	// per-batch fault shows here, distinct from the benign "program
+	// declined vectorization" fall-backs.
+	VecAborts *Counter
 }
 
 // NewVM returns a VM meter set sized for the given number of executing
@@ -332,6 +339,7 @@ func NewVM(shards int) *VM {
 		VecBatches:   NewCounter(shards),
 		VecRows:      NewCounter(shards),
 		VecFallbacks: NewCounter(shards),
+		VecAborts:    NewCounter(shards),
 	}
 }
 
@@ -345,6 +353,7 @@ type VMSnapshot struct {
 	VecBatches   uint64 `json:"vec_batches"`
 	VecRows      uint64 `json:"vec_rows"`
 	VecFallbacks uint64 `json:"vec_fallbacks"`
+	VecAborts    uint64 `json:"vec_aborts"`
 }
 
 // Snapshot sums every meter.
@@ -357,6 +366,7 @@ func (v *VM) Snapshot() VMSnapshot {
 		VecBatches:   v.VecBatches.Total(),
 		VecRows:      v.VecRows.Total(),
 		VecFallbacks: v.VecFallbacks.Total(),
+		VecAborts:    v.VecAborts.Total(),
 	}
 }
 

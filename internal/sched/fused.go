@@ -192,7 +192,7 @@ func (s *Scheduler) tryFused(c *ctx, fr *fusedRun, port int32, batch []tuple.Tup
 	}
 	fr.emit.ec = ec
 	var counts []uint64
-	if fr.vec != nil && len(batch) >= fr.prog.VecMinBatch() && s.runVecBatch(fr, batch, tid) {
+	if fr.vec != nil && len(batch) >= fr.prog.VecMinBatch() && s.runVecBatch(fr, batch, tid, port) {
 		s.vms.VecBatches.Add(tid, 1)
 		s.vms.VecRows.Add(tid, uint64(len(batch)))
 		if s.tr.On() {
@@ -204,9 +204,13 @@ func (s *Scheduler) tryFused(c *ctx, fr *fusedRun, port int32, batch []tuple.Tup
 		// or a panic during vectorized compute — which performed no
 		// emissions, so replaying the whole batch tuple-at-a-time
 		// reproduces scalar values, ordering, SegCounts and per-tuple
-		// panic attribution exactly. Under the -novec ablation nothing
-		// is metered: the fall-back counter measures the vectorizer's
-		// declines, not the ablation's.
+		// panic attribution exactly. The compute-panic case is also
+		// metered separately (VecAborts, charged in vecCompute) so
+		// recurring per-batch faults — which pay vec compute AND the
+		// scalar replay — are distinguishable from benign declines.
+		// Under the -novec ablation nothing is metered: the fall-back
+		// counter measures the vectorizer's declines, not the
+		// ablation's.
 		if !s.cfg.DisableVec {
 			s.vms.VecFallbacks.Add(tid, 1)
 		}
@@ -259,8 +263,8 @@ func (s *Scheduler) runFusedTuple(fr *fusedRun, t tuple.Tuple, tid int) {
 // past the point of no return, contained against the faulting row's
 // segment exactly as the scalar path contains it, and the emit loop
 // resumes with the next row.
-func (s *Scheduler) runVecBatch(fr *fusedRun, batch []tuple.Tuple, tid int) bool {
-	if !s.vecCompute(fr, batch) {
+func (s *Scheduler) runVecBatch(fr *fusedRun, batch []tuple.Tuple, tid int, port int32) bool {
+	if !s.vecCompute(fr, batch, tid, port) {
 		return false
 	}
 	for !s.vecEmit(fr, tid) {
@@ -269,10 +273,17 @@ func (s *Scheduler) runVecBatch(fr *fusedRun, batch []tuple.Tuple, tid int) bool
 }
 
 // vecCompute is the replayable phase: decode, lane execution, filters.
-func (s *Scheduler) vecCompute(fr *fusedRun, batch []tuple.Tuple) (ok bool) {
+// A recovered panic is metered (VecAborts) and traced (vm-vec-abort)
+// before the scalar replay, so "this program never vectorizes" and
+// "this batch aborted mid-compute and ran twice" stay distinguishable.
+func (s *Scheduler) vecCompute(fr *fusedRun, batch []tuple.Tuple, tid int, port int32) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			ok = false
+			s.vms.VecAborts.Add(tid, 1)
+			if s.tr.On() {
+				s.tr.Emit(tid, trace.KindVMVecAbort, trace.PackPair(int32(len(batch)), uint32(port)))
+			}
 		}
 	}()
 	fr.bm.Reset(fr.vec)

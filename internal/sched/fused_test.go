@@ -329,7 +329,7 @@ func TestVecComputePanicReplaysScalar(t *testing.T) {
 	for i := range batch {
 		batch[i] = tuple.Tuple{Seq: uint64(i + 1)} // seq 5, 10, 15 fault
 	}
-	if s.vecCompute(fr, batch) {
+	if s.vecCompute(fr, batch, 0, 0) {
 		t.Fatal("vectorized compute succeeded on a batch with faulting rows")
 	}
 	if row := fr.bm.FaultRow(); row != 4 {
@@ -337,6 +337,11 @@ func TestVecComputePanicReplaysScalar(t *testing.T) {
 	}
 	if fr.bm.CurSeg() != 0 {
 		t.Errorf("CurSeg = %d, want 0 (the Bad segment)", fr.bm.CurSeg())
+	}
+	// The abort is metered apart from ordinary declines: a recurring
+	// compute panic means every such batch runs twice (vec + replay).
+	if got := s.vms.VecAborts.Total(); got != 1 {
+		t.Errorf("VecAborts = %d after one aborted compute, want 1", got)
 	}
 
 	// The replay: per-tuple scalar runs over the same machine the

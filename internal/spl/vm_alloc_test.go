@@ -90,3 +90,32 @@ func TestVecVMEmitZeroAlloc(t *testing.T) {
 		t.Fatalf("vectorized batch allocates %.3f/row (%.1f/batch), budget %.2f/row", perRow, avg, frameAllocsSlack)
 	}
 }
+
+// TestVecVMFilterTailZeroAlloc guards the fresh-interior/forwarding-
+// tail emit path (map|filter): materializing the interior segment's
+// template per surviving row must go through the frame store and stay
+// within the same amortized budget as the fresh-final path.
+func TestVecVMFilterTailZeroAlloc(t *testing.T) {
+	fused := fusedDiffProgs(t, vecDiffFilterTailProgram, "S1", "S2")
+	vp, err := vm.PlanVec(fused)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	const rows = 64
+	batch := make([]tuple.Tuple, rows)
+	for i := range batch {
+		batch[i] = tuple.Tuple{Seq: uint64(i), Ref: Tup{"x": int64(i), "y": int64(i * 3)}}
+	}
+	var bm vm.BatchMachine
+	sink := vm.EmitFunc(func(tuple.Tuple) {})
+	runOnce := func() {
+		bm.Reset(vp)
+		bm.Run(batch)
+		bm.EmitRows(sink)
+	}
+	runOnce() // warm lanes and the frame store
+	avg := testing.AllocsPerRun(500, runOnce)
+	if perRow := avg / rows; perRow > frameAllocsSlack {
+		t.Fatalf("filter-tail batch allocates %.3f/row (%.1f/batch), budget %.2f/row", perRow, avg, frameAllocsSlack)
+	}
+}

@@ -427,32 +427,29 @@ composite Main {
 }
 `
 
-// fusedDiffProgs compiles vecDiffProgram and returns the three
-// pipeline programs in order.
-func fusedDiffProgs(t *testing.T) *vm.Program {
+// fusedDiffProgs compiles src and fuses the named pipeline stages in
+// order.
+func fusedDiffProgs(t *testing.T, src string, stages ...string) *vm.Program {
 	t.Helper()
-	compiled, err := Compile(vecDiffProgram, Options{})
+	compiled, err := Compile(src, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	progs := make([]*vm.Program, 3)
+	progs := make([]*vm.Program, len(stages))
 	for _, n := range compiled.Graph.Nodes {
 		pr, ok := n.Op.(vm.Programmed)
 		if !ok || pr.VMProgram() == nil {
 			continue
 		}
-		switch {
-		case strings.HasSuffix(n.Op.Name(), "/S1"):
-			progs[0] = pr.VMProgram()
-		case strings.HasSuffix(n.Op.Name(), "/S2"):
-			progs[1] = pr.VMProgram()
-		case strings.HasSuffix(n.Op.Name(), "/S3"):
-			progs[2] = pr.VMProgram()
+		for i, st := range stages {
+			if strings.HasSuffix(n.Op.Name(), "/"+st) {
+				progs[i] = pr.VMProgram()
+			}
 		}
 	}
 	for i, p := range progs {
 		if p == nil {
-			t.Fatalf("pipeline stage %d did not compile to bytecode", i)
+			t.Fatalf("pipeline stage %s did not compile to bytecode", stages[i])
 		}
 	}
 	fused, err := vm.Fuse(progs)
@@ -468,7 +465,7 @@ func fusedDiffProgs(t *testing.T) *vm.Program {
 // in order) and identical per-segment entry counts (the filter's drops
 // must show in segment 3's count on both paths).
 func TestVMVecDifferentialFusedFilterChain(t *testing.T) {
-	fused := fusedDiffProgs(t)
+	fused := fusedDiffProgs(t, vecDiffProgram, "S1", "S2", "S3")
 	vp, err := vm.PlanVec(fused)
 	if err != nil {
 		t.Fatalf("fused pipeline did not vectorize: %v", err)
@@ -499,6 +496,79 @@ func TestVMVecDifferentialFusedFilterChain(t *testing.T) {
 		}))
 		if !reflect.DeepEqual(vecOut, scalarOut) {
 			t.Fatalf("n=%d: outputs diverge\nvectorized %v\nscalar     %v", n, vecOut, scalarOut)
+		}
+		if got, want := bm.SegCounts(), sm.SegCounts(); !slicesEqualU64(got, want) {
+			t.Fatalf("n=%d: seg counts diverge: vectorized %v scalar %v", n, got, want)
+		}
+	}
+}
+
+// vecDiffFilterTailProgram ends the pipeline on the Filter — the
+// compiler-produced map|filter shape whose fused program has a Fresh
+// interior segment and a forwarding final segment. The vectorized emit
+// must materialize the Custom stage's rebuilt template (payload, Seq 0)
+// rather than forward the original Beacon row.
+const vecDiffFilterTailProgram = `
+composite Main {
+  graph
+    stream<int64 x, int64 y> N = Beacon() { param iterations: 1; }
+    stream<int64 a, int64 b> S1 = Custom(N) {
+      logic onTuple N: { submit({ a = x * 2 + 1, b = y - x }, S1); }
+    }
+    stream<int64 a, int64 b> S2 = Filter(S1) { param filter: a % 3 == 0; }
+    () as Out = FileSink(S2) { param file: "/dev/null"; }
+}
+`
+
+// TestVMVecDifferentialFreshInteriorFilterTail runs random batches
+// through the fused map|filter pipeline, scalar versus vectorized, and
+// requires identical payloads AND identical tuple headers (Seq/Stamp)
+// on every emitted row — the regression shape where the vectorized
+// path used to forward the input tuple instead of the interior Fresh
+// segment's template.
+func TestVMVecDifferentialFreshInteriorFilterTail(t *testing.T) {
+	fused := fusedDiffProgs(t, vecDiffFilterTailProgram, "S1", "S2")
+	vp, err := vm.PlanVec(fused)
+	if err != nil {
+		t.Fatalf("map|filter pipeline did not vectorize: %v", err)
+	}
+	r := rand.New(rand.NewSource(20260808))
+	for _, n := range []int{1, 7, 64, 200} {
+		batch := make([]tuple.Tuple, n)
+		for j := range batch {
+			batch[j] = tuple.Tuple{Seq: uint64(j + 1), Stamp: 7, Ref: Tup{
+				"x": r.Int63n(41) - 20,
+				"y": r.Int63n(41) - 20,
+			}}
+		}
+		var scalarOut []tuple.Tuple
+		var sm vm.Machine
+		sm.Reset(fused)
+		for j := range batch {
+			sm.Run(fused, batch[j], vm.EmitFunc(func(o tuple.Tuple) {
+				scalarOut = append(scalarOut, o)
+			}))
+		}
+		var vecOut []tuple.Tuple
+		var bm vm.BatchMachine
+		bm.Reset(vp)
+		bm.Run(batch)
+		bm.EmitRows(vm.EmitFunc(func(o tuple.Tuple) {
+			vecOut = append(vecOut, o)
+		}))
+		if len(vecOut) != len(scalarOut) {
+			t.Fatalf("n=%d: vectorized emitted %d rows, scalar %d", n, len(vecOut), len(scalarOut))
+		}
+		for j := range vecOut {
+			v, s := vecOut[j], scalarOut[j]
+			if v.Seq != s.Seq || v.Stamp != s.Stamp {
+				t.Fatalf("n=%d row %d: header diverges: vec {Seq %d Stamp %d} scalar {Seq %d Stamp %d}",
+					n, j, v.Seq, v.Stamp, s.Seq, s.Stamp)
+			}
+			vt, st := refTup(v.Ref), refTup(s.Ref)
+			if !reflect.DeepEqual(vt, st) {
+				t.Fatalf("n=%d row %d: payload diverges: vec %v scalar %v", n, j, vt, st)
+			}
 		}
 		if got, want := bm.SegCounts(), sm.SegCounts(); !slicesEqualU64(got, want) {
 			t.Fatalf("n=%d: seg counts diverge: vectorized %v scalar %v", n, got, want)

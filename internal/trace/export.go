@@ -162,7 +162,7 @@ func writeTraceEvents(w io.Writer, events []Event, labels []string) error {
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"segs": segs, "port": port,
 			}))
-		case KindVMVec:
+		case KindVMVec, KindVMVecAbort:
 			rows, port := UnpackPair(e.Arg)
 			out.TraceEvents = append(out.TraceEvents, instant(e, map[string]any{
 				"rows": rows, "port": port,

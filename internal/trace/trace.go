@@ -113,6 +113,12 @@ const (
 	// lanes and every instruction dispatched once per batch; arg packs
 	// rows<<32|port, where rows is the batch size.
 	KindVMVec
+	// KindVMVecAbort marks a vectorized compute phase that panicked
+	// mid-batch (having emitted nothing) and was replayed through the
+	// scalar dispatch loop — the batch paid vectorized compute AND a
+	// full scalar run, so a recurring abort on the same operator is a
+	// silent 2x worth surfacing; arg packs rows<<32|port like KindVMVec.
+	KindVMVecAbort
 
 	numKinds
 )
@@ -228,6 +234,8 @@ func (k Kind) String() string {
 		return "flightrec-dump"
 	case KindVMVec:
 		return "vm-vec"
+	case KindVMVecAbort:
+		return "vm-vec-abort"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

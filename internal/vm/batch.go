@@ -79,7 +79,10 @@ func (bm *BatchMachine) Reset(vp *VecProgram) {
 	if rebound {
 		bm.laneCap = 0
 		bm.ints, bm.floats, bm.strs = nil, nil, nil
-	} else {
+	} else if len(bm.strs) > 0 {
+		// Skip the re-broadcast when lane storage hasn't been allocated
+		// yet (ensure runs lazily in Run): back-to-back Resets before
+		// any Run would otherwise index empty lane tables.
 		for _, f := range vp.fillS {
 			l := bm.strs[f.reg]
 			for i := range l {
@@ -505,6 +508,10 @@ func (bm *BatchMachine) EmitRows(emit Emitter) int {
 			emit.Emit(tuple.Tuple{Ref: ref})
 		}
 	} else {
+		// No segment anywhere in the chain was Fresh (the planner sets
+		// emitFresh for interior Fresh emits too): pure forwarding, the
+		// surviving input rows pass through with Ref, Seq and Stamp
+		// untouched.
 		for bm.emitPos < len(sel) {
 			r := sel[bm.emitPos]
 			bm.emitPos++

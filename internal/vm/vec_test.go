@@ -180,6 +180,98 @@ func TestVecForwardingPreservesTuple(t *testing.T) {
 	}
 }
 
+// TestVecParityFreshInteriorForwardingTail pins the map|filter chain
+// shape the spl compiler emits (a fused Fresh segment followed by a
+// forwarding filter tail): the final emit must expose the interior
+// Fresh segment's rebuilt template — payload, Seq 0, Stamp 0 — exactly
+// as the scalar interpreter threads tmpl, never the original input row.
+func TestVecParityFreshInteriorForwardingTail(t *testing.T) {
+	fused, err := Fuse([]*Program{
+		funcProg(t, "a", 2, 1),         // fresh: x -> 2x+1
+		vecFilterProg(t, "keep", 3, 0), // forwarding tail: keep multiples of 3
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	batch := batchOf([]int64{0, 1, 2, 3, 4, 5, 6, 7})
+	// Poison the input rows: if the vectorized path forwards them
+	// instead of materializing the rebuilt template, Stamp betrays it
+	// even when payloads happen to collide.
+	for i := range batch {
+		batch[i].Stamp = 99
+	}
+	vecOuts, bm := runVec(t, fused, batch)
+	scalOuts, scalCounts := scalarRef(fused, batch)
+	if got, want := refInts(vecOuts), refInts(scalOuts); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fresh-interior/forwarding-tail disagrees: vec %v scalar %v", got, want)
+	}
+	if want := []int64{3, 9, 15}; !reflect.DeepEqual(refInts(vecOuts), want) {
+		t.Fatalf("outputs = %v, want the transformed survivors %v", refInts(vecOuts), want)
+	}
+	for i := range vecOuts {
+		if v, s := vecOuts[i], scalOuts[i]; v.Seq != s.Seq || v.Stamp != s.Stamp {
+			t.Fatalf("row %d header diverges: vec {Seq %d Stamp %d} scalar {Seq %d Stamp %d}",
+				i, v.Seq, v.Stamp, s.Seq, s.Stamp)
+		}
+	}
+	if got := bm.SegCounts(); !reflect.DeepEqual(got, scalCounts) {
+		t.Fatalf("seg counts diverge: vec %v scalar %v", got, scalCounts)
+	}
+
+	// Two Fresh segments before the tail: the LAST one's template is
+	// what the forwarding emit exposes, mirroring needStore.
+	fused2, err := Fuse([]*Program{
+		funcProg(t, "a", 2, 1),
+		funcProg(t, "b", 3, 0),
+		vecFilterProg(t, "keep", 2, 0),
+	})
+	if err != nil {
+		t.Fatalf("fuse: %v", err)
+	}
+	vecOuts2, _ := runVec(t, fused2, batch)
+	scalOuts2, _ := scalarRef(fused2, batch)
+	if got, want := refInts(vecOuts2), refInts(scalOuts2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("double-fresh/forwarding-tail disagrees: vec %v scalar %v", got, want)
+	}
+}
+
+// TestBatchResetTwiceBeforeRun: Reset is idempotent before any Run has
+// allocated lane storage — the constant-lane re-broadcast must not
+// index lane tables that don't exist yet (regression: back-to-back
+// Resets with a constant-string plan panicked).
+func TestBatchResetTwiceBeforeRun(t *testing.T) {
+	strIn := Layout{Fields: []Field{{Name: "s", Kind: KStr}}}
+	b := NewBuilder()
+	b.Ins(OpLoad, 0, 0)
+	b.ConstS("-suffix")
+	b.Op(OpCatS)
+	b.Ins(OpStore, 1, 0)
+	b.Op(OpEmit)
+	p, err := b.Finish(Seg{InBase: 0, NIn: 1, OutBase: 1, NOut: 1, Fresh: true, Name: "cat", Out: strIn}, strIn, 2)
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := p.Bind(sliceCodec{}); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	vp, err := PlanVec(p)
+	if err != nil {
+		t.Fatalf("planvec: %v", err)
+	}
+	if len(vp.fillS) == 0 {
+		t.Fatalf("program has no const string lanes; test is vacuous")
+	}
+	var bm BatchMachine
+	bm.Reset(vp)
+	bm.Reset(vp) // must not panic: lanes are allocated lazily by Run
+	bm.Run([]tuple.Tuple{{Ref: []Val{{S: "hello"}}}})
+	var outs []tuple.Tuple
+	bm.EmitRows(EmitFunc(func(o tuple.Tuple) { outs = append(outs, o) }))
+	if got := outs[0].Ref.([]Val)[0].S; got != "hello-suffix" {
+		t.Fatalf("concat after double Reset = %q, want %q", got, "hello-suffix")
+	}
+}
+
 func TestPlanVecRejections(t *testing.T) {
 	impure := func() *Program {
 		b := NewBuilder()

@@ -152,9 +152,17 @@ type VecProgram struct {
 	segs       []vecSeg
 	in         []vlane // destination lane per input layout field
 	seqLane    int32   // int lane carrying tuple Seq per row, or -1
-	emitFresh  bool
-	emitOut    Layout
-	emitCols   []vlane // out-window value lanes at the final emit
+	// emitFresh is true when the finally emitted tuple is a rebuilt
+	// template rather than the forwarded input row — i.e. when ANY
+	// segment is Fresh, not just the last: a Fresh interior emit
+	// replaces the template a forwarding tail then exposes, exactly as
+	// runSeg threads tmpl. emitOut/emitCols are the layout and lanes of
+	// the last Fresh emit, which EmitRows materializes per surviving
+	// row; lanes are SSA (written once per batch), so they still hold
+	// that segment's values after downstream segments and filters run.
+	emitFresh bool
+	emitOut   Layout
+	emitCols  []vlane
 }
 
 // Prog returns the scalar program the plan was derived from.
@@ -664,11 +672,19 @@ func (pl *vecPlanner) planSeg(si int) error {
 				}
 				cols[k] = l
 			}
-			if si == len(p.Segs)-1 {
-				pl.vp.emitFresh = seg.Fresh
+			if seg.Fresh {
+				// A Fresh emit rebuilds the template tuple the rest of
+				// the chain forwards; the last one to run is what the
+				// final emit exposes (whether that emit is itself Fresh
+				// or a forwarding tail), so record it and let any later
+				// Fresh emit overwrite it — the vectorized twin of
+				// runSeg replacing tmpl, with needStore folded in: only
+				// the surviving record is ever materialized.
+				pl.vp.emitFresh = true
 				pl.vp.emitOut = seg.Out
 				pl.vp.emitCols = cols
-			} else {
+			}
+			if si < len(p.Segs)-1 {
 				next := &p.Segs[si+1]
 				for k := int32(0); k < next.NIn; k++ {
 					pl.slots[next.InBase+k] = cols[k]
